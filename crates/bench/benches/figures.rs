@@ -1,0 +1,19 @@
+//! `cargo bench` entry point that regenerates every paper figure/table on a
+//! reduced grid (so the whole suite stays in the minutes range). Run the
+//! `fig*`/`tab*` binaries with the default environment for the full grids.
+
+use reservoir_bench::{calibrate, figures, RunOpts};
+
+fn main() {
+    let opts = RunOpts::quick();
+    eprintln!("calibrating local cost model (quick)...");
+    let costs = calibrate(true);
+    eprintln!("calibration: {costs:?}");
+    println!("# Paper experiment suite (quick grid)\n");
+    print!("{}", figures::fig3_weak_scaling(&costs, &opts));
+    print!("{}", figures::fig4_strong_scaling(&costs, &opts));
+    print!("{}", figures::fig5_throughput(&costs, &opts));
+    print!("{}", figures::fig6_composition(&costs, &opts));
+    print!("{}", figures::recursion_depth_table(&costs, &opts));
+    println!("\n(done — full grids: cargo run --release -p reservoir-bench --bin fig3_weak_scaling, etc.)");
+}

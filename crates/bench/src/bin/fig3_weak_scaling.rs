@@ -1,0 +1,12 @@
+//! Regenerates the paper's fig3 weak scaling experiment. Honours
+//! `RESERVOIR_BENCH_QUICK=1` for a reduced grid.
+
+use reservoir_bench::{calibrate, figures, RunOpts};
+
+fn main() {
+    let opts = RunOpts::from_env();
+    eprintln!("calibrating local cost model...");
+    let costs = calibrate(opts.quick);
+    eprintln!("calibration: {costs:?}");
+    print!("{}", figures::fig3_weak_scaling(&costs, &opts));
+}

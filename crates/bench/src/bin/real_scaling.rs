@@ -1,0 +1,81 @@
+//! Reality check for the simulator: run the *threaded* backend (real
+//! threads, real collectives) at laptop scale and print per-batch times
+//! for ours vs ours-8 vs gather. Complements the simulated figures — the
+//! qualitative ordering (gather slowest for large k) must match.
+
+use std::time::Instant;
+
+use reservoir_bench::RunOpts;
+use reservoir_comm::{run_threads, Communicator as _};
+use reservoir_core::dist::gather::GatherSampler;
+use reservoir_core::dist::threaded::DistributedSampler;
+use reservoir_core::dist::DistConfig;
+use reservoir_stream::{StreamSpec, WeightGen};
+
+fn bench_threaded(p: usize, b: usize, k: usize, batches: usize, algo: &str) -> f64 {
+    let spec = StreamSpec {
+        pes: p,
+        batch_size: b,
+        weights: WeightGen::paper_uniform(),
+        seed: 7,
+    };
+    let algo = algo.to_string();
+    let times = run_threads(p, |comm| {
+        let cfg = match algo.as_str() {
+            "ours" => DistConfig::weighted(k, 7),
+            "ours-8" => DistConfig::weighted(k, 7).with_pivots(8),
+            _ => DistConfig::weighted(k, 7),
+        };
+        let mut src = spec.source_for(comm.rank());
+        let mut buf = Vec::new();
+        // Input generation excluded from timing, as in the paper.
+        if algo == "gather" {
+            let mut s = GatherSampler::new(&comm, cfg);
+            src.next_batch_into(&mut buf);
+            s.process_batch(&buf);
+            let mut total = 0.0;
+            for _ in 0..batches {
+                src.next_batch_into(&mut buf);
+                use reservoir_comm::Collectives;
+                comm.barrier();
+                let start = Instant::now();
+                s.process_batch(&buf);
+                total += start.elapsed().as_secs_f64();
+            }
+            total / batches as f64
+        } else {
+            let mut s = DistributedSampler::new(&comm, cfg);
+            src.next_batch_into(&mut buf);
+            s.process_batch(&buf);
+            let mut total = 0.0;
+            for _ in 0..batches {
+                src.next_batch_into(&mut buf);
+                use reservoir_comm::Collectives;
+                comm.barrier();
+                let start = Instant::now();
+                s.process_batch(&buf);
+                total += start.elapsed().as_secs_f64();
+            }
+            total / batches as f64
+        }
+    });
+    times.iter().sum::<f64>() / times.len() as f64
+}
+
+fn main() {
+    let quick = RunOpts::from_env().quick;
+    let (b, k, batches) = if quick {
+        (20_000, 2_000, 5)
+    } else {
+        (100_000, 10_000, 10)
+    };
+    println!("### Threaded reality check — per-batch seconds (b = {b}/PE, k = {k})\n");
+    println!("| p | ours | ours-8 | gather |");
+    println!("|---|---|---|---|");
+    for p in [1usize, 2, 4] {
+        let ours = bench_threaded(p, b, k, batches, "ours");
+        let ours8 = bench_threaded(p, b, k, batches, "ours-8");
+        let gather = bench_threaded(p, b, k, batches, "gather");
+        println!("| {p} | {ours:.5} | {ours8:.5} | {gather:.5} |");
+    }
+}

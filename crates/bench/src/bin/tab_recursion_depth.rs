@@ -1,0 +1,12 @@
+//! Regenerates the paper's tab recursion depth experiment. Honours
+//! `RESERVOIR_BENCH_QUICK=1` for a reduced grid.
+
+use reservoir_bench::{calibrate, figures, RunOpts};
+
+fn main() {
+    let opts = RunOpts::from_env();
+    eprintln!("calibrating local cost model...");
+    let costs = calibrate(opts.quick);
+    eprintln!("calibration: {costs:?}");
+    print!("{}", figures::recursion_depth_table(&costs, &opts));
+}

@@ -1,0 +1,223 @@
+//! Machine calibration: measure the local-work costs the cluster simulator
+//! charges, on the machine the benchmarks actually run on.
+//!
+//! The paper's experiments measure wall-clock time on ForHLR II nodes; our
+//! simulator separates *local* work (measured here, for real, on this CPU)
+//! from *communication* (charged through the α–β model). Calibration takes
+//! a couple of seconds and is run once per benchmark binary.
+
+use std::time::Instant;
+
+use reservoir_btree::{BPlusTree, SampleKey};
+use reservoir_core::dist::local::LocalReservoir;
+use reservoir_core::dist::sim::LocalCostModel;
+use reservoir_rng::{default_rng, Rng64};
+use reservoir_select::kth_smallest;
+use reservoir_stream::Item;
+
+/// Measured per-operation costs with a piecewise scan-cost table
+/// (log-linear interpolation over batch size, capturing the cache knee).
+#[derive(Clone, Debug)]
+pub struct MeasuredLocalCosts {
+    /// `(batch_items, seconds_per_item)`, ascending in `batch_items`.
+    pub scan_table: Vec<(u64, f64)>,
+    /// Seconds per tree insert per log₂(tree size).
+    pub insert_s: f64,
+    /// Seconds per generated candidate key.
+    pub keygen_s: f64,
+    /// Seconds per element of a sequential quickselect.
+    pub quickselect_s: f64,
+    /// Seconds per rank query per log₂(tree size).
+    pub rank_s: f64,
+}
+
+impl MeasuredLocalCosts {
+    fn scan_per_item(&self, items: u64) -> f64 {
+        let t = &self.scan_table;
+        debug_assert!(!t.is_empty());
+        if items <= t[0].0 {
+            return t[0].1;
+        }
+        for w in t.windows(2) {
+            let ((a, ca), (b, cb)) = (w[0], w[1]);
+            if items <= b {
+                // Interpolate linearly in log(items).
+                let f = ((items as f64).ln() - (a as f64).ln())
+                    / ((b as f64).ln() - (a as f64).ln());
+                return ca + f * (cb - ca);
+            }
+        }
+        t.last().expect("nonempty").1
+    }
+}
+
+impl LocalCostModel for MeasuredLocalCosts {
+    fn scan_weighted(&self, items: u64) -> f64 {
+        items as f64 * self.scan_per_item(items)
+    }
+
+    fn scan_uniform(&self, inserted: u64) -> f64 {
+        20e-9 + inserted as f64 * self.keygen_s
+    }
+
+    fn tree_inserts(&self, count: u64, tree_size: u64) -> f64 {
+        count as f64 * self.insert_s * ((tree_size + 2) as f64).log2()
+    }
+
+    fn keygen(&self, count: u64) -> f64 {
+        count as f64 * self.keygen_s
+    }
+
+    fn quickselect(&self, n: u64) -> f64 {
+        n as f64 * self.quickselect_s
+    }
+
+    fn select_round_local(&self, tree_size: u64, pivots: u64) -> f64 {
+        pivots.max(1) as f64 * self.rank_s * ((tree_size + 2) as f64).log2()
+    }
+}
+
+fn time<F: FnMut()>(mut f: F, reps: u32) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+/// Measure this machine's costs. `quick` halves the probe sizes (used by
+/// tests); benchmarks pass `false`.
+pub fn calibrate(quick: bool) -> MeasuredLocalCosts {
+    let mut rng = default_rng(0xCA11B);
+
+    // --- Jump-scan cost across batch sizes (captures the cache knee) ----
+    let sizes: &[u64] = if quick {
+        &[10_000, 100_000]
+    } else {
+        &[10_000, 100_000, 400_000, 1_000_000, 4_000_000]
+    };
+    let mut scan_table = Vec::with_capacity(sizes.len());
+    for &b in sizes {
+        let items: Vec<Item> = (0..b)
+            .map(|i| Item::new(i, rng.rand_oc() * 100.0))
+            .collect();
+        // A tiny threshold makes insertions negligible: we time the scan.
+        let mut reservoir = LocalReservoir::new(8, 32);
+        let reps = if b <= 100_000 { 8 } else { 2 };
+        let mut scan_rng = default_rng(1);
+        // Warm the cache/branch predictors before timing.
+        let _ = reservoir.process_weighted(&items, Some(1e-7), &mut scan_rng);
+        let per = time(
+            || {
+                let _ = reservoir.process_weighted(&items, Some(1e-7), &mut scan_rng);
+            },
+            reps,
+        ) / b as f64;
+        scan_table.push((b, per));
+    }
+
+    // --- Tree insertion cost ------------------------------------------
+    let tree_size = if quick { 20_000 } else { 100_000 };
+    let mut tree: BPlusTree<SampleKey, f64> = BPlusTree::new();
+    for i in 0..tree_size {
+        tree.insert(SampleKey::new(rng.rand_oc(), i), 1.0);
+    }
+    let inserts = if quick { 10_000 } else { 50_000 };
+    let start = Instant::now();
+    for i in 0..inserts {
+        tree.insert(SampleKey::new(rng.rand_oc(), tree_size + i), 1.0);
+    }
+    let insert_s =
+        start.elapsed().as_secs_f64() / inserts as f64 / ((tree_size + 2) as f64).log2();
+
+    // --- Key generation cost ------------------------------------------
+    let n = 200_000u64;
+    let mut sink = 0.0f64;
+    let keygen_s = time(
+        || {
+            for _ in 0..n {
+                sink += rng.exponential(2.0);
+            }
+        },
+        1,
+    ) / n as f64;
+    std::hint::black_box(sink);
+
+    // --- Sequential quickselect cost -----------------------------------
+    let m = if quick { 50_000 } else { 200_000 };
+    let keys: Vec<SampleKey> = (0..m)
+        .map(|i| SampleKey::new(rng.rand_oc(), i as u64))
+        .collect();
+    let mut qs_rng = default_rng(2);
+    // Subtract the buffer-copy cost so only the selection itself is charged.
+    let clone_s = time(
+        || {
+            std::hint::black_box(keys.clone());
+        },
+        4,
+    );
+    let quickselect_s = (time(
+        || {
+            let mut work = keys.clone();
+            std::hint::black_box(kth_smallest(&mut work, m / 10, &mut qs_rng));
+        },
+        4,
+    ) - clone_s)
+        .max(1e-12 * m as f64)
+        / m as f64;
+
+    // --- Rank-query cost -----------------------------------------------
+    let probes = 20_000u64;
+    let mut acc = 0usize;
+    let rank_s = time(
+        || {
+            for _ in 0..probes {
+                let key = SampleKey::new(rng.rand_oc(), 0);
+                acc += tree.count_le(&key);
+            }
+        },
+        1,
+    ) / probes as f64
+        / ((tree_size + 2) as f64).log2();
+    std::hint::black_box(acc);
+
+    MeasuredLocalCosts {
+        scan_table,
+        insert_s,
+        keygen_s,
+        quickselect_s,
+        rank_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_yields_positive_costs() {
+        let c = calibrate(true);
+        assert!(c.scan_table.iter().all(|&(_, s)| s > 0.0 && s < 1e-6));
+        assert!(c.insert_s > 0.0 && c.insert_s < 1e-4);
+        assert!(c.keygen_s > 0.0);
+        assert!(c.quickselect_s > 0.0);
+        assert!(c.rank_s > 0.0);
+    }
+
+    #[test]
+    fn scan_interpolation_monotone_in_bounds() {
+        let c = MeasuredLocalCosts {
+            scan_table: vec![(10_000, 1e-9), (1_000_000, 3e-9)],
+            insert_s: 1e-8,
+            keygen_s: 1e-8,
+            quickselect_s: 1e-8,
+            rank_s: 1e-8,
+        };
+        assert_eq!(c.scan_per_item(1_000), 1e-9);
+        assert_eq!(c.scan_per_item(10_000_000), 3e-9);
+        let mid = c.scan_per_item(100_000);
+        assert!(mid > 1e-9 && mid < 3e-9);
+        // Total scan time grows with batch size.
+        assert!(c.scan_weighted(1_000_000) > c.scan_weighted(10_000));
+    }
+}

@@ -1,0 +1,295 @@
+//! One function per paper figure/table; shared by the full-size binaries
+//! and the quick `cargo bench` target.
+
+use reservoir_comm::CostModel;
+use reservoir_core::dist::sim::SimAlgo;
+
+use crate::calibrate::MeasuredLocalCosts;
+use crate::harness::{algo_label, format_table, run_sim_experiment, sim_config, NODE_GRID};
+
+/// Grid/effort options: `quick` shrinks grids so `cargo bench` finishes in
+/// minutes; binaries run the full paper grid.
+#[derive(Clone, Debug)]
+pub struct RunOpts {
+    pub nodes: Vec<usize>,
+    /// Simulated measurement window per configuration (the paper uses 30 s).
+    pub window_s: f64,
+    /// Cap on simulated batches per window (fast configs are stationary
+    /// long before the window ends).
+    pub max_batches: u64,
+    pub quick: bool,
+}
+
+impl RunOpts {
+    pub fn full() -> Self {
+        RunOpts {
+            nodes: NODE_GRID.to_vec(),
+            window_s: 30.0,
+            max_batches: 20_000,
+            quick: false,
+        }
+    }
+
+    pub fn quick() -> Self {
+        RunOpts {
+            nodes: vec![1, 16, 256],
+            window_s: 2.0,
+            max_batches: 2_000,
+            quick: true,
+        }
+    }
+
+    /// Honour `RESERVOIR_BENCH_QUICK=1`.
+    pub fn from_env() -> Self {
+        if std::env::var_os("RESERVOIR_BENCH_QUICK").is_some() {
+            Self::quick()
+        } else {
+            Self::full()
+        }
+    }
+}
+
+const ALGOS: [SimAlgo; 3] = [
+    SimAlgo::Ours { pivots: 1 },
+    SimAlgo::Ours { pivots: 8 },
+    SimAlgo::Gather,
+];
+
+fn k_grid(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1_000, 100_000]
+    } else {
+        vec![1_000, 10_000, 100_000]
+    }
+}
+
+fn net() -> CostModel {
+    CostModel::infiniband_edr()
+}
+
+/// Figure 3: weak scaling. Per-PE batch size fixed; speedups relative to
+/// `ours` (single pivot) on 1 node for the same sample size.
+pub fn fig3_weak_scaling(costs: &MeasuredLocalCosts, opts: &RunOpts) -> String {
+    let mut out = String::new();
+    let b_grid: Vec<u64> = if opts.quick {
+        vec![100_000]
+    } else {
+        vec![1_000_000, 100_000, 10_000]
+    };
+    for b in b_grid {
+        let ks = k_grid(opts.quick);
+        // Baseline: ours (d=1) on 1 node, per sample size.
+        let mut base = Vec::new();
+        for &k in &ks {
+            let cfg = sim_config(1, k, b, SimAlgo::Ours { pivots: 1 }, 42);
+            base.push(run_sim_experiment(cfg, net(), costs.clone(), opts.window_s, opts.max_batches).throughput);
+        }
+        let mut labels = Vec::new();
+        let mut rows = Vec::new();
+        for &nodes in &opts.nodes {
+            let mut vals = Vec::new();
+            for algo in ALGOS {
+                for (ki, &k) in ks.iter().enumerate() {
+                    if rows.is_empty() {
+                        labels.push(format!("{} k={k}", algo_label(algo)));
+                    }
+                    let cfg = sim_config(nodes, k, b, algo, 42);
+                    let r = run_sim_experiment(cfg, net(), costs.clone(), opts.window_s, opts.max_batches);
+                    vals.push(r.throughput / base[ki]);
+                }
+            }
+            rows.push((nodes, vals));
+        }
+        out.push_str(&format_table(
+            &format!("Figure 3 — weak scaling, batch size b = {b} per PE (relative speedup; ideal = nodes)"),
+            &labels,
+            &rows,
+            1,
+        ));
+    }
+    out
+}
+
+/// Total batch sizes of the strong-scaling experiments (Section 6.4).
+pub fn strong_totals(quick: bool) -> Vec<u64> {
+    if quick {
+        vec![1024 * 100_000]
+    } else {
+        vec![1024 * 10_000, 1024 * 100_000, 1024 * 1_000_000]
+    }
+}
+
+/// Figure 4: strong scaling speedups (fixed global batch size).
+pub fn fig4_strong_scaling(costs: &MeasuredLocalCosts, opts: &RunOpts) -> String {
+    let mut out = String::new();
+    for &big_b in &strong_totals(opts.quick) {
+        let ks = k_grid(opts.quick);
+        let mut labels = Vec::new();
+        let mut rows: Vec<(usize, Vec<f64>)> =
+            opts.nodes.iter().map(|&n| (n, Vec::new())).collect();
+        for algo in ALGOS {
+            for &k in &ks {
+                labels.push(format!("{} k={k}", algo_label(algo)));
+                let base_cfg = sim_config(
+                    1,
+                    k,
+                    big_b / crate::harness::PES_PER_NODE as u64,
+                    SimAlgo::Ours { pivots: 1 },
+                    42,
+                );
+                let base =
+                    run_sim_experiment(base_cfg, net(), costs.clone(), opts.window_s, opts.max_batches)
+                        .per_batch_s;
+                for (ni, &nodes) in opts.nodes.iter().enumerate() {
+                    let p = nodes * crate::harness::PES_PER_NODE;
+                    let cfg = sim_config(nodes, k, big_b / p as u64, algo, 42);
+                    let r =
+                        run_sim_experiment(cfg, net(), costs.clone(), opts.window_s, opts.max_batches);
+                    rows[ni].1.push(base / r.per_batch_s);
+                }
+            }
+        }
+        out.push_str(&format_table(
+            &format!("Figure 4 — strong scaling, total batch size B = {big_b} (speedup rel. to ours on 1 node; ideal = nodes)"),
+            &labels,
+            &rows,
+            1,
+        ));
+    }
+    out
+}
+
+/// Figure 5: strong scaling, throughput per PE (items/s).
+pub fn fig5_throughput(costs: &MeasuredLocalCosts, opts: &RunOpts) -> String {
+    let mut out = String::new();
+    for &big_b in &strong_totals(opts.quick) {
+        let ks = k_grid(opts.quick);
+        let mut labels = Vec::new();
+        let mut rows: Vec<(usize, Vec<f64>)> =
+            opts.nodes.iter().map(|&n| (n, Vec::new())).collect();
+        for algo in ALGOS {
+            for &k in &ks {
+                labels.push(format!("{} k={k}", algo_label(algo)));
+                for (ni, &nodes) in opts.nodes.iter().enumerate() {
+                    let p = nodes * crate::harness::PES_PER_NODE;
+                    let cfg = sim_config(nodes, k, big_b / p as u64, algo, 42);
+                    let r =
+                        run_sim_experiment(cfg, net(), costs.clone(), opts.window_s, opts.max_batches);
+                    rows[ni].1.push(r.throughput_per_pe / 1e6);
+                }
+            }
+        }
+        out.push_str(&format_table(
+            &format!("Figure 5 — strong scaling, throughput per PE, B = {big_b} (million items/s per PE)"),
+            &labels,
+            &rows,
+            2,
+        ));
+    }
+    out
+}
+
+/// Figure 6: running-time composition, ours-8 vs gather, k = 1e5, panels
+/// for strong B2/B3 and weak b2/b3. Values are phase fractions of the
+/// *slower* algorithm's total (the paper's normalization).
+pub fn fig6_composition(costs: &MeasuredLocalCosts, opts: &RunOpts) -> String {
+    let mut out = String::new();
+    let k = 100_000;
+    let panels: Vec<(String, bool, u64)> = if opts.quick {
+        vec![("weak b2 = 1e5".into(), false, 100_000)]
+    } else {
+        vec![
+            ("strong B2 = 2^10·1e5".into(), true, 1024 * 100_000),
+            ("strong B3 = 2^10·1e6".into(), true, 1024 * 1_000_000),
+            ("weak b2 = 1e5".into(), false, 100_000),
+            ("weak b3 = 1e6".into(), false, 1_000_000),
+        ]
+    };
+    for (name, strong, size) in panels {
+        let labels: Vec<String> = [
+            "ours-8 insert",
+            "ours-8 select",
+            "ours-8 thresh",
+            "gather insert",
+            "gather gather",
+            "gather select",
+            "gather thresh",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let mut rows = Vec::new();
+        for &nodes in &opts.nodes {
+            let p = nodes * crate::harness::PES_PER_NODE;
+            let b = if strong { size / p as u64 } else { size };
+            if b == 0 {
+                continue;
+            }
+            let ours = run_sim_experiment(
+                sim_config(nodes, k, b, SimAlgo::Ours { pivots: 8 }, 42),
+                net(),
+                costs.clone(),
+                opts.window_s,
+                opts.max_batches,
+            );
+            let gather = run_sim_experiment(
+                sim_config(nodes, k, b, SimAlgo::Gather, 42),
+                net(),
+                costs.clone(),
+                opts.window_s,
+                opts.max_batches,
+            );
+            let norm = ours.phases.total().max(gather.phases.total());
+            rows.push((
+                nodes,
+                vec![
+                    ours.phases.insert / norm,
+                    ours.phases.select / norm,
+                    ours.phases.threshold / norm,
+                    gather.phases.insert / norm,
+                    gather.phases.gather / norm,
+                    gather.phases.select / norm,
+                    gather.phases.threshold / norm,
+                ],
+            ));
+        }
+        out.push_str(&format_table(
+            &format!("Figure 6 — running time composition, {name}, k = 1e5 (fractions of the slower algorithm's total)"),
+            &labels,
+            &rows,
+            3,
+        ));
+    }
+    out
+}
+
+/// Section 6.3 in-text numbers: average selection recursion depth, single
+/// vs 8 pivots, weak scaling with b = 1e6 on the largest machine.
+pub fn recursion_depth_table(costs: &MeasuredLocalCosts, opts: &RunOpts) -> String {
+    use std::fmt::Write;
+    let nodes = *opts.nodes.last().expect("nonempty grid");
+    let b = if opts.quick { 100_000 } else { 1_000_000 };
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\n### Section 6.3 — average selection recursion depth (weak scaling, {nodes} nodes, b = {b})\n"
+    );
+    let _ = writeln!(out, "| k | d=1 | d=8 | reduction | paper d=1 | paper d=8 |");
+    let _ = writeln!(out, "|---|---|---|---|---|---|");
+    let paper = [(1_000usize, 1.9, 1.1), (10_000, 4.3, 1.8), (100_000, 7.3, 2.7)];
+    for (k, p1, p8) in paper {
+        let mut depth = [0.0f64; 2];
+        for (i, d) in [1usize, 8].into_iter().enumerate() {
+            let cfg = sim_config(nodes, k, b, SimAlgo::Ours { pivots: d }, 42);
+            let r = run_sim_experiment(cfg, net(), costs.clone(), opts.window_s, opts.max_batches);
+            depth[i] = r.avg_rounds;
+        }
+        let red = if depth[1] > 0.0 { depth[0] / depth[1] } else { 0.0 };
+        let _ = writeln!(
+            out,
+            "| {k} | {:.1} | {:.1} | {red:.1}x | {p1} | {p8} |",
+            depth[0], depth[1]
+        );
+    }
+    out
+}

@@ -1,0 +1,176 @@
+//! Experiment runner and table formatting shared by the figure binaries.
+
+use reservoir_comm::CostModel;
+use reservoir_core::dist::sim::{LocalCostModel, SimAlgo, SimCluster, SimConfig};
+use reservoir_core::dist::SamplingMode;
+use reservoir_core::metrics::PhaseTimes;
+
+/// The paper's node grid (x axes of Figures 3–6); 20 PEs per node.
+pub const NODE_GRID: [usize; 5] = [1, 4, 16, 64, 256];
+
+/// PEs (MPI ranks) per node on ForHLR II.
+pub const PES_PER_NODE: usize = 20;
+
+/// Aggregated outcome of one simulated configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExperimentResult {
+    /// Mean modeled wall time per mini-batch (seconds).
+    pub per_batch_s: f64,
+    /// Mean per-batch phase decomposition.
+    pub phases: PhaseTimes,
+    /// Mean selection rounds per batch **where selection ran** (the
+    /// paper's "average recursion depth").
+    pub avg_rounds: f64,
+    /// Global items consumed per second of modeled time.
+    pub throughput: f64,
+    /// Throughput per PE (the y axis of Figure 5).
+    pub throughput_per_pe: f64,
+    /// Mini-batches completed in the window.
+    pub batches: u64,
+}
+
+/// Run one configuration the way the paper runs its experiments: for a
+/// fixed window of (simulated) wall time, "completing as many mini-batches
+/// as possible in that time" (Section 6.1), then report window averages.
+/// `max_batches` caps the simulation effort for configurations whose
+/// batches are very fast; by then the per-batch behaviour is stationary,
+/// so the average is unaffected.
+pub fn run_sim_experiment<L: LocalCostModel>(
+    cfg: SimConfig,
+    net: CostModel,
+    costs: L,
+    window_s: f64,
+    max_batches: u64,
+) -> ExperimentResult {
+    assert!(window_s > 0.0 && max_batches > 0);
+    let mut sim = SimCluster::new(cfg, net, costs);
+    let mut total = 0.0;
+    let mut phases = PhaseTimes::default();
+    let mut rounds = 0u64;
+    let mut selections = 0u64;
+    let mut batches = 0u64;
+    while total < window_s && batches < max_batches {
+        let r = sim.process_batch();
+        total += r.times.total();
+        phases.accumulate(&r.times);
+        if r.rounds > 0 {
+            rounds += r.rounds as u64;
+            selections += 1;
+        }
+        batches += 1;
+    }
+    let per_batch = total / batches as f64;
+    let items_per_batch = (cfg.p as u64 * cfg.b_per_pe) as f64;
+    let phases_avg = PhaseTimes {
+        insert: phases.insert / batches as f64,
+        select: phases.select / batches as f64,
+        threshold: phases.threshold / batches as f64,
+        gather: phases.gather / batches as f64,
+    };
+    ExperimentResult {
+        per_batch_s: per_batch,
+        phases: phases_avg,
+        avg_rounds: if selections > 0 {
+            rounds as f64 / selections as f64
+        } else {
+            0.0
+        },
+        throughput: items_per_batch / per_batch,
+        throughput_per_pe: items_per_batch / per_batch / cfg.p as f64,
+        batches,
+    }
+}
+
+/// Convenience constructor for the paper's weighted-sampling configs.
+pub fn sim_config(nodes: usize, k: usize, b_per_pe: u64, algo: SimAlgo, seed: u64) -> SimConfig {
+    SimConfig {
+        p: nodes * PES_PER_NODE,
+        k,
+        b_per_pe,
+        mode: SamplingMode::Weighted,
+        algo,
+        seed,
+    }
+}
+
+/// Human-readable algorithm label matching the paper's legends.
+pub fn algo_label(algo: SimAlgo) -> String {
+    match algo {
+        SimAlgo::Ours { pivots: 1 } => "ours".into(),
+        SimAlgo::Ours { pivots } => format!("ours-{pivots}"),
+        SimAlgo::Gather => "gather".into(),
+    }
+}
+
+/// Format a value grid as a markdown table: rows = node counts,
+/// columns = series labels.
+pub fn format_table(
+    title: &str,
+    col_labels: &[String],
+    rows: &[(usize, Vec<f64>)],
+    precision: usize,
+) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "\n### {title}\n");
+    let _ = write!(out, "| nodes |");
+    for l in col_labels {
+        let _ = write!(out, " {l} |");
+    }
+    let _ = writeln!(out);
+    let _ = write!(out, "|---|");
+    for _ in col_labels {
+        let _ = write!(out, "---|");
+    }
+    let _ = writeln!(out);
+    for (nodes, vals) in rows {
+        let _ = write!(out, "| {nodes} |");
+        for v in vals {
+            let _ = write!(out, " {v:.precision$} |");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reservoir_core::dist::sim::AnalyticLocalCosts;
+
+    #[test]
+    fn experiment_runner_produces_sane_numbers() {
+        let cfg = sim_config(1, 1_000, 10_000, SimAlgo::Ours { pivots: 1 }, 7);
+        let res = run_sim_experiment(
+            cfg,
+            CostModel::infiniband_edr(),
+            AnalyticLocalCosts::default(),
+            0.05,
+            50,
+        );
+        assert!(res.per_batch_s > 0.0);
+        assert!(res.throughput > 0.0);
+        assert!(res.throughput_per_pe * cfg.p as f64 - res.throughput < 1e-6);
+        let f = res.phases.fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(algo_label(SimAlgo::Ours { pivots: 1 }), "ours");
+        assert_eq!(algo_label(SimAlgo::Ours { pivots: 8 }), "ours-8");
+        assert_eq!(algo_label(SimAlgo::Gather), "gather");
+    }
+
+    #[test]
+    fn table_formatting() {
+        let t = format_table(
+            "demo",
+            &["a".into(), "b".into()],
+            &[(1, vec![1.0, 2.0]), (4, vec![3.0, 4.0])],
+            1,
+        );
+        assert!(t.contains("| 1 | 1.0 | 2.0 |"));
+        assert!(t.contains("### demo"));
+    }
+}

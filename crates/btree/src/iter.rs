@@ -1,0 +1,126 @@
+//! In-order iteration over the tree.
+//!
+//! The paper's B+ tree links leaves so neighbours are reachable in O(1).
+//! Safe owned-`Box` trees cannot store sibling pointers, so this iterator
+//! keeps an explicit descent stack instead: `next()` is amortized O(1) and
+//! worst-case O(log n), which matches every use the sampling algorithms make
+//! of leaf links (full scans and successor walks).
+
+use crate::node::Node;
+use crate::tree::BPlusTree;
+
+/// Borrowing in-order iterator over `(key, value)` pairs.
+pub struct Iter<'a, K: Ord + Clone, V> {
+    /// Stack of (inner node, index of the next child to visit).
+    stack: Vec<(&'a Node<K, V>, usize)>,
+    /// Current leaf and cursor within it.
+    leaf: Option<(&'a [(K, V)], usize)>,
+}
+
+impl<'a, K: Ord + Clone, V> Iter<'a, K, V> {
+    pub(crate) fn new(root: &'a Node<K, V>) -> Self {
+        let mut it = Iter {
+            stack: Vec::new(),
+            leaf: None,
+        };
+        it.descend(root);
+        it
+    }
+
+    /// Push the leftmost path from `node` and park at its first leaf.
+    fn descend(&mut self, mut node: &'a Node<K, V>) {
+        loop {
+            match node {
+                Node::Leaf(entries) => {
+                    self.leaf = Some((entries.as_slice(), 0));
+                    return;
+                }
+                Node::Inner(inner) => {
+                    self.stack.push((node, 1));
+                    node = &inner.children[0];
+                }
+            }
+        }
+    }
+
+    /// Advance to the next unvisited leaf, if any.
+    fn advance_leaf(&mut self) -> bool {
+        while let Some((node, next_child)) = self.stack.pop() {
+            let Node::Inner(inner) = node else {
+                unreachable!("stack holds inner nodes only")
+            };
+            if next_child < inner.children.len() {
+                self.stack.push((node, next_child + 1));
+                self.descend(&inner.children[next_child]);
+                return true;
+            }
+        }
+        self.leaf = None;
+        false
+    }
+}
+
+impl<'a, K: Ord + Clone, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let (entries, pos) = self.leaf?;
+            if pos < entries.len() {
+                self.leaf = Some((entries, pos + 1));
+                let (k, v) = &entries[pos];
+                return Some((k, v));
+            }
+            if !self.advance_leaf() {
+                return None;
+            }
+        }
+    }
+}
+
+/// Convenience: collect all keys of a tree (test helper used across crates).
+pub fn keys_of<K: Ord + Clone, V>(tree: &BPlusTree<K, V>) -> Vec<K> {
+    tree.iter().map(|(k, _)| k.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::BPlusTree;
+
+    #[test]
+    fn iterates_in_order_across_levels() {
+        let mut t = BPlusTree::with_degree(4);
+        for k in (0..500u64).rev() {
+            t.insert(k, ());
+        }
+        let keys: Vec<u64> = t.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, (0..500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_tree_yields_nothing() {
+        let t: BPlusTree<u64, ()> = BPlusTree::new();
+        assert_eq!(t.iter().count(), 0);
+    }
+
+    #[test]
+    fn single_entry() {
+        let mut t = BPlusTree::with_degree(4);
+        t.insert(42u64, "x");
+        let all: Vec<_> = t.iter().collect();
+        assert_eq!(all, vec![(&42, &"x")]);
+    }
+
+    #[test]
+    fn iterator_is_resumable_midway() {
+        let mut t = BPlusTree::with_degree(4);
+        for k in 0..100u64 {
+            t.insert(k, ());
+        }
+        let mut it = t.iter();
+        for _ in 0..37 {
+            it.next();
+        }
+        assert_eq!(it.next().map(|(k, _)| *k), Some(37));
+    }
+}

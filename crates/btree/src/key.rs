@@ -1,0 +1,96 @@
+//! The composite sampling key used by all reservoir algorithms.
+
+use std::cmp::Ordering;
+
+/// A reservoir key: the random variate associated with an item plus the
+/// item's globally unique id as a tiebreaker.
+///
+/// The algorithms of the paper assume keys are pairwise distinct (they are
+/// continuous random variates, so ties have probability zero — but floating
+/// point collapses that to "astronomically unlikely" rather than
+/// impossible). Including the item id in the order makes the global order
+/// total and deterministic, which the distributed selection relies on: every
+/// PE must agree on *exactly* which items rank below the threshold.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SampleKey {
+    /// The random variate (exponential for weighted sampling, uniform for
+    /// unweighted sampling). Smaller keys are "better" — the reservoir keeps
+    /// the k smallest.
+    pub key: f64,
+    /// Globally unique item identifier; breaks floating-point ties.
+    pub id: u64,
+}
+
+impl SampleKey {
+    /// Create a key. `key` must not be NaN (checked in debug builds); the
+    /// samplers never produce NaN because `rand()` is drawn from `(0, 1]`.
+    #[inline]
+    pub fn new(key: f64, id: u64) -> Self {
+        debug_assert!(!key.is_nan(), "sample keys must not be NaN");
+        Self { key, id }
+    }
+
+    /// A key smaller than every key the samplers can produce.
+    pub const MIN: SampleKey = SampleKey {
+        key: f64::NEG_INFINITY,
+        id: 0,
+    };
+
+    /// A key larger than every key the samplers can produce.
+    pub const MAX: SampleKey = SampleKey {
+        key: f64::INFINITY,
+        id: u64::MAX,
+    };
+}
+
+impl Eq for SampleKey {}
+
+impl PartialOrd for SampleKey {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SampleKey {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key
+            .total_cmp(&other.key)
+            .then_with(|| self.id.cmp(&other.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_by_key_then_id() {
+        let a = SampleKey::new(1.0, 5);
+        let b = SampleKey::new(2.0, 1);
+        let c = SampleKey::new(1.0, 6);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+        assert_eq!(a, SampleKey::new(1.0, 5));
+    }
+
+    #[test]
+    fn min_max_bracket_everything() {
+        let k = SampleKey::new(1e308, 123);
+        assert!(SampleKey::MIN < k);
+        assert!(k < SampleKey::MAX);
+        let tiny = SampleKey::new(-1e308, 0);
+        assert!(SampleKey::MIN < tiny);
+    }
+
+    #[test]
+    fn negative_zero_and_zero_are_ordered_consistently() {
+        // total_cmp puts -0.0 < +0.0; both orderings are fine as long as the
+        // order is total and deterministic.
+        let a = SampleKey::new(-0.0, 1);
+        let b = SampleKey::new(0.0, 1);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,193 @@
+//! Node representation and low-level structural helpers.
+//!
+//! Invariants (checked by `check_invariants` in tests):
+//!
+//! * a leaf holds `1..=degree` sorted, strictly increasing entries
+//!   (non-root leaves hold at least `degree/2`); an empty tree is a single
+//!   empty root leaf;
+//! * an inner node holds `2..=degree` children (non-root: at least
+//!   `degree/2`) and `children.len() - 1` separator keys, where `seps[i]`
+//!   equals the **maximum key in `children[i]`'s subtree**;
+//! * every inner node caches the total number of entries below it;
+//! * all leaves are at the same depth.
+
+pub(crate) enum Node<K, V> {
+    Leaf(Vec<(K, V)>),
+    Inner(Inner<K, V>),
+}
+
+pub(crate) struct Inner<K, V> {
+    /// `seps[i]` = max key in `children[i]`; one fewer than `children`.
+    pub seps: Vec<K>,
+    pub children: Vec<Node<K, V>>,
+    /// Total number of entries in this subtree.
+    pub size: usize,
+}
+
+impl<K: Ord + Clone, V> Node<K, V> {
+    pub fn empty_leaf() -> Self {
+        Node::Leaf(Vec::new())
+    }
+
+    /// Number of entries in the subtree rooted here. O(1).
+    pub fn size(&self) -> usize {
+        match self {
+            Node::Leaf(entries) => entries.len(),
+            Node::Inner(inner) => inner.size,
+        }
+    }
+
+    /// Height of the subtree; leaves have height 0. O(log n).
+    pub fn height(&self) -> usize {
+        match self {
+            Node::Leaf(_) => 0,
+            Node::Inner(inner) => 1 + inner.children[0].height(),
+        }
+    }
+
+    /// Maximum key in the subtree, if nonempty. O(log n).
+    pub fn max_key(&self) -> Option<&K> {
+        match self {
+            Node::Leaf(entries) => entries.last().map(|(k, _)| k),
+            Node::Inner(inner) => inner.children.last().expect("inner node has children").max_key(),
+        }
+    }
+
+    /// Minimum key in the subtree, if nonempty. O(log n).
+    pub fn min_key(&self) -> Option<&K> {
+        match self {
+            Node::Leaf(entries) => entries.first().map(|(k, _)| k),
+            Node::Inner(inner) => inner.children.first().expect("inner node has children").min_key(),
+        }
+    }
+
+    /// Collapse chains of single-child inner nodes; used after splits so the
+    /// root never has exactly one child.
+    pub fn collapse(mut self) -> Self {
+        loop {
+            match self {
+                Node::Inner(inner) if inner.children.len() == 1 => {
+                    self = inner.children.into_iter().next().expect("one child");
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+impl<K: Ord + Clone, V> Inner<K, V> {
+    /// Build an inner node from children and the separators *between* them,
+    /// recomputing the cached size.
+    pub fn from_parts(seps: Vec<K>, children: Vec<Node<K, V>>) -> Self {
+        debug_assert!(children.len() >= 2, "inner nodes need at least two children");
+        debug_assert_eq!(seps.len() + 1, children.len());
+        let size = children.iter().map(Node::size).sum();
+        Inner { seps, children, size }
+    }
+
+    /// Index of the child that may contain `k`: the first child whose
+    /// separator (subtree max) is `>= k`; keys greater than every separator
+    /// route to the last child.
+    #[inline]
+    pub fn route(&self, k: &K) -> usize {
+        self.seps.partition_point(|s| s < k)
+    }
+}
+
+/// Outcome of an operation that may split a node on the way up.
+pub(crate) enum Spill<K, V> {
+    /// The node absorbed the change.
+    None,
+    /// The node split: `sep` is the max key of the (modified) left node and
+    /// `right` is the new right sibling to insert after it.
+    Split { sep: K, right: Node<K, V> },
+}
+
+/// Split an overfull leaf in half; returns the spill for the parent.
+pub(crate) fn split_leaf<K: Ord + Clone, V>(entries: &mut Vec<(K, V)>) -> Spill<K, V> {
+    let mid = entries.len() / 2;
+    let right: Vec<(K, V)> = entries.split_off(mid);
+    let sep = entries.last().expect("left half nonempty").0.clone();
+    Spill::Split {
+        sep,
+        right: Node::Leaf(right),
+    }
+}
+
+/// Split an overfull inner node in half; returns the spill for the parent.
+pub(crate) fn split_inner<K: Ord + Clone, V>(inner: &mut Inner<K, V>) -> Spill<K, V> {
+    let mid = inner.children.len() / 2;
+    let right_children: Vec<Node<K, V>> = inner.children.split_off(mid);
+    let mut right_seps = inner.seps.split_off(mid - 1);
+    let sep = right_seps.remove(0); // separator between the two halves
+    let right = Inner::from_parts(right_seps, right_children);
+    inner.size -= right.size;
+    Spill::Split {
+        sep,
+        right: Node::Inner(right),
+    }
+}
+
+/// Recursively verify all structural invariants below `node`; returns the
+/// subtree size. Only called from `BPlusTree::check_invariants` (tests).
+pub(crate) fn check_node<K: Ord + Clone + std::fmt::Debug, V>(
+    node: &Node<K, V>,
+    degree: usize,
+    is_root: bool,
+    expected_height: usize,
+) -> usize {
+    let min_fill = degree / 2;
+    match node {
+        Node::Leaf(entries) => {
+            assert_eq!(expected_height, 0, "leaf at nonzero height");
+            if !is_root {
+                assert!(
+                    entries.len() >= min_fill,
+                    "underfull leaf: {} < {min_fill}",
+                    entries.len()
+                );
+            }
+            assert!(entries.len() <= degree, "overfull leaf: {}", entries.len());
+            for pair in entries.windows(2) {
+                assert!(pair[0].0 < pair[1].0, "leaf keys not strictly increasing");
+            }
+            entries.len()
+        }
+        Node::Inner(inner) => {
+            assert!(expected_height > 0, "inner node at leaf height");
+            if !is_root {
+                assert!(
+                    inner.children.len() >= min_fill,
+                    "underfull inner: {} < {min_fill}",
+                    inner.children.len()
+                );
+            }
+            assert!(
+                inner.children.len() >= 2 && inner.children.len() <= degree,
+                "inner child count {} out of [2, {degree}]",
+                inner.children.len()
+            );
+            assert_eq!(inner.seps.len() + 1, inner.children.len());
+            let mut total = 0;
+            for (i, child) in inner.children.iter().enumerate() {
+                total += check_node(child, degree, false, expected_height - 1);
+                let child_max = child.max_key().expect("non-root nodes are nonempty");
+                if i < inner.seps.len() {
+                    assert_eq!(
+                        &inner.seps[i], child_max,
+                        "separator {i} does not equal subtree max"
+                    );
+                }
+                if i > 0 {
+                    let child_min = child.min_key().expect("nonempty");
+                    assert!(
+                        &inner.seps[i - 1] < child_min,
+                        "child {i} keys not greater than left separator"
+                    );
+                }
+            }
+            assert_eq!(inner.size, total, "cached size incorrect");
+            total
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! Collective operations built generically on point-to-point messages.
+//!
+//! All collectives use binomial trees (the textbook MPI algorithms), so any
+//! [`Communicator`] implementation inherits the O(βℓ + α log p) cost
+//! structure the paper assumes. All-reduce and all-gather are composed as
+//! reduce-then-broadcast / gather-then-broadcast: 2⌈log₂ p⌉ rounds, which is
+//! what the cost model charges.
+//!
+//! The usual MPI contract applies: every PE of the communicator must call
+//! the same collectives in the same order.
+
+use crate::{Communicator, Message};
+
+const COLL_BIT: u64 = 1 << 63;
+
+fn coll_tag(seq: u64, phase: u64) -> u64 {
+    COLL_BIT | (seq << 3) | phase
+}
+
+/// Extension trait providing the collectives; blanket-implemented for every
+/// [`Communicator`].
+pub trait Collectives: Communicator {
+    /// Broadcast from `root`: the root passes `Some(value)`, everyone else
+    /// `None`; all PEs return the root's value.
+    fn broadcast<T: Message + Clone>(&self, root: usize, value: Option<T>) -> T {
+        let (rank, p) = (self.rank(), self.size());
+        assert!(root < p, "broadcast root {root} out of range");
+        let tag = coll_tag(self.next_collective_seq(), 0);
+        let relative = (rank + p - root) % p;
+        let mut current: Option<T> = if relative == 0 {
+            Some(value.expect("broadcast root must supply a value"))
+        } else {
+            value
+        };
+        // Receive from the parent (the PE that differs in our lowest set bit).
+        let mut mask = 1usize;
+        while mask < p {
+            if relative & mask != 0 {
+                let src = (rank + p - mask) % p;
+                current = Some(self.recv::<T>(src, tag));
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward to children in decreasing mask order.
+        let v = current.expect("broadcast value present after receive phase");
+        mask >>= 1;
+        while mask > 0 {
+            if relative + mask < p {
+                let dst = (rank + mask) % p;
+                self.send(dst, tag, v.clone());
+            }
+            mask >>= 1;
+        }
+        v
+    }
+
+    /// Reduce all PEs' values with `op` onto `root`; returns `Some(result)`
+    /// there and `None` elsewhere.
+    fn reduce<T: Message>(&self, root: usize, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
+        let (rank, p) = (self.rank(), self.size());
+        assert!(root < p, "reduce root {root} out of range");
+        let tag = coll_tag(self.next_collective_seq(), 1);
+        let relative = (rank + p - root) % p;
+        let mut acc = value;
+        let mut mask = 1usize;
+        while mask < p {
+            if relative & mask == 0 {
+                let src_rel = relative | mask;
+                if src_rel < p {
+                    let src = (src_rel + root) % p;
+                    let incoming = self.recv::<T>(src, tag);
+                    acc = op(acc, incoming);
+                }
+            } else {
+                let dst_rel = relative & !mask;
+                let dst = (dst_rel + root) % p;
+                self.send(dst, tag, acc);
+                return None;
+            }
+            mask <<= 1;
+        }
+        Some(acc)
+    }
+
+    /// All-reduce: every PE returns `op` folded over all PEs' values.
+    fn allreduce<T: Message + Clone>(&self, value: T, op: impl Fn(T, T) -> T) -> T {
+        let reduced = self.reduce(0, value, op);
+        self.broadcast(0, reduced)
+    }
+
+    /// Gather every PE's value at `root`, ordered by rank; `Some(vec)` at
+    /// the root, `None` elsewhere.
+    fn gather<T: Message>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        let (rank, p) = (self.rank(), self.size());
+        assert!(root < p, "gather root {root} out of range");
+        let tag = coll_tag(self.next_collective_seq(), 2);
+        let relative = (rank + p - root) % p;
+        let mut bucket: Vec<(u64, T)> = vec![(rank as u64, value)];
+        let mut mask = 1usize;
+        while mask < p {
+            if relative & mask == 0 {
+                let src_rel = relative | mask;
+                if src_rel < p {
+                    let src = (src_rel + root) % p;
+                    let mut incoming = self.recv::<Vec<(u64, T)>>(src, tag);
+                    bucket.append(&mut incoming);
+                }
+            } else {
+                let dst_rel = relative & !mask;
+                let dst = (dst_rel + root) % p;
+                self.send(dst, tag, bucket);
+                return None;
+            }
+            mask <<= 1;
+        }
+        bucket.sort_by_key(|(r, _)| *r);
+        Some(bucket.into_iter().map(|(_, v)| v).collect())
+    }
+
+    /// All-gather: every PE returns the rank-ordered vector of all values.
+    fn allgather<T: Message + Clone>(&self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        self.broadcast(0, gathered.map(GatheredVec))
+            .0
+    }
+
+    /// Synchronize all PEs.
+    fn barrier(&self) {
+        self.allreduce((), |_, _| ());
+    }
+
+    // --- Named helpers used throughout the samplers -----------------------
+
+    /// Sum of one `u64` over all PEs.
+    fn sum_u64(&self, x: u64) -> u64 {
+        self.allreduce(x, |a, b| a + b)
+    }
+
+    /// Elementwise sum of equal-length `u64` vectors over all PEs.
+    fn sum_u64_vec(&self, xs: Vec<u64>) -> Vec<u64> {
+        self.allreduce(xs, |mut a, b| {
+            debug_assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        })
+    }
+
+    /// Maximum of one `f64` over all PEs (NaN-free inputs assumed).
+    fn max_f64(&self, x: f64) -> f64 {
+        self.allreduce(x, f64::max)
+    }
+}
+
+impl<C: Communicator + ?Sized> Collectives for C {}
+
+/// Wrapper so `Vec<(u64, T)>` results can ride through `broadcast` (which
+/// needs `Message + Clone`) in `allgather`.
+struct GatheredVec<T>(Vec<T>);
+
+impl<T: Message> Message for GatheredVec<T> {
+    fn words(&self) -> u64 {
+        1 + self.0.iter().map(Message::words).sum::<u64>()
+    }
+}
+
+impl<T: Clone> Clone for GatheredVec<T> {
+    fn clone(&self) -> Self {
+        GatheredVec(self.0.clone())
+    }
+}

@@ -1,0 +1,92 @@
+//! Per-endpoint communication counters.
+
+use std::cell::Cell;
+
+/// A snapshot of communication performed by one PE endpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Point-to-point messages sent (collectives count their constituent
+    /// messages).
+    pub messages: u64,
+    /// Machine words sent.
+    pub words: u64,
+}
+
+impl CommStats {
+    /// Combine two snapshots (e.g., across PEs or phases).
+    pub fn merged(self, other: CommStats) -> CommStats {
+        CommStats {
+            messages: self.messages + other.messages,
+            words: self.words + other.words,
+        }
+    }
+
+    /// Difference since an earlier snapshot of the same endpoint.
+    pub fn since(self, earlier: CommStats) -> CommStats {
+        CommStats {
+            messages: self.messages - earlier.messages,
+            words: self.words - earlier.words,
+        }
+    }
+}
+
+/// Interior-mutable counters owned by an endpoint (single-threaded access:
+/// each endpoint belongs to exactly one PE thread).
+#[derive(Default)]
+pub(crate) struct StatsCell {
+    messages: Cell<u64>,
+    words: Cell<u64>,
+}
+
+impl StatsCell {
+    pub fn record(&self, messages: u64, words: u64) {
+        self.messages.set(self.messages.get() + messages);
+        self.words.set(self.words.get() + words);
+    }
+
+    pub fn snapshot(&self) -> CommStats {
+        CommStats {
+            messages: self.messages.get(),
+            words: self.words.get(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let cell = StatsCell::default();
+        cell.record(2, 10);
+        cell.record(1, 5);
+        assert_eq!(
+            cell.snapshot(),
+            CommStats {
+                messages: 3,
+                words: 15
+            }
+        );
+    }
+
+    #[test]
+    fn merged_and_since() {
+        let a = CommStats {
+            messages: 3,
+            words: 10,
+        };
+        let b = CommStats {
+            messages: 1,
+            words: 4,
+        };
+        assert_eq!(
+            a.merged(b),
+            CommStats {
+                messages: 4,
+                words: 14
+            }
+        );
+        assert_eq!(a.since(b), CommStats { messages: 2, words: 6 });
+    }
+}

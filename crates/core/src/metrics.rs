@@ -1,0 +1,94 @@
+//! Per-phase running-time accounting (paper Section 6.5).
+//!
+//! The paper decomposes each algorithm's running time into **insert**
+//! (local batch processing), **select** (distributed or sequential
+//! selection), **threshold** (the final all-reduction / broadcast of the
+//! new threshold) and — for the centralized baseline — **gather**. Both
+//! backends fill the same structure: the threaded backend from wall-clock
+//! measurements, the simulator from its cost model.
+
+/// Accumulated seconds per algorithm phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Local batch processing: jump scans and reservoir insertions.
+    pub insert: f64,
+    /// Finding the new global threshold (distributed selection, or the
+    /// root's sequential selection in the gathering baseline).
+    pub select: f64,
+    /// Distributing / agreeing on the new threshold.
+    pub threshold: f64,
+    /// Collecting candidates at the root (centralized baseline only).
+    pub gather: f64,
+}
+
+impl PhaseTimes {
+    /// Total across phases.
+    pub fn total(&self) -> f64 {
+        self.insert + self.select + self.threshold + self.gather
+    }
+
+    /// Elementwise accumulation.
+    pub fn accumulate(&mut self, other: &PhaseTimes) {
+        self.insert += other.insert;
+        self.select += other.select;
+        self.threshold += other.threshold;
+        self.gather += other.gather;
+    }
+
+    /// Fractions of the total per phase (insert, select, threshold,
+    /// gather); all zeros for an empty accumulator.
+    pub fn fractions(&self) -> [f64; 4] {
+        let t = self.total();
+        if t == 0.0 {
+            return [0.0; 4];
+        }
+        [
+            self.insert / t,
+            self.select / t,
+            self.threshold / t,
+            self.gather / t,
+        ]
+    }
+}
+
+impl std::ops::Add for PhaseTimes {
+    type Output = PhaseTimes;
+    fn add(mut self, rhs: PhaseTimes) -> PhaseTimes {
+        self.accumulate(&rhs);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_fractions() {
+        let t = PhaseTimes {
+            insert: 2.0,
+            select: 1.0,
+            threshold: 0.5,
+            gather: 0.5,
+        };
+        assert_eq!(t.total(), 4.0);
+        let f = t.fractions();
+        assert_eq!(f, [0.5, 0.25, 0.125, 0.125]);
+    }
+
+    #[test]
+    fn accumulate_adds_elementwise() {
+        let mut a = PhaseTimes::default();
+        a.accumulate(&PhaseTimes {
+            insert: 1.0,
+            ..Default::default()
+        });
+        let b = a + PhaseTimes {
+            select: 2.0,
+            ..Default::default()
+        };
+        assert_eq!(b.insert, 1.0);
+        assert_eq!(b.select, 2.0);
+        assert_eq!(PhaseTimes::default().fractions(), [0.0; 4]);
+    }
+}

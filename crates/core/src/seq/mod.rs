@@ -1,0 +1,124 @@
+//! Sequential reservoir samplers — the single-PE building blocks.
+//!
+//! Two families, each in a jump-based (fast) and a naive (reference)
+//! version:
+//!
+//! * **Weighted** (Section 4.1): items carry positive weights; the sample
+//!   is without replacement with the order-dependent inclusion law of the
+//!   exponential-clocks method. [`WeightedJumpSampler`] skips
+//!   `Exp(T)`-distributed amounts of *weight* between reservoir insertions;
+//!   [`WeightedNaiveSampler`] draws a key for every item. Both produce
+//!   identically distributed samples — a property the test-suite checks
+//!   statistically.
+//! * **Uniform** (Section 4.3): [`UniformJumpSampler`] skips
+//!   geometrically many *items* per insertion in O(1); its reference is
+//!   [`UniformNaiveSampler`].
+
+mod uniform;
+mod weighted;
+
+pub use uniform::{UniformJumpSampler, UniformNaiveSampler};
+pub use weighted::{WeightedJumpSampler, WeightedNaiveSampler};
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use reservoir_btree::SampleKey;
+
+use crate::sample::SampleItem;
+
+/// Counters describing how much work a sequential sampler performed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SeqStats {
+    /// Items offered to the sampler.
+    pub processed: u64,
+    /// Reservoir insertions performed.
+    pub inserted: u64,
+    /// Skip values drawn (jump samplers only).
+    pub jumps: u64,
+}
+
+/// Max-heap entry: the reservoir keeps the k smallest keys, so the heap is
+/// ordered by key with the *largest* (the threshold) on top.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct HeapEntry {
+    pub key: SampleKey,
+    pub weight: f64,
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key.cmp(&other.key)
+    }
+}
+
+/// Shared reservoir plumbing for the sequential samplers.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Heap {
+    entries: BinaryHeap<HeapEntry>,
+}
+
+impl Heap {
+    pub fn with_capacity(k: usize) -> Self {
+        Heap {
+            entries: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Current threshold: the largest key in the reservoir.
+    pub fn peek_key(&self) -> Option<f64> {
+        self.entries.peek().map(|e| e.key.key)
+    }
+
+    pub fn push(&mut self, key: SampleKey, weight: f64) {
+        self.entries.push(HeapEntry { key, weight });
+    }
+
+    /// Replace the largest entry with a new one and return the new
+    /// threshold key.
+    pub fn replace_max(&mut self, key: SampleKey, weight: f64) -> f64 {
+        let evicted = self.entries.pop().expect("replace_max on empty reservoir");
+        debug_assert!(key <= evicted.key, "replacement key must beat the threshold");
+        self.entries.push(HeapEntry { key, weight });
+        self.peek_key().expect("nonempty after push")
+    }
+
+    pub fn items(&self) -> Vec<SampleItem> {
+        self.entries
+            .iter()
+            .map(|e| SampleItem::from_entry(&e.key, e.weight))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_keeps_largest_on_top() {
+        let mut h = Heap::with_capacity(3);
+        h.push(SampleKey::new(0.5, 1), 1.0);
+        h.push(SampleKey::new(0.2, 2), 1.0);
+        h.push(SampleKey::new(0.9, 3), 1.0);
+        assert_eq!(h.peek_key(), Some(0.9));
+        let new_t = h.replace_max(SampleKey::new(0.1, 4), 1.0);
+        assert_eq!(new_t, 0.5);
+        assert_eq!(h.len(), 3);
+        let mut ids: Vec<u64> = h.items().iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 4]);
+    }
+}

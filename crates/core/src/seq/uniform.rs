@@ -1,0 +1,282 @@
+//! Sequential uniform (unweighted) reservoir sampling.
+//!
+//! Keys are uniform variates from `(0, 1]`; the sample is the set of items
+//! with the `k` smallest keys. The jump sampler implements the geometric
+//! jumps of Section 4.3 (after Devroye): with threshold `T`, the number of
+//! items to skip before the next insertion is
+//! `X = ⌊ln(rand())/ln(1−T)⌋` — skipping is **O(1) per jump** because no
+//! weight needs to be read, which is the crucial difference from the
+//! weighted case.
+
+use reservoir_btree::SampleKey;
+use reservoir_rng::Rng64;
+
+use super::{Heap, SeqStats};
+use crate::sample::SampleItem;
+
+/// Uniform reservoir sampler with geometric jumps (Section 4.3).
+///
+/// `process_run` consumes a run of `count` consecutive item ids in one call
+/// and touches only the O(inserted) items that actually enter — the
+/// asymptotic advantage of uniform jumps.
+#[derive(Clone, Debug)]
+pub struct UniformJumpSampler<R: Rng64> {
+    k: usize,
+    rng: R,
+    heap: Heap,
+    /// Items still to skip before the next insertion (valid once full).
+    skip: u64,
+    stats: SeqStats,
+}
+
+impl<R: Rng64> UniformJumpSampler<R> {
+    /// Reservoir of size `k ≥ 1`.
+    pub fn new(k: usize, rng: R) -> Self {
+        assert!(k >= 1, "reservoir size must be at least 1");
+        UniformJumpSampler {
+            k,
+            rng,
+            heap: Heap::with_capacity(k),
+            skip: 0,
+            stats: SeqStats::default(),
+        }
+    }
+
+    /// Offer one item; returns `true` if it entered the reservoir.
+    pub fn process(&mut self, id: u64) -> bool {
+        self.stats.processed += 1;
+        if self.heap.len() < self.k {
+            let key = self.rng.rand_oc();
+            self.heap.push(SampleKey::new(key, id), 1.0);
+            self.stats.inserted += 1;
+            if self.heap.len() == self.k {
+                self.draw_skip();
+            }
+            return true;
+        }
+        if self.skip > 0 {
+            self.skip -= 1;
+            return false;
+        }
+        self.insert_replacing(id);
+        true
+    }
+
+    /// Offer the id range `first..first+count` at once; only inserted items
+    /// cost more than O(1) amortized.
+    pub fn process_run(&mut self, first: u64, count: u64) {
+        let mut next = first;
+        let end = first + count;
+        // Growing phase item by item.
+        while self.heap.len() < self.k && next < end {
+            self.process(next);
+            next += 1;
+        }
+        while next < end {
+            let remaining = end - next;
+            if self.skip >= remaining {
+                self.skip -= remaining;
+                self.stats.processed += remaining;
+                return;
+            }
+            next += self.skip;
+            self.stats.processed += self.skip + 1;
+            self.insert_replacing(next);
+            next += 1;
+        }
+    }
+
+    fn insert_replacing(&mut self, id: u64) {
+        let t = self.heap.peek_key().expect("full reservoir");
+        // Key of the inserted item: uniform in (0, T] (paper: rand()·T).
+        let v = self.rng.rand_oc() * t;
+        self.heap.replace_max(SampleKey::new(v, id), 1.0);
+        self.stats.inserted += 1;
+        self.draw_skip();
+    }
+
+    fn draw_skip(&mut self) {
+        let t = self.heap.peek_key().expect("full reservoir");
+        self.skip = self.rng.geometric_skips(t);
+        self.stats.jumps += 1;
+    }
+
+    /// The current sample.
+    pub fn sample(&self) -> Vec<SampleItem> {
+        self.heap.items()
+    }
+
+    /// Current threshold once the reservoir is full.
+    pub fn threshold(&self) -> Option<f64> {
+        (self.heap.len() == self.k).then(|| self.heap.peek_key().expect("full"))
+    }
+
+    /// Number of items currently in the reservoir.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the reservoir is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.len() == 0
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> SeqStats {
+        self.stats
+    }
+}
+
+/// Reference sampler: a uniform key per item, keep the k smallest.
+#[derive(Clone, Debug)]
+pub struct UniformNaiveSampler<R: Rng64> {
+    k: usize,
+    rng: R,
+    heap: Heap,
+    stats: SeqStats,
+}
+
+impl<R: Rng64> UniformNaiveSampler<R> {
+    /// Reservoir of size `k ≥ 1`.
+    pub fn new(k: usize, rng: R) -> Self {
+        assert!(k >= 1, "reservoir size must be at least 1");
+        UniformNaiveSampler {
+            k,
+            rng,
+            heap: Heap::with_capacity(k),
+            stats: SeqStats::default(),
+        }
+    }
+
+    /// Offer one item; returns `true` if it entered the reservoir.
+    pub fn process(&mut self, id: u64) -> bool {
+        self.stats.processed += 1;
+        let v = self.rng.rand_oc();
+        if self.heap.len() < self.k {
+            self.heap.push(SampleKey::new(v, id), 1.0);
+            self.stats.inserted += 1;
+            return true;
+        }
+        if v < self.heap.peek_key().expect("full") {
+            self.heap.replace_max(SampleKey::new(v, id), 1.0);
+            self.stats.inserted += 1;
+            return true;
+        }
+        false
+    }
+
+    /// The current sample.
+    pub fn sample(&self) -> Vec<SampleItem> {
+        self.heap.items()
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> SeqStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reservoir_rng::default_rng;
+
+    #[test]
+    fn sample_size_and_threshold() {
+        let mut s = UniformJumpSampler::new(5, default_rng(1));
+        for i in 0..3u64 {
+            s.process(i);
+        }
+        assert_eq!(s.sample().len(), 3);
+        assert_eq!(s.threshold(), None);
+        for i in 3..1000u64 {
+            s.process(i);
+        }
+        assert_eq!(s.sample().len(), 5);
+        let t = s.threshold().expect("full");
+        assert!(t > 0.0 && t <= 1.0);
+    }
+
+    #[test]
+    fn process_run_equals_item_by_item_statistically() {
+        // Inclusion probability of any item must be k/n either way; check
+        // the last item (most sensitive to off-by-one skip handling).
+        let n = 500u64;
+        let k = 10;
+        let trials = 4000;
+        let mut hits_run = 0;
+        let mut hits_item = 0;
+        for t in 0..trials {
+            let mut a = UniformJumpSampler::new(k, default_rng(3 * t));
+            a.process_run(0, n);
+            if a.sample().iter().any(|s| s.id == n - 1) {
+                hits_run += 1;
+            }
+            let mut b = UniformJumpSampler::new(k, default_rng(3 * t + 1));
+            for i in 0..n {
+                b.process(i);
+            }
+            if b.sample().iter().any(|s| s.id == n - 1) {
+                hits_item += 1;
+            }
+        }
+        let expect = k as f64 / n as f64;
+        let fr = hits_run as f64 / trials as f64;
+        let fi = hits_item as f64 / trials as f64;
+        assert!((fr - expect).abs() < 0.01, "run inclusion {fr} vs {expect}");
+        assert!((fi - expect).abs() < 0.01, "item inclusion {fi} vs {expect}");
+    }
+
+    #[test]
+    fn inclusion_is_uniform_over_positions() {
+        // Every position should be included with probability k/n.
+        let n = 200u64;
+        let k = 20;
+        let trials = 2000u64;
+        let mut counts = vec![0u32; n as usize];
+        for t in 0..trials {
+            let mut s = UniformJumpSampler::new(k, default_rng(7 + t));
+            s.process_run(0, n);
+            for item in s.sample() {
+                counts[item.id as usize] += 1;
+            }
+        }
+        let expect = trials as f64 * k as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64 - expect).abs() < 6.0 * (expect).sqrt(),
+                "position {i}: {c} inclusions vs expected {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn jump_processes_touch_few_items() {
+        let mut s = UniformJumpSampler::new(50, default_rng(9));
+        s.process_run(0, 1_000_000);
+        let st = s.stats();
+        assert_eq!(st.processed, 1_000_000);
+        // ≈ k(1 + ln(n/k)) ≈ 50 · 10.9 ≈ 545 insertions expected.
+        assert!(st.inserted < 2_000, "inserted {}", st.inserted);
+    }
+
+    #[test]
+    fn naive_matches_jump_inclusion_rate() {
+        let n = 300u64;
+        let k = 15;
+        let trials = 2000u64;
+        let mut hits = 0u32;
+        for t in 0..trials {
+            let mut s = UniformNaiveSampler::new(k, default_rng(t));
+            for i in 0..n {
+                s.process(i);
+            }
+            if s.sample().iter().any(|x| x.id == 123) {
+                hits += 1;
+            }
+        }
+        let frac = hits as f64 / trials as f64;
+        let expect = k as f64 / n as f64;
+        assert!((frac - expect).abs() < 0.015, "{frac} vs {expect}");
+    }
+}

@@ -1,0 +1,377 @@
+//! Sequential weighted reservoir sampling.
+//!
+//! Keys are exponential variates `v_i = −ln(rand())/w_i`; the sample is the
+//! set of items with the `k` smallest keys (Section 3.1, "exponential
+//! clocks"). The jump sampler implements the adapted exponential jumps of
+//! Section 4.1: between insertions it draws the total *weight* to skip as
+//! `X = −ln(rand())/T` (an `Exp(T)` variate for threshold `T`) and only
+//! touches each skipped item's weight, never its key.
+
+use reservoir_btree::SampleKey;
+use reservoir_rng::Rng64;
+use reservoir_stream::Item;
+
+use super::{Heap, SeqStats};
+use crate::sample::SampleItem;
+
+/// Weighted reservoir sampler with exponential jumps (the paper's
+/// sequential algorithm, Section 4.1).
+#[derive(Clone, Debug)]
+pub struct WeightedJumpSampler<R: Rng64> {
+    k: usize,
+    rng: R,
+    heap: Heap,
+    /// Weight still to skip before the next insertion; valid once the
+    /// reservoir is full.
+    skip: f64,
+    stats: SeqStats,
+}
+
+impl<R: Rng64> WeightedJumpSampler<R> {
+    /// Reservoir of size `k ≥ 1`.
+    pub fn new(k: usize, rng: R) -> Self {
+        assert!(k >= 1, "reservoir size must be at least 1");
+        WeightedJumpSampler {
+            k,
+            rng,
+            heap: Heap::with_capacity(k),
+            skip: 0.0,
+            stats: SeqStats::default(),
+        }
+    }
+
+    /// Offer one item; returns `true` if it entered the reservoir.
+    pub fn process(&mut self, id: u64, weight: f64) -> bool {
+        debug_assert!(weight > 0.0, "weights must be positive");
+        self.stats.processed += 1;
+        if self.heap.len() < self.k {
+            // Growing phase: every item gets a key and enters.
+            let key = self.rng.exponential(weight);
+            self.heap.push(SampleKey::new(key, id), weight);
+            self.stats.inserted += 1;
+            if self.heap.len() == self.k {
+                self.draw_skip();
+            }
+            return true;
+        }
+        self.skip -= weight;
+        if self.skip > 0.0 {
+            return false;
+        }
+        // This item crosses the skip boundary: it enters the reservoir with
+        // a key conditioned to beat the threshold (Section 4.1).
+        let t = self.heap.peek_key().expect("full reservoir");
+        let x = (-t * weight).exp();
+        let v = -self.rng.rand_range_oc(x, 1.0).ln() / weight;
+        self.heap.replace_max(SampleKey::new(v, id), weight);
+        self.stats.inserted += 1;
+        self.draw_skip();
+        true
+    }
+
+    fn draw_skip(&mut self) {
+        let t = self.heap.peek_key().expect("full reservoir");
+        self.skip = self.rng.exponential(t);
+        self.stats.jumps += 1;
+    }
+
+    /// Offer a whole mini-batch.
+    pub fn process_batch(&mut self, items: &[Item]) {
+        for it in items {
+            self.process(it.id, it.weight);
+        }
+    }
+
+    /// The current sample (all items seen if fewer than `k`).
+    pub fn sample(&self) -> Vec<SampleItem> {
+        self.heap.items()
+    }
+
+    /// Current threshold `T` (largest key in the reservoir), once full.
+    pub fn threshold(&self) -> Option<f64> {
+        (self.heap.len() == self.k).then(|| self.heap.peek_key().expect("full"))
+    }
+
+    /// Number of items currently in the reservoir.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the reservoir is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.len() == 0
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> SeqStats {
+        self.stats
+    }
+
+    /// Merge another sampler's reservoir into this one: afterwards this
+    /// sampler holds a valid size-k weighted sample of the **union** of
+    /// both input streams (both samplers must have disjoint item ids).
+    ///
+    /// Correct because keys are independent variates: the union sample is
+    /// exactly the k smallest keys over both streams, and each reservoir
+    /// retains every item whose key could be among them. The merged skip
+    /// state is re-drawn against the new threshold (memorylessness).
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(self.k, other.k, "cannot merge reservoirs of different k");
+        for item in other.sample() {
+            if self.heap.len() < self.k {
+                self.heap.push(SampleKey::new(item.key, item.id), item.weight);
+            } else if item.key < self.heap.peek_key().expect("full") {
+                self.heap
+                    .replace_max(SampleKey::new(item.key, item.id), item.weight);
+            }
+            self.stats.inserted += 1;
+        }
+        self.stats.processed += other.stats.processed;
+        if self.heap.len() == self.k {
+            self.draw_skip();
+        }
+    }
+}
+
+/// Reference sampler: draws `v_i = −ln(rand())/w_i` for **every** item and
+/// keeps the k smallest — the plain Efraimidis–Spirakis method in its
+/// exponential-clocks form. Distribution-identical to
+/// [`WeightedJumpSampler`], an O(1)-keys-per-item baseline for tests and
+/// benchmarks.
+#[derive(Clone, Debug)]
+pub struct WeightedNaiveSampler<R: Rng64> {
+    k: usize,
+    rng: R,
+    heap: Heap,
+    stats: SeqStats,
+}
+
+impl<R: Rng64> WeightedNaiveSampler<R> {
+    /// Reservoir of size `k ≥ 1`.
+    pub fn new(k: usize, rng: R) -> Self {
+        assert!(k >= 1, "reservoir size must be at least 1");
+        WeightedNaiveSampler {
+            k,
+            rng,
+            heap: Heap::with_capacity(k),
+            stats: SeqStats::default(),
+        }
+    }
+
+    /// Offer one item; returns `true` if it entered the reservoir.
+    pub fn process(&mut self, id: u64, weight: f64) -> bool {
+        debug_assert!(weight > 0.0);
+        self.stats.processed += 1;
+        let v = self.rng.exponential(weight);
+        if self.heap.len() < self.k {
+            self.heap.push(SampleKey::new(v, id), weight);
+            self.stats.inserted += 1;
+            return true;
+        }
+        if v < self.heap.peek_key().expect("full") {
+            self.heap.replace_max(SampleKey::new(v, id), weight);
+            self.stats.inserted += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Offer a whole mini-batch.
+    pub fn process_batch(&mut self, items: &[Item]) {
+        for it in items {
+            self.process(it.id, it.weight);
+        }
+    }
+
+    /// The current sample.
+    pub fn sample(&self) -> Vec<SampleItem> {
+        self.heap.items()
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> SeqStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reservoir_rng::default_rng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn sample_size_is_min_k_n() {
+        let mut s = WeightedJumpSampler::new(10, default_rng(1));
+        for i in 0..5u64 {
+            s.process(i, 1.0);
+        }
+        assert_eq!(s.sample().len(), 5);
+        assert_eq!(s.threshold(), None);
+        for i in 5..100u64 {
+            s.process(i, 1.0);
+        }
+        assert_eq!(s.sample().len(), 10);
+        assert!(s.threshold().is_some());
+    }
+
+    #[test]
+    fn sample_ids_are_distinct_and_seen() {
+        let mut s = WeightedJumpSampler::new(20, default_rng(2));
+        for i in 0..1000u64 {
+            s.process(i, 1.0 + (i % 5) as f64);
+        }
+        let mut ids: Vec<u64> = s.sample().iter().map(|x| x.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+        assert!(ids.iter().all(|&i| i < 1000));
+    }
+
+    #[test]
+    fn threshold_is_max_key_of_sample() {
+        let mut s = WeightedJumpSampler::new(8, default_rng(3));
+        for i in 0..500u64 {
+            s.process(i, 0.5 + (i % 3) as f64);
+        }
+        let max_key = s
+            .sample()
+            .iter()
+            .map(|x| x.key)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert_eq!(s.threshold(), Some(max_key));
+    }
+
+    #[test]
+    fn jump_sampler_inserts_far_fewer_than_processed() {
+        let mut s = WeightedJumpSampler::new(100, default_rng(4));
+        for i in 0..200_000u64 {
+            s.process(i, 1.0);
+        }
+        let st = s.stats();
+        assert_eq!(st.processed, 200_000);
+        // Expected insertions ≈ k (1 + ln(n/k)) ≈ 100 · (1 + 7.6) ≈ 860.
+        assert!(
+            st.inserted < 3_000,
+            "too many insertions: {}",
+            st.inserted
+        );
+        assert!(st.inserted >= 100);
+    }
+
+    #[test]
+    fn heavier_items_are_sampled_more_often() {
+        // Item 0 has 30% of the total weight; over many runs it must appear
+        // in a k=1 sample roughly 30% of the time.
+        let trials = 4000;
+        let mut hits = 0;
+        for t in 0..trials {
+            let mut s = WeightedJumpSampler::new(1, default_rng(1000 + t));
+            s.process(0, 30.0);
+            for i in 1..71u64 {
+                s.process(i, 1.0);
+            }
+            if s.sample()[0].id == 0 {
+                hits += 1;
+            }
+        }
+        let frac = hits as f64 / trials as f64;
+        assert!((frac - 0.3).abs() < 0.03, "inclusion fraction {frac}");
+    }
+
+    /// The jump and naive samplers must produce identically distributed
+    /// samples: compare per-item inclusion frequencies over many trials.
+    #[test]
+    fn jump_matches_naive_distribution() {
+        let n = 60u64;
+        let k = 8;
+        let trials = 3000u64;
+        let weight = |i: u64| 0.5 + (i % 4) as f64;
+        let mut count_jump: HashMap<u64, u32> = HashMap::new();
+        let mut count_naive: HashMap<u64, u32> = HashMap::new();
+        for t in 0..trials {
+            let mut j = WeightedJumpSampler::new(k, default_rng(2 * t));
+            let mut v = WeightedNaiveSampler::new(k, default_rng(2 * t + 1));
+            for i in 0..n {
+                j.process(i, weight(i));
+                v.process(i, weight(i));
+            }
+            for s in j.sample() {
+                *count_jump.entry(s.id).or_default() += 1;
+            }
+            for s in v.sample() {
+                *count_naive.entry(s.id).or_default() += 1;
+            }
+        }
+        for i in 0..n {
+            let a = *count_jump.get(&i).unwrap_or(&0) as f64 / trials as f64;
+            let b = *count_naive.get(&i).unwrap_or(&0) as f64 / trials as f64;
+            assert!(
+                (a - b).abs() < 0.05,
+                "item {i}: jump inclusion {a:.3} vs naive {b:.3}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_k_rejected() {
+        let _ = WeightedJumpSampler::new(0, default_rng(0));
+    }
+
+    #[test]
+    fn merge_produces_union_sample_law() {
+        // Sampling stream A∪B directly vs sampling A and B separately and
+        // merging must give the same inclusion law. Track the heavy item.
+        let k = 6;
+        let trials = 3000u64;
+        let mut direct_hits = 0u32;
+        let mut merged_hits = 0u32;
+        for t in 0..trials {
+            let mut direct = WeightedJumpSampler::new(k, default_rng(3 * t));
+            for id in 0..80u64 {
+                direct.process(id, if id == 0 { 20.0 } else { 1.0 });
+            }
+            if direct.sample().iter().any(|s| s.id == 0) {
+                direct_hits += 1;
+            }
+            let mut a = WeightedJumpSampler::new(k, default_rng(3 * t + 1));
+            for id in 0..40u64 {
+                a.process(id, if id == 0 { 20.0 } else { 1.0 });
+            }
+            let mut b = WeightedJumpSampler::new(k, default_rng(3 * t + 2));
+            for id in 40..80u64 {
+                b.process(id, 1.0);
+            }
+            a.merge(&b);
+            assert_eq!(a.len(), k);
+            if a.sample().iter().any(|s| s.id == 0) {
+                merged_hits += 1;
+            }
+        }
+        let fd = direct_hits as f64 / trials as f64;
+        let fm = merged_hits as f64 / trials as f64;
+        assert!((fd - fm).abs() < 0.04, "direct {fd:.3} vs merged {fm:.3}");
+    }
+
+    #[test]
+    fn merge_with_partial_reservoirs() {
+        let mut a = WeightedJumpSampler::new(10, default_rng(1));
+        for id in 0..4u64 {
+            a.process(id, 1.0);
+        }
+        let mut b = WeightedJumpSampler::new(10, default_rng(2));
+        for id in 100..103u64 {
+            b.process(id, 2.0);
+        }
+        a.merge(&b);
+        assert_eq!(a.len(), 7);
+        // Merging continues to accept new items correctly.
+        for id in 200..300u64 {
+            a.process(id, 1.0);
+        }
+        assert_eq!(a.len(), 10);
+        let max_key = a.sample().iter().map(|s| s.key).fold(f64::MIN, f64::max);
+        assert_eq!(a.threshold(), Some(max_key));
+    }
+}

@@ -1,0 +1,179 @@
+//! MT19937-64 — the 64-bit Mersenne Twister of Matsumoto & Nishimura (2004).
+//!
+//! This is a from-scratch reimplementation of the reference C code
+//! (`mt19937-64.c`). The paper's implementation draws its random numbers from
+//! Intel MKL's Mersenne Twister; this module is the drop-in open substitute.
+//! The unit tests check the exact first outputs of the reference
+//! implementation for the canonical array seed, so any deviation from the
+//! published algorithm fails CI.
+
+use crate::Rng64;
+
+const NN: usize = 312;
+const MM: usize = 156;
+const MATRIX_A: u64 = 0xB502_6F5A_A966_19E9;
+/// Most significant 33 bits.
+const UM: u64 = 0xFFFF_FFFF_8000_0000;
+/// Least significant 31 bits.
+const LM: u64 = 0x7FFF_FFFF;
+
+/// The MT19937-64 generator state: 312 words plus a cursor.
+#[derive(Clone)]
+pub struct Mt19937_64 {
+    mt: [u64; NN],
+    mti: usize,
+}
+
+impl std::fmt::Debug for Mt19937_64 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mt19937_64").field("mti", &self.mti).finish_non_exhaustive()
+    }
+}
+
+impl Mt19937_64 {
+    /// Initialize from a single 64-bit seed (`init_genrand64`).
+    pub fn new(seed: u64) -> Self {
+        let mut mt = [0u64; NN];
+        mt[0] = seed;
+        for i in 1..NN {
+            mt[i] = 6364136223846793005u64
+                .wrapping_mul(mt[i - 1] ^ (mt[i - 1] >> 62))
+                .wrapping_add(i as u64);
+        }
+        Self { mt, mti: NN }
+    }
+
+    /// Initialize from an array of seeds (`init_by_array64`), as used by the
+    /// reference test vector.
+    pub fn from_seed_array(key: &[u64]) -> Self {
+        let mut gen = Self::new(19650218);
+        let mut i = 1usize;
+        let mut j = 0usize;
+        let mut k = NN.max(key.len());
+        while k > 0 {
+            gen.mt[i] = (gen.mt[i]
+                ^ (gen.mt[i - 1] ^ (gen.mt[i - 1] >> 62)).wrapping_mul(3935559000370003845))
+            .wrapping_add(key[j])
+            .wrapping_add(j as u64);
+            i += 1;
+            j += 1;
+            if i >= NN {
+                gen.mt[0] = gen.mt[NN - 1];
+                i = 1;
+            }
+            if j >= key.len() {
+                j = 0;
+            }
+            k -= 1;
+        }
+        k = NN - 1;
+        while k > 0 {
+            gen.mt[i] = (gen.mt[i]
+                ^ (gen.mt[i - 1] ^ (gen.mt[i - 1] >> 62)).wrapping_mul(2862933555777941757))
+            .wrapping_sub(i as u64);
+            i += 1;
+            if i >= NN {
+                gen.mt[0] = gen.mt[NN - 1];
+                i = 1;
+            }
+            k -= 1;
+        }
+        gen.mt[0] = 1 << 63; // MSB is 1, assuring a non-zero initial state.
+        gen.mti = NN;
+        gen
+    }
+
+    /// Regenerate the state block of `NN` words (the "twist").
+    #[cold]
+    fn twist(&mut self) {
+        for i in 0..NN - MM {
+            let x = (self.mt[i] & UM) | (self.mt[i + 1] & LM);
+            self.mt[i] = self.mt[i + MM] ^ (x >> 1) ^ if x & 1 == 1 { MATRIX_A } else { 0 };
+        }
+        for i in NN - MM..NN - 1 {
+            let x = (self.mt[i] & UM) | (self.mt[i + 1] & LM);
+            self.mt[i] =
+                self.mt[i + MM - NN] ^ (x >> 1) ^ if x & 1 == 1 { MATRIX_A } else { 0 };
+        }
+        let x = (self.mt[NN - 1] & UM) | (self.mt[0] & LM);
+        self.mt[NN - 1] = self.mt[MM - 1] ^ (x >> 1) ^ if x & 1 == 1 { MATRIX_A } else { 0 };
+        self.mti = 0;
+    }
+}
+
+impl Rng64 for Mt19937_64 {
+    fn next_u64(&mut self) -> u64 {
+        if self.mti >= NN {
+            self.twist();
+        }
+        let mut x = self.mt[self.mti];
+        self.mti += 1;
+        // Tempering.
+        x ^= (x >> 29) & 0x5555_5555_5555_5555;
+        x ^= (x << 17) & 0x71D6_7FFF_EDA6_0000;
+        x ^= (x << 37) & 0xFFF7_EEE0_0000_0000;
+        x ^= x >> 43;
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// First ten outputs of the reference `mt19937-64.c` when seeded with
+    /// `init_by_array64({0x12345, 0x23456, 0x34567, 0x45678})`.
+    const REFERENCE: [u64; 10] = [
+        7266447313870364031,
+        4946485549665804864,
+        16945909448695747420,
+        16394063075524226720,
+        4873882236456199058,
+        14877448043947020171,
+        6740343660852211943,
+        13857871200353263164,
+        5249110015610582907,
+        10205081126064480383,
+    ];
+
+    #[test]
+    fn matches_reference_vector() {
+        let mut gen = Mt19937_64::from_seed_array(&[0x12345, 0x23456, 0x34567, 0x45678]);
+        for (i, &want) in REFERENCE.iter().enumerate() {
+            let got = gen.next_u64();
+            assert_eq!(got, want, "output {i} mismatch");
+        }
+    }
+
+    #[test]
+    fn reference_vector_survives_twist_boundary() {
+        // Drain two full state blocks; the 1000th value of the reference
+        // output file is also well known: the test here checks determinism
+        // across twists rather than a published constant.
+        let mut a = Mt19937_64::from_seed_array(&[0x12345, 0x23456, 0x34567, 0x45678]);
+        let mut b = a.clone();
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn single_seed_is_deterministic_and_seed_sensitive() {
+        let mut a = Mt19937_64::new(5489);
+        let mut b = Mt19937_64::new(5489);
+        let mut c = Mt19937_64::new(5490);
+        let xs: Vec<u64> = (0..100).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..100).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..100).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn uniform_deviates_look_uniform() {
+        let mut gen = Mt19937_64::new(12345);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| gen.rand_co()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+}

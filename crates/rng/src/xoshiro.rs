@@ -1,0 +1,153 @@
+//! xoshiro256++ (Blackman & Vigna) and the SplitMix64 seeding helper.
+//!
+//! xoshiro256++ is the library's default generator: it is an order of
+//! magnitude faster than the Mersenne Twister, passes BigCrush, and has a
+//! 256-bit state that is cheap to replicate per PE. The `jump()` function
+//! provides 2¹²⁸ non-overlapping subsequences for embarrassingly parallel
+//! use, mirroring how MKL streams are split across MPI ranks in the paper's
+//! implementation.
+
+use crate::Rng64;
+
+/// One step of the SplitMix64 generator; also used as a seed mixer.
+///
+/// SplitMix64 is a fixed-increment Weyl sequence passed through a
+/// finalizer; feeding sequential integers produces well-distributed outputs,
+/// which is exactly what seed derivation needs.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The xoshiro256++ generator.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256PlusPlus {
+    s: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Seed from four raw state words. At least one must be nonzero.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro256++ state must not be all-zero");
+        Self { s }
+    }
+
+    /// Seed from a single 64-bit value by running SplitMix64, as recommended
+    /// by the generator's authors.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        // All-zero output from splitmix for 4 consecutive values is
+        // impossible, but keep the invariant explicit.
+        Self::from_state(s)
+    }
+
+    /// Advance the state by 2¹²⁸ steps, yielding a non-overlapping
+    /// subsequence. Calling `jump` r times on PE r gives independent
+    /// per-PE streams from one master seed.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] = [
+            0x180e_c6d3_3cfd_0aba,
+            0xd5a6_1266_f0c9_392c,
+            0xa958_2618_e03f_c9aa,
+            0x39ab_dc45_29b1_661c,
+        ];
+        let mut t = [0u64; 4];
+        for &jump_word in JUMP.iter() {
+            for bit in 0..64 {
+                if (jump_word >> bit) & 1 == 1 {
+                    for (ti, si) in t.iter_mut().zip(self.s.iter()) {
+                        *ti ^= si;
+                    }
+                }
+                self.next_u64();
+            }
+        }
+        self.s = t;
+    }
+}
+
+#[inline(always)]
+fn rotl(x: u64, k: u32) -> u64 {
+    x.rotate_left(k)
+}
+
+impl Rng64 for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = rotl(self.s[0].wrapping_add(self.s[3]), 23).wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = rotl(self.s[3], 45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_outputs() {
+        // Reference values produced by the canonical C implementation with
+        // state {1, 2, 3, 4}.
+        let mut g = Xoshiro256PlusPlus::from_state([1, 2, 3, 4]);
+        let expected: [u64; 6] = [
+            41943041,
+            58720359,
+            3588806011781223,
+            3591011842654386,
+            9228616714210784205,
+            9973669472204895162,
+        ];
+        for (i, &want) in expected.iter().enumerate() {
+            assert_eq!(g.next_u64(), want, "output {i}");
+        }
+    }
+
+    #[test]
+    fn splitmix_reference() {
+        // From the SplitMix64 reference: seed 0 produces these first values.
+        let mut s = 0u64;
+        assert_eq!(splitmix64(&mut s), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(splitmix64(&mut s), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(splitmix64(&mut s), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn jump_streams_do_not_overlap_prefix() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(7);
+        let mut b = a.clone();
+        b.jump();
+        let xs: Vec<u64> = (0..1000).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..1000).map(|_| b.next_u64()).collect();
+        // The prefixes of jumped streams must differ everywhere in practice.
+        assert!(xs.iter().zip(&ys).all(|(x, y)| x != y));
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn zero_state_rejected() {
+        let _ = Xoshiro256PlusPlus::from_state([0; 4]);
+    }
+
+    #[test]
+    fn seed_from_u64_differs_by_seed() {
+        let mut a = Xoshiro256PlusPlus::seed_from_u64(1);
+        let mut b = Xoshiro256PlusPlus::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,103 @@
+//! Sequential quickselect — the selection routine of the centralized
+//! gathering baseline (paper Section 4.5): the root PE selects the k
+//! smallest of the gathered candidates with a standard in-place quickselect.
+
+use reservoir_btree::SampleKey;
+use reservoir_rng::Rng64;
+
+/// Rearrange `keys` so that the element with 0-based rank `k` is at
+/// position `k`, everything before it is `<=` it and everything after is
+/// `>=` it; returns that element. Expected O(n), random pivots.
+///
+/// Panics if `keys` is empty or `k >= keys.len()`.
+pub fn kth_smallest(keys: &mut [SampleKey], k: usize, rng: &mut impl Rng64) -> SampleKey {
+    assert!(!keys.is_empty(), "kth_smallest on empty slice");
+    assert!(k < keys.len(), "rank {k} out of range for {} keys", keys.len());
+    let (mut lo, mut hi) = (0usize, keys.len());
+    loop {
+        if hi - lo <= 16 {
+            keys[lo..hi].sort_unstable();
+            return keys[k];
+        }
+        let pivot_idx = lo + rng.next_below((hi - lo) as u64) as usize;
+        let pivot = keys[pivot_idx];
+        // Dutch-national-flag three-way partition around the pivot value
+        // (keys are unique in the samplers, but duplicates must not break
+        // the baseline).
+        let mut lt = lo;
+        let mut i = lo;
+        let mut gt = hi;
+        while i < gt {
+            if keys[i] < pivot {
+                keys.swap(i, lt);
+                lt += 1;
+                i += 1;
+            } else if keys[i] > pivot {
+                gt -= 1;
+                keys.swap(i, gt);
+            } else {
+                i += 1;
+            }
+        }
+        // Now keys[lo..lt] < pivot, keys[lt..gt] == pivot, keys[gt..hi] > pivot.
+        if k < lt {
+            hi = lt;
+        } else if k < gt {
+            return pivot;
+        } else {
+            lo = gt;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reservoir_rng::default_rng;
+
+    fn keys(vals: &[f64]) -> Vec<SampleKey> {
+        vals.iter()
+            .enumerate()
+            .map(|(i, &v)| SampleKey::new(v, i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn matches_sorting_for_every_rank() {
+        let vals: Vec<f64> = (0..200).map(|i| ((i * 7919) % 200) as f64).collect();
+        let reference = {
+            let mut ks = keys(&vals);
+            ks.sort_unstable();
+            ks
+        };
+        let mut rng = default_rng(1);
+        for k in 0..vals.len() {
+            let mut ks = keys(&vals);
+            assert_eq!(kth_smallest(&mut ks, k, &mut rng), reference[k], "rank {k}");
+        }
+    }
+
+    #[test]
+    fn handles_duplicate_float_keys() {
+        // Same float key, distinct ids: the id tiebreak keeps ranks total.
+        let mut ks: Vec<SampleKey> = (0..50).map(|i| SampleKey::new(1.0, i)).collect();
+        let mut rng = default_rng(2);
+        let got = kth_smallest(&mut ks, 10, &mut rng);
+        assert_eq!(got, SampleKey::new(1.0, 10));
+    }
+
+    #[test]
+    fn single_element() {
+        let mut ks = keys(&[3.0]);
+        let mut rng = default_rng(3);
+        assert_eq!(kth_smallest(&mut ks, 0, &mut rng).key, 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rank_out_of_range_panics() {
+        let mut ks = keys(&[1.0, 2.0]);
+        let mut rng = default_rng(4);
+        let _ = kth_smallest(&mut ks, 2, &mut rng);
+    }
+}

@@ -1,0 +1,252 @@
+//! Selection for randomly distributed items (paper Section 3.3.1).
+//!
+//! When the keys are randomly distributed over the PEs — which holds for
+//! the samplers, whose keys are i.i.d. random variates — a constant number
+//! of communication rounds suffices:
+//!
+//! 1. draw a global Bernoulli sample of ≈√N keys and share it (allgather —
+//!    the paper uses the communication-efficient Algorithm P sampling; the
+//!    payload is tiny either way);
+//! 2. pick two pivots bracketing the expected position of rank `k` in the
+//!    sorted sample, with a √(s·log s) safety margin;
+//! 3. count keys at or below each pivot (one all-reduce). With high
+//!    probability the target rank falls between the pivots and only
+//!    O(√N · margin) keys lie between them; gather those and finish
+//!    exactly.
+//!
+//! If the margin misses (rare), it doubles and the procedure retries.
+
+use reservoir_btree::SampleKey;
+use reservoir_rng::Rng64;
+
+use crate::candidates::CandidateSet;
+use crate::state::SelectResult;
+
+/// Outcome of a sorted-sample selection, with diagnostics.
+#[derive(Clone, Debug)]
+pub struct SortedSampleReport {
+    pub result: SelectResult,
+    /// Size of the √N key sample that was shared.
+    pub sample_size: u64,
+    /// Number of keys gathered between the bracketing pivots.
+    pub middle_size: u64,
+    /// Attempts used (1 = the high-probability fast path).
+    pub attempts: u32,
+}
+
+/// Collect the keys of `set` lying in the open-below/closed-above interval
+/// `(lo, hi]` (`None` = unbounded) — O(m log n) via repeated `select_above`.
+fn keys_between<S: CandidateSet + ?Sized>(
+    set: &S,
+    lo: Option<&SampleKey>,
+    hi: Option<&SampleKey>,
+    out: &mut Vec<SampleKey>,
+) {
+    let below_hi = match hi {
+        Some(h) => set.count_le(h),
+        None => set.total(),
+    };
+    let at_most_lo = match lo {
+        Some(l) => set.count_le(l),
+        None => 0,
+    };
+    for r in 0..below_hi.saturating_sub(at_most_lo) {
+        if let Some(k) = set.select_above(lo, r) {
+            out.push(k);
+        }
+    }
+}
+
+/// Bernoulli-subsample a set's keys at rate `q` using geometric skips
+/// (touches only sampled keys).
+fn bernoulli_keys<S: CandidateSet + ?Sized>(
+    set: &S,
+    q: f64,
+    rng: &mut impl Rng64,
+    out: &mut Vec<SampleKey>,
+) {
+    if q >= 1.0 {
+        keys_between(set, None, None, out);
+        return;
+    }
+    let m = set.total();
+    let mut pos = 0u64;
+    let mut last: Option<SampleKey> = None;
+    loop {
+        let skip = rng.geometric_skips(q);
+        if skip >= m - pos {
+            return;
+        }
+        pos += skip;
+        // r-th smallest overall == select_above(last) with adjusted index;
+        // using absolute positions keeps this O(log n) per sampled key.
+        let key = set
+            .select_above(None, pos)
+            .expect("pos < total by construction");
+        let _ = last.take();
+        out.push(key);
+        last = Some(key);
+        pos += 1;
+        if pos >= m {
+            return;
+        }
+    }
+}
+
+/// Conductor (single-process) driver: select the key of global rank `k`
+/// over the union of `sets`, assuming randomly distributed keys.
+pub fn sorted_sample_select<S>(
+    sets: &[&S],
+    k: u64,
+    rngs: &mut [impl Rng64],
+) -> SortedSampleReport
+where
+    S: CandidateSet + ?Sized,
+{
+    assert_eq!(sets.len(), rngs.len());
+    let total: u64 = sets.iter().map(|s| s.total()).sum();
+    assert!(k >= 1 && k <= total, "rank {k} outside 1..={total}");
+    let mut margin_factor = 2.5f64;
+    let mut attempts = 0u32;
+    loop {
+        attempts += 1;
+        assert!(attempts <= 32, "sorted-sample selection failed to bracket");
+        // Step 1: shared sample. N^(2/3) balances the two gathers: the
+        // sample itself (s keys) against the middle (≈ N/√s keys).
+        let s_target = (total as f64).powf(2.0 / 3.0).ceil() as u64 + 16;
+        let q = (s_target as f64 / total as f64).min(1.0);
+        let mut sample: Vec<SampleKey> = Vec::with_capacity(2 * s_target as usize);
+        for (set, rng) in sets.iter().zip(rngs.iter_mut()) {
+            bernoulli_keys(*set, q, rng, &mut sample);
+        }
+        if sample.is_empty() {
+            margin_factor *= 2.0;
+            continue;
+        }
+        sample.sort_unstable();
+        let s = sample.len() as u64;
+        // Step 2: bracketing pivots around the expected sample position.
+        // The position of rank k in the sample has sd ≤ √s/2.
+        let j = (k as f64 * s as f64 / total as f64).round() as i64;
+        let delta = (margin_factor * (s as f64).sqrt() / 2.0).ceil() as i64 + 1;
+        let lo_idx = j - delta;
+        let hi_idx = j + delta;
+        let lo = (lo_idx >= 0).then(|| sample[(lo_idx as u64).min(s - 1) as usize]);
+        let hi = (hi_idx < s as i64).then(|| sample[hi_idx as usize]);
+        // Step 3: exact counts at the pivots.
+        let count_lo: u64 = lo
+            .map(|l| sets.iter().map(|set| set.count_le(&l)).sum())
+            .unwrap_or(0);
+        let count_hi: u64 = hi
+            .map(|h| sets.iter().map(|set| set.count_le(&h)).sum())
+            .unwrap_or(total);
+        if !(count_lo < k && k <= count_hi) {
+            margin_factor *= 2.0;
+            continue;
+        }
+        // Step 4: gather the middle and finish exactly.
+        let mut middle: Vec<SampleKey> = Vec::new();
+        for set in sets {
+            keys_between(*set, lo.as_ref(), hi.as_ref(), &mut middle);
+        }
+        middle.sort_unstable();
+        let idx = (k - count_lo - 1) as usize;
+        let threshold = middle[idx];
+        return SortedSampleReport {
+            result: SelectResult {
+                threshold,
+                rank: k,
+                rounds: attempts,
+            },
+            sample_size: s,
+            middle_size: middle.len() as u64,
+            attempts,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::SortedKeys;
+    use reservoir_rng::{default_rng, DefaultRng, Rng64};
+
+    fn random_partition(n: u64, p: usize, seed: u64) -> (Vec<SortedKeys>, Vec<SampleKey>) {
+        // Random keys randomly assigned to PEs — the 3.3.1 precondition.
+        let mut rng = default_rng(seed);
+        let mut per_pe: Vec<Vec<SampleKey>> = vec![Vec::new(); p];
+        let mut all = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let key = SampleKey::new(rng.rand_oc(), i);
+            all.push(key);
+            per_pe[rng.next_below(p as u64) as usize].push(key);
+        }
+        all.sort_unstable();
+        (per_pe.into_iter().map(SortedKeys::new).collect(), all)
+    }
+
+    #[test]
+    fn matches_oracle_across_partitions() {
+        for p in [1usize, 3, 8] {
+            let (sets, all) = random_partition(20_000, p, 5 + p as u64);
+            let refs: Vec<&SortedKeys> = sets.iter().collect();
+            let mut rngs: Vec<DefaultRng> = (0..p).map(|i| default_rng(50 + i as u64)).collect();
+            for k in [1u64, 123, 10_000, 19_999, 20_000] {
+                let rep = sorted_sample_select(&refs, k, &mut rngs);
+                assert_eq!(rep.result.threshold, all[(k - 1) as usize], "p={p} k={k}");
+                assert_eq!(rep.result.rank, k);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_usually_succeeds_first_try() {
+        let (sets, _) = random_partition(50_000, 4, 99);
+        let refs: Vec<&SortedKeys> = sets.iter().collect();
+        let mut first_try = 0;
+        for t in 0..20u64 {
+            let mut rngs: Vec<DefaultRng> = (0..4).map(|i| default_rng(t * 7 + i)).collect();
+            let rep = sorted_sample_select(&refs, 25_000, &mut rngs);
+            if rep.attempts == 1 {
+                first_try += 1;
+            }
+            // The middle gather must be far smaller than N (≈ N/√s·margin).
+            assert!(rep.middle_size < 9_000, "middle {}", rep.middle_size);
+        }
+        assert!(first_try >= 17, "fast path hit only {first_try}/20");
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        let (sets, all) = random_partition(3, 2, 1);
+        let refs: Vec<&SortedKeys> = sets.iter().collect();
+        let mut rngs = vec![default_rng(1), default_rng(2)];
+        for k in 1..=3u64 {
+            let rep = sorted_sample_select(&refs, k, &mut rngs);
+            assert_eq!(rep.result.threshold, all[(k - 1) as usize]);
+        }
+    }
+
+    #[test]
+    fn keys_between_respects_bounds() {
+        let set = SortedKeys::new((0..10).map(|i| SampleKey::new(i as f64, i)).collect());
+        let lo = SampleKey::new(2.0, 2);
+        let hi = SampleKey::new(7.0, 7);
+        let mut out = Vec::new();
+        keys_between(&set, Some(&lo), Some(&hi), &mut out);
+        let got: Vec<f64> = out.iter().map(|k| k.key).collect();
+        assert_eq!(got, vec![3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn bernoulli_keys_rate() {
+        let set = SortedKeys::new((0..100_000).map(|i| SampleKey::new(i as f64, i)).collect());
+        let mut rng = default_rng(3);
+        let mut out = Vec::new();
+        bernoulli_keys(&set, 0.01, &mut rng, &mut out);
+        let got = out.len() as f64;
+        assert!((got - 1000.0).abs() < 200.0, "sampled {got}");
+        // Sampled keys are strictly increasing (scan order).
+        assert!(out.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,211 @@
+//! Selection driver for the real message-passing backend.
+
+use reservoir_btree::SampleKey;
+use reservoir_comm::{Collectives, Communicator};
+use reservoir_rng::Rng64;
+
+use crate::candidates::CandidateSet;
+use crate::state::{SelectParams, SelectResult, SelectionState, TargetRank};
+
+type WireKey = (f64, u64);
+
+fn to_wire(k: Option<SampleKey>) -> Option<WireKey> {
+    k.map(|k| (k.key, k.id))
+}
+
+fn from_wire(w: Option<WireKey>) -> Option<SampleKey> {
+    w.map(|(key, id)| SampleKey::new(key, id))
+}
+
+fn combine_wire(
+    a: Vec<Option<WireKey>>,
+    b: Vec<Option<WireKey>>,
+    take_min: bool,
+) -> Vec<Option<WireKey>> {
+    a.into_iter()
+        .zip(b)
+        .map(|(x, y)| match (from_wire(x), from_wire(y)) {
+            (None, y) => to_wire(y),
+            (x, None) => to_wire(x),
+            (Some(x), Some(y)) => to_wire(Some(if take_min { x.min(y) } else { x.max(y) })),
+        })
+        .collect()
+}
+
+/// Find the key whose global rank (over the union of all PEs' sets) lies in
+/// `target`, using the pivot protocol of paper Section 3.3.3.
+///
+/// Must be called collectively: every PE passes its local `set`, the global
+/// key count `total` (all PEs must agree on it — it is the sum of the local
+/// set sizes, which the samplers already all-reduce), and identical
+/// `target`/`params`. All PEs return the same result.
+///
+/// Each round costs two small all-reduces: O(d) words each, O(α log p)
+/// latency.
+pub fn select_threaded<C, S>(
+    comm: &C,
+    set: &S,
+    target: TargetRank,
+    total: u64,
+    params: SelectParams,
+    rng: &mut impl Rng64,
+) -> SelectResult
+where
+    C: Communicator,
+    S: CandidateSet + ?Sized,
+{
+    let mut st = SelectionState::new(target, total, params);
+    loop {
+        assert!(
+            !st.over_budget(),
+            "distributed selection exceeded its round budget"
+        );
+        let local: Vec<Option<WireKey>> = st.propose(set, rng).into_iter().map(to_wire).collect();
+        let take_min = st.combine_is_min();
+        let combined = comm.allreduce(local, |a, b| combine_wire(a, b, take_min));
+        if !st.absorb_candidates(combined.into_iter().map(from_wire).collect()) {
+            continue; // no PE sampled a pivot this round; retry
+        }
+        let counts = comm.sum_u64_vec(st.count(set));
+        if let Some(res) = st.decide(&counts) {
+            return res;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::candidates::SortedKeys;
+    use reservoir_comm::run_threads;
+    use reservoir_rng::{default_rng, SeedSequence, StreamKind};
+
+    /// Deal `n` keys round-robin over `p` PEs and select various ranks.
+    fn harness(p: usize, n: u64, d: usize) {
+        let all: Vec<SampleKey> = (0..n)
+            .map(|i| SampleKey::new(((i * 7919) % n) as f64, i))
+            .collect();
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        for &k in &[1u64, 2, n / 3, n / 2, n - 1, n] {
+            let results = run_threads(p, |comm| {
+                let rank = comm.rank();
+                let local: Vec<SampleKey> = all
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % p == rank)
+                    .map(|(_, k)| *k)
+                    .collect();
+                let set = SortedKeys::new(local);
+                let seq = SeedSequence::new(12345);
+                let mut rng = seq.rng_for(rank, StreamKind::Selection);
+                select_threaded(
+                    &comm,
+                    &set,
+                    TargetRank::exact(k),
+                    n,
+                    SelectParams::with_pivots(d),
+                    &mut rng,
+                )
+            });
+            let expect = sorted[(k - 1) as usize];
+            for (pe, res) in results.iter().enumerate() {
+                assert_eq!(res.threshold, expect, "p={p} k={k} d={d} pe={pe}");
+                assert_eq!(res.rank, k);
+            }
+            // All PEs agree on the round count.
+            assert!(results.windows(2).all(|w| w[0].rounds == w[1].rounds));
+        }
+    }
+
+    #[test]
+    fn exact_selection_across_pe_counts() {
+        for p in [1, 2, 4, 7] {
+            harness(p, 500, 1);
+        }
+    }
+
+    #[test]
+    fn exact_selection_multi_pivot() {
+        harness(4, 1000, 8);
+    }
+
+    #[test]
+    fn skewed_distribution_across_pes() {
+        // All small keys on PE 0, all large on PE 1: adversarial placement.
+        let n = 400u64;
+        let results = run_threads(2, |comm| {
+            let rank = comm.rank();
+            let local: Vec<SampleKey> = (0..n)
+                .filter(|i| (*i < n / 2) == (rank == 0))
+                .map(|i| SampleKey::new(i as f64, i))
+                .collect();
+            let set = SortedKeys::new(local);
+            let mut rng = default_rng(99 + rank as u64);
+            select_threaded(
+                &comm,
+                &set,
+                TargetRank::exact(n / 2 + 10),
+                n,
+                SelectParams::default(),
+                &mut rng,
+            )
+        });
+        for res in &results {
+            assert_eq!(res.threshold.key, (n / 2 + 9) as f64);
+        }
+    }
+
+    #[test]
+    fn window_target_across_pes() {
+        let n = 10_000u64;
+        let results = run_threads(4, |comm| {
+            let rank = comm.rank();
+            let local: Vec<SampleKey> = (0..n)
+                .filter(|i| *i as usize % 4 == rank)
+                .map(|i| SampleKey::new(i as f64, i))
+                .collect();
+            let set = SortedKeys::new(local);
+            let mut rng = default_rng(7 + rank as u64);
+            select_threaded(
+                &comm,
+                &set,
+                TargetRank::range(4_500, 5_500),
+                n,
+                SelectParams::with_pivots(2),
+                &mut rng,
+            )
+        });
+        for res in &results {
+            assert!((4_500..=5_500).contains(&res.rank));
+            assert_eq!(res.threshold.key, (res.rank - 1) as f64);
+        }
+    }
+
+    #[test]
+    fn empty_pes_are_tolerated() {
+        // Only PE 0 holds keys.
+        let n = 100u64;
+        let results = run_threads(3, |comm| {
+            let rank = comm.rank();
+            let local: Vec<SampleKey> = if rank == 0 {
+                (0..n).map(|i| SampleKey::new(i as f64, i)).collect()
+            } else {
+                Vec::new()
+            };
+            let set = SortedKeys::new(local);
+            let mut rng = default_rng(5 + rank as u64);
+            select_threaded(
+                &comm,
+                &set,
+                TargetRank::exact(42),
+                n,
+                SelectParams::default(),
+                &mut rng,
+            )
+        });
+        for res in &results {
+            assert_eq!(res.threshold.key, 41.0);
+        }
+    }
+}

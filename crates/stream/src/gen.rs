@@ -1,0 +1,165 @@
+//! Weight distributions and id assignment.
+
+use reservoir_rng::Rng64;
+
+/// The weight distributions used across the experiments.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum WeightGen {
+    /// Uniformly random weights from `(0, max]` — the paper's main workload
+    /// uses `max = 100` (Section 6.1).
+    Uniform { max: f64 },
+    /// Every weight is `1.0`: the unweighted (uniform sampling) workload.
+    Unit,
+    /// Skewed weights: normal with mean `base + batch_scale·batch +
+    /// pe_scale·pe`, truncated below at `floor` — the paper's robustness
+    /// check ("normally distributed with the mean increasing based on the
+    /// iteration and the PE's rank").
+    SkewedNormal {
+        base: f64,
+        batch_scale: f64,
+        pe_scale: f64,
+        std_dev: f64,
+        floor: f64,
+    },
+    /// Heavy-tailed Pareto weights (scale, shape); used by the
+    /// heavy-hitter example.
+    Pareto { scale: f64, shape: f64 },
+}
+
+impl WeightGen {
+    /// The paper's default workload: uniform weights in (0, 100].
+    pub fn paper_uniform() -> Self {
+        WeightGen::Uniform { max: 100.0 }
+    }
+
+    /// The paper's skew robustness check with reasonable defaults.
+    pub fn paper_skewed() -> Self {
+        WeightGen::SkewedNormal {
+            base: 50.0,
+            batch_scale: 0.5,
+            pe_scale: 0.1,
+            std_dev: 10.0,
+            floor: 1e-3,
+        }
+    }
+
+    /// Draw one weight for PE `pe` in batch `batch`.
+    #[inline]
+    pub fn sample(&self, pe: usize, batch: u64, rng: &mut impl Rng64) -> f64 {
+        match *self {
+            WeightGen::Uniform { max } => rng.rand_oc() * max,
+            WeightGen::Unit => 1.0,
+            WeightGen::SkewedNormal {
+                base,
+                batch_scale,
+                pe_scale,
+                std_dev,
+                floor,
+            } => {
+                let mean = base + batch_scale * batch as f64 + pe_scale * pe as f64;
+                rng.normal(mean, std_dev).max(floor)
+            }
+            WeightGen::Pareto { scale, shape } => rng.pareto(scale, shape),
+        }
+    }
+}
+
+/// Collision-free global id assignment without coordination: the PE index
+/// occupies the top 20 bits, a local counter the bottom 44 — room for a
+/// million PEs and 17 trillion items each.
+#[derive(Clone, Debug)]
+pub struct IdStream {
+    base: u64,
+    next: u64,
+}
+
+const PE_SHIFT: u32 = 44;
+
+impl IdStream {
+    /// Id namespace of PE `pe`.
+    pub fn new(pe: usize) -> Self {
+        assert!((pe as u64) < (1 << (64 - PE_SHIFT)), "PE index too large");
+        IdStream {
+            base: (pe as u64) << PE_SHIFT,
+            next: 0,
+        }
+    }
+
+    /// The next id.
+    #[inline]
+    pub fn next_id(&mut self) -> u64 {
+        let id = self.base | self.next;
+        self.next += 1;
+        debug_assert!(self.next < (1 << PE_SHIFT), "id namespace exhausted");
+        id
+    }
+
+    /// Recover the owning PE from an id.
+    pub fn pe_of(id: u64) -> usize {
+        (id >> PE_SHIFT) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reservoir_rng::default_rng;
+
+    #[test]
+    fn uniform_weights_in_range() {
+        let gen = WeightGen::paper_uniform();
+        let mut rng = default_rng(1);
+        for _ in 0..10_000 {
+            let w = gen.sample(0, 0, &mut rng);
+            assert!(w > 0.0 && w <= 100.0);
+        }
+    }
+
+    #[test]
+    fn unit_weights_are_one() {
+        let mut rng = default_rng(2);
+        assert_eq!(WeightGen::Unit.sample(3, 7, &mut rng), 1.0);
+    }
+
+    #[test]
+    fn skewed_mean_grows_with_batch_and_pe() {
+        let gen = WeightGen::paper_skewed();
+        let mut rng = default_rng(3);
+        let mean = |pe: usize, batch: u64, rng: &mut _| -> f64 {
+            (0..20_000).map(|_| gen.sample(pe, batch, rng)).sum::<f64>() / 20_000.0
+        };
+        let early = mean(0, 0, &mut rng);
+        let late = mean(0, 100, &mut rng);
+        let high_pe = mean(500, 0, &mut rng);
+        assert!(late > early + 25.0, "late {late} vs early {early}");
+        assert!(high_pe > early + 25.0, "pe500 {high_pe} vs pe0 {early}");
+    }
+
+    #[test]
+    fn skewed_weights_respect_floor() {
+        let gen = WeightGen::SkewedNormal {
+            base: 0.0,
+            batch_scale: 0.0,
+            pe_scale: 0.0,
+            std_dev: 5.0,
+            floor: 1e-3,
+        };
+        let mut rng = default_rng(4);
+        for _ in 0..10_000 {
+            assert!(gen.sample(0, 0, &mut rng) >= 1e-3);
+        }
+    }
+
+    #[test]
+    fn ids_unique_across_pes() {
+        let mut a = IdStream::new(0);
+        let mut b = IdStream::new(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            assert!(seen.insert(a.next_id()));
+            assert!(seen.insert(b.next_id()));
+        }
+        assert_eq!(IdStream::pe_of(b.next_id()), 1);
+        assert_eq!(IdStream::pe_of(a.next_id()), 0);
+    }
+}

@@ -1,0 +1,45 @@
+//! The mini-batch distributed stream model (paper Section 3) and the
+//! workload generators of the evaluation (Section 6.1).
+//!
+//! Items arrive at `p` PEs as a series of mini-batches; only the current
+//! batch is in memory (the PEs cannot revisit old items — that is the whole
+//! point of reservoir sampling). Batch boundaries may be count-driven or
+//! time-driven (the discretized-streams model of Spark Streaming).
+//!
+//! * [`Item`] — a stream element: globally unique id + positive weight.
+//! * [`WeightGen`] — weight distributions: the paper's uniform (0, 100]
+//!   weights, the skewed normal weights of its robustness check (mean grows
+//!   with batch index and PE rank), heavy-tailed Pareto weights, and unit
+//!   weights for the uniform sampler.
+//! * [`StreamSource`] — a per-PE batch producer with deterministic
+//!   per-`(seed, pe)` randomness and collision-free id assignment.
+
+mod gen;
+mod source;
+
+pub use gen::{IdStream, WeightGen};
+pub use source::{StreamSource, StreamSpec};
+
+/// One stream element.
+///
+/// Ids are globally unique across PEs (see [`IdStream`]); weights are
+/// strictly positive. For unweighted (uniform) sampling use weight `1.0`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Item {
+    /// Globally unique identifier.
+    pub id: u64,
+    /// Sampling weight, `> 0`.
+    pub weight: f64,
+}
+
+impl Item {
+    /// Construct an item; weight must be positive and finite.
+    #[inline]
+    pub fn new(id: u64, weight: f64) -> Self {
+        debug_assert!(
+            weight > 0.0 && weight.is_finite(),
+            "item weight must be positive and finite, got {weight}"
+        );
+        Item { id, weight }
+    }
+}

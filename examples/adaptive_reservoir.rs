@@ -1,0 +1,75 @@
+//! Variable-size reservoirs (paper Section 4.4): when the application
+//! tolerates a sample size anywhere in `k..k̄`, the sampler can let the
+//! sample grow across batches and only occasionally run an *approximate*
+//! selection (amsSelect) — far fewer selection rounds than re-selecting an
+//! exact rank every batch.
+//!
+//! This demo runs both modes on the same stream and compares selection
+//! effort.
+//!
+//! ```text
+//! cargo run --release --example adaptive_reservoir
+//! ```
+
+use reservoir::comm::run_threads;
+use reservoir::comm::Communicator;
+use reservoir::dist::threaded::DistributedSampler;
+use reservoir::dist::DistConfig;
+use reservoir::stream::{StreamSpec, WeightGen};
+
+fn run(pes: usize, window: Option<(u64, u64)>) -> (u64, u64, Vec<u64>) {
+    let spec = StreamSpec {
+        pes,
+        batch_size: 30_000,
+        weights: WeightGen::paper_uniform(),
+        seed: 4242,
+    };
+    let results = run_threads(pes, |comm| {
+        let mut cfg = DistConfig::weighted(1_000, 4242);
+        if let Some((lo, hi)) = window {
+            cfg = cfg.with_size_window(lo, hi);
+        }
+        let mut sampler = DistributedSampler::new(&comm, cfg);
+        let mut src = spec.source_for(comm.rank());
+        let mut buf = Vec::new();
+        let mut rounds = 0u64;
+        let mut selections = 0u64;
+        let mut sizes = Vec::new();
+        for _ in 0..20 {
+            src.next_batch_into(&mut buf);
+            let rep = sampler.process_batch(&buf);
+            rounds += rep.select_rounds as u64;
+            if rep.select_rounds > 0 {
+                selections += 1;
+            }
+            sizes.push(rep.sample_size);
+        }
+        (rounds, selections, sizes)
+    });
+    results.into_iter().next().expect("PE 0")
+}
+
+fn main() {
+    let pes = 4;
+    println!("20 batches × {pes} PEs, k = 1000\n");
+
+    let (rounds_exact, sels_exact, _) = run(pes, None);
+    println!("exact-size reservoir   : {sels_exact:>2} selections, {rounds_exact:>3} total rounds");
+
+    let (rounds_window, sels_window, sizes) = run(pes, Some((900, 1_500)));
+    println!("variable-size (900..1500): {sels_window:>2} selections, {rounds_window:>3} total rounds");
+    println!("\nsample size trajectory (variable mode):");
+    print!("  ");
+    for (i, s) in sizes.iter().enumerate() {
+        print!("{s}{}", if i + 1 == sizes.len() { "\n" } else { " → " });
+        if i % 7 == 6 {
+            print!("\n  ");
+        }
+    }
+    println!(
+        "\nthe window mode ran {}x fewer selection rounds while keeping the size in [900, 1500]",
+        (rounds_exact as f64 / rounds_window.max(1) as f64).round()
+    );
+    assert!(rounds_window < rounds_exact, "lazy selection must reduce rounds");
+    assert!(sizes.iter().skip(2).all(|&s| (900..=1500).contains(&s)));
+}

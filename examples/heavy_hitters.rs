@@ -1,0 +1,97 @@
+//! Heavy hitters from a weighted sample — one of the applications the
+//! paper's introduction motivates ("maintaining the set of heavy hitters").
+//!
+//! Eight PEs observe streams of (flow, bytes) records with Pareto-like
+//! weights: a handful of flows carry most of the traffic. A weighted
+//! reservoir sample over the union, with each record weighted by its byte
+//! count, surfaces the heavy flows: the probability a flow appears in the
+//! sample grows with its share of total bytes, so counting sample
+//! membership per flow estimates the traffic ranking without storing any
+//! stream.
+//!
+//! ```text
+//! cargo run --release --example heavy_hitters
+//! ```
+
+use std::collections::HashMap;
+
+use reservoir::comm::{run_threads, Communicator};
+use reservoir::dist::threaded::DistributedSampler;
+use reservoir::dist::DistConfig;
+use reservoir::rng::{default_rng, Rng64};
+use reservoir::stream::Item;
+
+/// Synthetic flow table: flow `f` sends records whose byte counts follow a
+/// heavy-tailed law; flows 0..8 are the true heavy hitters.
+fn record(pe: usize, i: u64, rng: &mut impl Rng64) -> (u64, f64) {
+    // Zipf-ish flow popularity: low flow ids occur often...
+    let flow = (rng.pareto(1.0, 1.1) as u64).min(9_999);
+    // ...and heavy flows also send bigger packets.
+    let bytes = if flow < 8 { 8_000.0 } else { 64.0 } + rng.rand_oc() * 64.0;
+    let id = ((pe as u64) << 40) | i;
+    let _ = id;
+    (flow, bytes)
+}
+
+fn main() {
+    let pes = 8;
+    let k = 2_000;
+    let batches = 10;
+    let batch_size = 20_000u64;
+
+    // Each sampled record's id encodes its flow so PE 0 can aggregate.
+    let results = run_threads(pes, |comm| {
+        let mut sampler = DistributedSampler::new(&comm, DistConfig::weighted(k, 1234));
+        let mut rng = default_rng(5_000 + comm.rank() as u64);
+        let mut true_bytes: HashMap<u64, f64> = HashMap::new();
+        for b in 0..batches {
+            let items: Vec<Item> = (0..batch_size)
+                .map(|i| {
+                    let (flow, bytes) = record(comm.rank(), b * batch_size + i, &mut rng);
+                    *true_bytes.entry(flow).or_default() += bytes;
+                    // Encode the flow in the item id's low bits.
+                    let uid = ((comm.rank() as u64) << 48) | ((b * batch_size + i) << 14) | flow;
+                    Item::new(uid, bytes)
+                })
+                .collect();
+            sampler.process_batch(&items);
+        }
+        (sampler.gather_sample(), true_bytes)
+    });
+
+    // Aggregate ground truth over all PEs.
+    let mut truth: HashMap<u64, f64> = HashMap::new();
+    for (_, t) in &results {
+        for (flow, bytes) in t {
+            *truth.entry(*flow).or_default() += bytes;
+        }
+    }
+    let total_bytes: f64 = truth.values().sum();
+    let mut true_top: Vec<(u64, f64)> = truth.into_iter().collect();
+    true_top.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+    // Estimate heavy hitters from sample membership counts.
+    let sample = results[0].0.as_ref().expect("root gathered");
+    let mut hits: HashMap<u64, u32> = HashMap::new();
+    for item in sample {
+        *hits.entry(item.id & 0x3FFF).or_default() += 1;
+    }
+    let mut est: Vec<(u64, u32)> = hits.into_iter().collect();
+    est.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+
+    println!("true top-8 flows by bytes (of {:.1} MB total):", total_bytes / 1e6);
+    for (flow, bytes) in true_top.iter().take(8) {
+        println!("  flow {flow:>5}: {:>6.2} MB ({:.1}%)", bytes / 1e6, 100.0 * bytes / total_bytes);
+    }
+    println!("\nflows by sample membership (k = {k} weighted sample):");
+    for (flow, count) in est.iter().take(8) {
+        println!("  flow {flow:>5}: {count:>4} sample members");
+    }
+
+    // How many of the true top-8 does the sample's top-8 recover?
+    let true_set: Vec<u64> = true_top.iter().take(8).map(|(f, _)| *f).collect();
+    let est_set: Vec<u64> = est.iter().take(8).map(|(f, _)| *f).collect();
+    let recovered = est_set.iter().filter(|f| true_set.contains(f)).count();
+    println!("\nrecovered {recovered}/8 true heavy hitters in the sample's top 8");
+    assert!(recovered >= 6, "weighted sampling should surface the heavy flows");
+}

@@ -1,0 +1,72 @@
+//! Quickstart: weighted reservoir sampling, sequential and distributed.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use reservoir::comm::{run_threads, Communicator};
+use reservoir::dist::threaded::DistributedSampler;
+use reservoir::dist::DistConfig;
+use reservoir::rng::default_rng;
+use reservoir::seq::WeightedJumpSampler;
+use reservoir::stream::{StreamSpec, WeightGen};
+
+fn main() {
+    // ---------------------------------------------------------------
+    // 1. Sequential: sample 10 of a million weighted items in one pass.
+    // ---------------------------------------------------------------
+    let k = 10;
+    let mut sampler = WeightedJumpSampler::new(k, default_rng(42));
+    for id in 0..1_000_000u64 {
+        // Item weights: a few heavy hitters among light items.
+        let weight = if id % 100_000 == 0 { 10_000.0 } else { 1.0 };
+        sampler.process(id, weight);
+    }
+    println!("sequential sample (k = {k}):");
+    let mut sample = sampler.sample();
+    sample.sort_by(|a, b| a.key.total_cmp(&b.key));
+    for item in &sample {
+        println!("  id {:>7}  weight {:>7.0}  key {:.3e}", item.id, item.weight, item.key);
+    }
+    let stats = sampler.stats();
+    println!(
+        "processed {} items with only {} reservoir insertions ({} skip jumps)\n",
+        stats.processed, stats.inserted, stats.jumps
+    );
+
+    // ---------------------------------------------------------------
+    // 2. Distributed: 4 PEs (threads) sample the union of their streams.
+    // ---------------------------------------------------------------
+    let pes = 4;
+    let spec = StreamSpec {
+        pes,
+        batch_size: 50_000,
+        weights: WeightGen::paper_uniform(),
+        seed: 7,
+    };
+    let results = run_threads(pes, |comm| {
+        let mut sampler = DistributedSampler::new(&comm, DistConfig::weighted(20, 7));
+        let mut source = spec.source_for(comm.rank());
+        let mut batch = Vec::new();
+        for round in 0..5 {
+            source.next_batch_into(&mut batch);
+            let report = sampler.process_batch(&batch);
+            if comm.rank() == 0 {
+                println!(
+                    "batch {round}: sample size {}, {} selection rounds, threshold {:?}",
+                    report.sample_size,
+                    report.select_rounds,
+                    sampler.threshold().map(|t| format!("{t:.2e}")),
+                );
+            }
+        }
+        sampler.gather_sample()
+    });
+    let sample = results[0].as_ref().expect("PE 0 gathers the sample");
+    println!("\ndistributed sample of {} items over {} PEs:", sample.len(), pes);
+    for item in sample.iter().take(5) {
+        println!("  id {:#018x}  weight {:>6.2}", item.id, item.weight);
+    }
+    println!("  ... ({} more)", sample.len().saturating_sub(5));
+}

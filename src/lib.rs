@@ -1,0 +1,81 @@
+//! # reservoir — communication-efficient (weighted) reservoir sampling
+//!
+//! A Rust implementation of *Hübschle-Schneider & Sanders,
+//! "Communication-Efficient (Weighted) Reservoir Sampling"* (SPAA 2020):
+//! maintain a uniform or weighted random sample **without replacement** of
+//! size `k` over the union of data streams arriving as mini-batches at `p`
+//! processing elements — with no coordinator and only O(α log p)-latency
+//! collectives per batch.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | Layer | Crate | What it provides |
+//! |---|---|---|
+//! | [`seq`] | `reservoir-core` | sequential samplers: exponential/geometric jumps + naive references |
+//! | [`dist`] | `reservoir-core` | Algorithm 1 (threaded + simulated backends), variable-size variant, centralized gather baseline |
+//! | [`select`] | `reservoir-select` | distributed selection: single/multi-pivot, approximate (amsSelect), quickselect |
+//! | [`btree`] | `reservoir-btree` | augmented B+ tree: rank/select/split/join local reservoirs |
+//! | [`comm`] | `reservoir-comm` | Communicator trait, threaded runtime, collectives, α–β cost model |
+//! | [`stream`] | `reservoir-stream` | mini-batch model, workload generators |
+//! | [`rng`] | `reservoir-rng` | MT19937-64, xoshiro256++, exponential/geometric deviates |
+//!
+//! ## Quick start (sequential)
+//!
+//! ```
+//! use reservoir::seq::WeightedJumpSampler;
+//! use reservoir::rng::default_rng;
+//!
+//! let mut sampler = WeightedJumpSampler::new(100, default_rng(7));
+//! for id in 0..1_000_000u64 {
+//!     sampler.process(id, 1.0 + (id % 10) as f64);
+//! }
+//! assert_eq!(sampler.sample().len(), 100);
+//! ```
+//!
+//! ## Quick start (distributed, 4 PEs on threads)
+//!
+//! ```
+//! use reservoir::comm::{run_threads, Communicator};
+//! use reservoir::dist::threaded::DistributedSampler;
+//! use reservoir::dist::DistConfig;
+//! use reservoir::stream::{StreamSpec, WeightGen};
+//!
+//! let spec = StreamSpec { pes: 4, batch_size: 1000, weights: WeightGen::paper_uniform(), seed: 1 };
+//! let samples = run_threads(4, |comm| {
+//!     let mut sampler = DistributedSampler::new(&comm, DistConfig::weighted(50, 1));
+//!     let mut source = spec.source_for(comm.rank());
+//!     for _ in 0..5 {
+//!         let batch = source.next_batch();
+//!         sampler.process_batch(&batch);
+//!     }
+//!     sampler.gather_sample() // Some(sample) on PE 0
+//! });
+//! assert_eq!(samples[0].as_ref().map(Vec::len), Some(50));
+//! ```
+
+pub use reservoir_core::{dist, metrics, sample, seq, PhaseTimes, SampleItem};
+
+/// Augmented B+ tree (rank/select/split/join) — the local reservoirs.
+pub mod btree {
+    pub use reservoir_btree::*;
+}
+
+/// Message-passing substrate: Communicator, threaded runtime, cost model.
+pub mod comm {
+    pub use reservoir_comm::*;
+}
+
+/// Random number generation: MT19937-64, xoshiro256++, deviates.
+pub mod rng {
+    pub use reservoir_rng::*;
+}
+
+/// Distributed selection algorithms.
+pub mod select {
+    pub use reservoir_select::*;
+}
+
+/// Mini-batch stream model and workload generators.
+pub mod stream {
+    pub use reservoir_stream::*;
+}

@@ -1,0 +1,90 @@
+//! Property-based integration tests over the public API.
+
+use proptest::prelude::*;
+use reservoir::comm::run_threads;
+use reservoir::dist::threaded::DistributedSampler;
+use reservoir::dist::DistConfig;
+use reservoir::rng::{default_rng, Rng64};
+use reservoir::seq::{UniformJumpSampler, WeightedJumpSampler};
+use reservoir::stream::Item;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Sequential weighted sampler: for arbitrary weights and k, the sample
+    /// has min(k, n) distinct members, all seen, threshold = max key.
+    #[test]
+    fn seq_weighted_invariants(
+        weights in prop::collection::vec(1e-3f64..1e3, 1..400),
+        k in 1usize..50,
+        seed in 0u64..1000,
+    ) {
+        let mut s = WeightedJumpSampler::new(k, default_rng(seed));
+        for (i, &w) in weights.iter().enumerate() {
+            s.process(i as u64, w);
+        }
+        let sample = s.sample();
+        prop_assert_eq!(sample.len(), k.min(weights.len()));
+        let mut ids: Vec<u64> = sample.iter().map(|x| x.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), sample.len());
+        prop_assert!(ids.iter().all(|&i| (i as usize) < weights.len()));
+        if let Some(t) = s.threshold() {
+            prop_assert!(sample.iter().all(|x| x.key <= t));
+        }
+        // Weights in the sample are the original weights.
+        for x in &sample {
+            prop_assert_eq!(x.weight, weights[x.id as usize]);
+        }
+    }
+
+    /// Sequential uniform sampler via runs: same invariants, and the
+    /// processed count matches exactly.
+    #[test]
+    fn seq_uniform_run_invariants(n in 1u64..100_000, k in 1usize..64, seed in 0u64..1000) {
+        let mut s = UniformJumpSampler::new(k, default_rng(seed));
+        s.process_run(0, n);
+        prop_assert_eq!(s.stats().processed, n);
+        let sample = s.sample();
+        prop_assert_eq!(sample.len(), k.min(n as usize));
+        prop_assert!(sample.iter().all(|x| x.id < n && x.key > 0.0 && x.key <= 1.0));
+    }
+
+    /// Distributed sampler with arbitrary (small) batch plans: the union
+    /// sample always has size min(k, total items); ids unique.
+    #[test]
+    fn distributed_union_size(
+        batch_plan in prop::collection::vec(0usize..120, 1..5),
+        k in 1usize..80,
+        p in 1usize..4,
+        seed in 0u64..500,
+    ) {
+        let plan = batch_plan.clone();
+        let results = run_threads(p, move |comm| {
+            use reservoir::comm::Communicator;
+            let mut s = DistributedSampler::new(&comm, DistConfig::weighted(k, seed));
+            let mut rng = default_rng(seed ^ comm.rank() as u64);
+            let mut next_id = (comm.rank() as u64) << 32;
+            let mut total = 0u64;
+            for &b in &plan {
+                let items: Vec<Item> = (0..b)
+                    .map(|_| {
+                        next_id += 1;
+                        Item::new(next_id, 0.5 + rng.rand_oc() * 10.0)
+                    })
+                    .collect();
+                total += b as u64;
+                s.process_batch(&items);
+            }
+            (s.gather_sample(), total)
+        });
+        let total: u64 = results.iter().map(|(_, t)| t).sum::<u64>() / p as u64 * p as u64;
+        let sample = results[0].0.as_ref().expect("root");
+        prop_assert_eq!(sample.len() as u64, (k as u64).min(total));
+        let mut ids: Vec<u64> = sample.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), sample.len());
+    }
+}

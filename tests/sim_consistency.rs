@@ -1,0 +1,169 @@
+//! The cluster simulator must agree with the real threaded backend on
+//! everything observable about the *algorithm* (sample law, threshold law,
+//! selection round counts) — time attribution is the only thing it models.
+
+use reservoir::comm::{run_threads, CostModel};
+use reservoir::dist::sim::{AnalyticLocalCosts, SimAlgo, SimCluster, SimConfig};
+use reservoir::dist::threaded::DistributedSampler;
+use reservoir::dist::{DistConfig, SamplingMode};
+use reservoir::stream::{StreamSpec, WeightGen};
+
+fn sim(p: usize, k: usize, b: u64, batches: usize, seed: u64) -> (f64, f64) {
+    let cfg = SimConfig {
+        p,
+        k,
+        b_per_pe: b,
+        mode: SamplingMode::Weighted,
+        algo: SimAlgo::Ours { pivots: 1 },
+        seed,
+    };
+    let mut cluster = SimCluster::new(cfg, CostModel::infiniband_edr(), AnalyticLocalCosts::default());
+    let mut rounds = 0u64;
+    let mut selections = 0u64;
+    for _ in 0..batches {
+        let r = cluster.process_batch();
+        if r.rounds > 0 {
+            rounds += r.rounds as u64;
+            selections += 1;
+        }
+    }
+    (
+        cluster.threshold().expect("threshold established"),
+        rounds as f64 / selections.max(1) as f64,
+    )
+}
+
+fn threaded(p: usize, k: usize, b: usize, batches: usize, seed: u64) -> (f64, f64) {
+    let spec = StreamSpec {
+        pes: p,
+        batch_size: b,
+        weights: WeightGen::paper_uniform(),
+        seed,
+    };
+    let results = run_threads(p, |comm| {
+        use reservoir::comm::Communicator;
+        let mut s = DistributedSampler::new(&comm, DistConfig::weighted(k, seed));
+        let mut src = spec.source_for(comm.rank());
+        let mut buf = Vec::new();
+        let mut rounds = 0u64;
+        let mut selections = 0u64;
+        for _ in 0..batches {
+            src.next_batch_into(&mut buf);
+            let r = s.process_batch(&buf);
+            if r.select_rounds > 0 {
+                rounds += r.select_rounds as u64;
+                selections += 1;
+            }
+        }
+        (
+            s.threshold().expect("established"),
+            rounds as f64 / selections.max(1) as f64,
+        )
+    });
+    results[0]
+}
+
+/// Thresholds after the same stream length must have the same law.
+#[test]
+fn threshold_law_matches_threaded_backend() {
+    let (p, k, b, batches) = (4, 200, 2_000u64, 4);
+    let trials = 25;
+    let mut sim_mean = 0.0;
+    let mut thr_mean = 0.0;
+    for t in 0..trials {
+        sim_mean += sim(p, k, b, batches, 100 + t).0;
+        thr_mean += threaded(p, k, b as usize, batches, 100 + t).0;
+    }
+    sim_mean /= trials as f64;
+    thr_mean /= trials as f64;
+    // Theory: for weighted U(0,100] items the threshold solves
+    // n·q(t) ≈ k; both implementations must concentrate near it.
+    assert!(
+        (sim_mean - thr_mean).abs() < 0.15 * thr_mean,
+        "threshold law diverges: sim {sim_mean:.4e} vs threaded {thr_mean:.4e}"
+    );
+}
+
+/// Selection round counts (the protocol's communication behaviour) must
+/// match between the conductor-driven simulator and the real protocol.
+#[test]
+fn selection_rounds_match_threaded_backend() {
+    let (p, k, b, batches) = (4, 500, 5_000u64, 6);
+    let trials = 15;
+    let mut sim_rounds = 0.0;
+    let mut thr_rounds = 0.0;
+    for t in 0..trials {
+        sim_rounds += sim(p, k, b, batches, 300 + t).1;
+        thr_rounds += threaded(p, k, b as usize, batches, 300 + t).1;
+    }
+    sim_rounds /= trials as f64;
+    thr_rounds /= trials as f64;
+    assert!(
+        (sim_rounds - thr_rounds).abs() < 0.30 * thr_rounds.max(sim_rounds),
+        "avg selection rounds diverge: sim {sim_rounds:.2} vs threaded {thr_rounds:.2}"
+    );
+}
+
+/// The simulated thresholds must track the theoretical value k ≈ n·q(t)
+/// for the paper's uniform-weight workload.
+#[test]
+fn simulated_threshold_matches_theory() {
+    let (p, k, b) = (16, 1_000, 20_000u64);
+    let cfg = SimConfig {
+        p,
+        k,
+        b_per_pe: b,
+        mode: SamplingMode::Weighted,
+        algo: SimAlgo::Ours { pivots: 8 },
+        seed: 11,
+    };
+    let mut cluster = SimCluster::new(cfg, CostModel::infiniband_edr(), AnalyticLocalCosts::default());
+    for _ in 0..6 {
+        cluster.process_batch();
+    }
+    let n = cluster.items_seen() as f64;
+    let t = cluster.threshold().expect("established");
+    // q(t) = 1 - (1 - e^{-100t})/(100t); with t tiny, q ≈ 50t.
+    let x = 100.0 * t;
+    let q = 1.0 + (-x).exp_m1() / x;
+    let implied_k = n * q;
+    assert!(
+        (implied_k - k as f64).abs() < 0.15 * k as f64,
+        "n·q(threshold) = {implied_k:.0} should approximate k = {k}"
+    );
+}
+
+/// Gather and ours must see the same candidate stream (same seed → the
+/// simulator's workload RNG is algorithm-independent).
+#[test]
+fn sim_algorithms_share_workload_law() {
+    let mk = |algo| SimConfig {
+        p: 8,
+        k: 300,
+        b_per_pe: 5_000,
+        mode: SamplingMode::Weighted,
+        algo,
+        seed: 777,
+    };
+    let mut ours = SimCluster::new(
+        mk(SimAlgo::Ours { pivots: 1 }),
+        CostModel::infiniband_edr(),
+        AnalyticLocalCosts::default(),
+    );
+    let mut gather = SimCluster::new(
+        mk(SimAlgo::Gather),
+        CostModel::infiniband_edr(),
+        AnalyticLocalCosts::default(),
+    );
+    for _ in 0..4 {
+        ours.process_batch();
+        gather.process_batch();
+    }
+    assert_eq!(ours.sample().len(), 300);
+    assert_eq!(gather.sample().len(), 300);
+    let (to, tg) = (ours.threshold().expect("set"), gather.threshold().expect("set"));
+    assert!(
+        (to - tg).abs() < 0.5 * to.max(tg),
+        "same-seed thresholds far apart: ours {to:.3e}, gather {tg:.3e}"
+    );
+}

@@ -1,0 +1,158 @@
+//! End-to-end coverage for the uniform (unweighted) sampling mode,
+//! including the gather baseline, which the paper treats as a trivial
+//! adaptation (Section 4.3) — the tests pin down that our implementation
+//! really is distribution-correct, not just the weighted path.
+
+use reservoir::comm::run_threads;
+use reservoir::comm::Communicator;
+use reservoir::dist::gather::GatherSampler;
+use reservoir::dist::threaded::DistributedSampler;
+use reservoir::dist::DistConfig;
+use reservoir::stream::Item;
+
+fn uniform_batch(rank: usize, batch: u64, size: u64) -> Vec<Item> {
+    (0..size)
+        .map(|i| Item::new(((rank as u64) << 40) | (batch << 20) | i, 1.0))
+        .collect()
+}
+
+#[test]
+fn gather_uniform_inclusion_probability() {
+    let (p, k, per_batch, batches) = (2usize, 25, 100u64, 3u64);
+    let n = p as u64 * per_batch * batches;
+    let trials = 400;
+    let mut hits = 0u32;
+    let probe = (1u64 << 40) | (2 << 20) | 42; // PE 1, last batch
+    for t in 0..trials {
+        let results = run_threads(p, |comm| {
+            let mut s = GatherSampler::new(&comm, DistConfig::uniform(k, 40_000 + t));
+            for b in 0..batches {
+                let items = uniform_batch(comm.rank(), b, per_batch);
+                s.process_batch(&items);
+            }
+            s.sample()
+        });
+        assert_eq!(results[0].len(), k);
+        if results[0].iter().any(|s| s.id == probe) {
+            hits += 1;
+        }
+    }
+    let frac = hits as f64 / trials as f64;
+    let expect = k as f64 / n as f64;
+    assert!(
+        (frac - expect).abs() < 0.035,
+        "inclusion {frac:.3} vs k/n = {expect:.3}"
+    );
+}
+
+#[test]
+fn distributed_uniform_threshold_tracks_k_over_n() {
+    let (p, k) = (4usize, 500);
+    let results = run_threads(p, |comm| {
+        let mut s = DistributedSampler::new(&comm, DistConfig::uniform(k, 3));
+        let mut thresholds = Vec::new();
+        for b in 0..6u64 {
+            let items = uniform_batch(comm.rank(), b, 2_000);
+            s.process_batch(&items);
+            thresholds.push(s.threshold().expect("n > k after batch 1"));
+        }
+        thresholds
+    });
+    // After batch i, n = 4·2000·(i+1); threshold ≈ k/n.
+    for (i, &t) in results[0].iter().enumerate() {
+        let n = (4 * 2_000 * (i + 1)) as f64;
+        let expect = 500.0 / n;
+        assert!(
+            (t - expect).abs() < 0.4 * expect,
+            "batch {i}: threshold {t:.4e} vs k/n {expect:.4e}"
+        );
+    }
+}
+
+#[test]
+fn uniform_and_weighted_with_unit_weights_agree() {
+    // Uniform mode and weighted mode with all weights 1 have different key
+    // *distributions* (uniform vs Exp(1)) but identical sample laws.
+    let (p, k, per_batch) = (2usize, 40, 500u64);
+    let trials = 300;
+    let probe = 7u64; // an id on PE 0, batch 0
+    let mut hits = [0u32; 2];
+    for (mode_idx, uniform) in [true, false].into_iter().enumerate() {
+        for t in 0..trials {
+            let results = run_threads(p, |comm| {
+                let cfg = if uniform {
+                    DistConfig::uniform(k, 60_000 + t)
+                } else {
+                    DistConfig::weighted(k, 60_000 + t)
+                };
+                let mut s = DistributedSampler::new(&comm, cfg);
+                for b in 0..2u64 {
+                    let items = uniform_batch(comm.rank(), b, per_batch);
+                    s.process_batch(&items);
+                }
+                s.gather_sample()
+            });
+            if results[0]
+                .as_ref()
+                .expect("root")
+                .iter()
+                .any(|s| s.id == probe)
+            {
+                hits[mode_idx] += 1;
+            }
+        }
+    }
+    let f0 = hits[0] as f64 / trials as f64;
+    let f1 = hits[1] as f64 / trials as f64;
+    let expect = k as f64 / (p as u64 * per_batch * 2) as f64;
+    assert!((f0 - expect).abs() < 0.035, "uniform mode inclusion {f0}");
+    assert!((f1 - expect).abs() < 0.035, "unit-weight mode inclusion {f1}");
+}
+
+#[test]
+fn variable_batch_sizes_across_pes_and_time() {
+    // The mini-batch model allows b to differ across PEs and batches; the
+    // sampler must not care.
+    let p = 3usize;
+    let k = 60;
+    let results = run_threads(p, |comm| {
+        let mut s = DistributedSampler::new(&comm, DistConfig::uniform(k, 8));
+        let mut total = 0u64;
+        for b in 0..5u64 {
+            // PE r gets (r+1)·(b+1)·37 items in batch b.
+            let size = (comm.rank() as u64 + 1) * (b + 1) * 37;
+            total += size;
+            let items = uniform_batch(comm.rank(), b, size);
+            s.process_batch(&items);
+        }
+        (s.gather_sample(), total)
+    });
+    let n: u64 = results.iter().map(|(_, t)| t).sum();
+    let sample = results[0].0.as_ref().expect("root");
+    assert_eq!(sample.len() as u64, (k as u64).min(n));
+    let mut ids: Vec<u64> = sample.iter().map(|s| s.id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), sample.len());
+}
+
+#[test]
+fn empty_batches_are_tolerated() {
+    let p = 2usize;
+    let results = run_threads(p, |comm| {
+        let mut s = DistributedSampler::new(&comm, DistConfig::uniform(10, 5));
+        // Batch 1: only PE 0 has data. Batch 2: only PE 1. Batch 3: none.
+        for b in 0..3u64 {
+            let mine = (b as usize % 2) == comm.rank() && b < 2;
+            let items = if mine {
+                uniform_batch(comm.rank(), b, 50)
+            } else {
+                Vec::new()
+            };
+            s.process_batch(&items);
+        }
+        s.gather_sample()
+    });
+    let sample = results[0].as_ref().expect("root");
+    assert_eq!(sample.len(), 10);
+}
