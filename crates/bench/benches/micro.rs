@@ -16,9 +16,7 @@ use reservoir_btree::{BPlusTree, SampleKey};
 use reservoir_core::dist::local::LocalReservoir;
 use reservoir_core::seq::{UniformJumpSampler, WeightedJumpSampler, WeightedNaiveSampler};
 use reservoir_rng::{default_rng, Rng64};
-use reservoir_select::{
-    kth_smallest, select_conductor, SelectParams, SortedKeys, TargetRank,
-};
+use reservoir_select::{kth_smallest, select_conductor, SelectParams, SortedKeys, TargetRank};
 use reservoir_stream::Item;
 
 fn config() -> Criterion {

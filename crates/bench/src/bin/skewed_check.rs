@@ -66,7 +66,8 @@ fn main() {
         (2, 200_000, 10_000, 16)
     };
     println!("### Section 6.1 — skewed vs uniform weights (threaded backend, p = {p}, b = {b}, k = {k})\n");
-    let (u_time, u_ins, u_rounds) = mean_batch_seconds(p, b, k, batches, WeightGen::paper_uniform());
+    let (u_time, u_ins, u_rounds) =
+        mean_batch_seconds(p, b, k, batches, WeightGen::paper_uniform());
     let (s_time, s_ins, s_rounds) = mean_batch_seconds(p, b, k, batches, WeightGen::paper_skewed());
     let ratio = s_time / u_time;
     println!("| workload | s/batch | inserts/batch/PE | selection rounds/batch |");

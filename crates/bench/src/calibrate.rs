@@ -42,8 +42,8 @@ impl MeasuredLocalCosts {
             let ((a, ca), (b, cb)) = (w[0], w[1]);
             if items <= b {
                 // Interpolate linearly in log(items).
-                let f = ((items as f64).ln() - (a as f64).ln())
-                    / ((b as f64).ln() - (a as f64).ln());
+                let f =
+                    ((items as f64).ln() - (a as f64).ln()) / ((b as f64).ln() - (a as f64).ln());
                 return ca + f * (cb - ca);
             }
         }
@@ -127,8 +127,7 @@ pub fn calibrate(quick: bool) -> MeasuredLocalCosts {
     for i in 0..inserts {
         tree.insert(SampleKey::new(rng.rand_oc(), tree_size + i), 1.0);
     }
-    let insert_s =
-        start.elapsed().as_secs_f64() / inserts as f64 / ((tree_size + 2) as f64).log2();
+    let insert_s = start.elapsed().as_secs_f64() / inserts as f64 / ((tree_size + 2) as f64).log2();
 
     // --- Key generation cost ------------------------------------------
     let n = 200_000u64;

@@ -82,7 +82,10 @@ pub fn fig3_weak_scaling(costs: &MeasuredLocalCosts, opts: &RunOpts) -> String {
         let mut base = Vec::new();
         for &k in &ks {
             let cfg = sim_config(1, k, b, SimAlgo::Ours { pivots: 1 }, 42);
-            base.push(run_sim_experiment(cfg, net(), costs.clone(), opts.window_s, opts.max_batches).throughput);
+            base.push(
+                run_sim_experiment(cfg, net(), costs.clone(), opts.window_s, opts.max_batches)
+                    .throughput,
+            );
         }
         let mut labels = Vec::new();
         let mut rows = Vec::new();
@@ -94,7 +97,13 @@ pub fn fig3_weak_scaling(costs: &MeasuredLocalCosts, opts: &RunOpts) -> String {
                         labels.push(format!("{} k={k}", algo_label(algo)));
                     }
                     let cfg = sim_config(nodes, k, b, algo, 42);
-                    let r = run_sim_experiment(cfg, net(), costs.clone(), opts.window_s, opts.max_batches);
+                    let r = run_sim_experiment(
+                        cfg,
+                        net(),
+                        costs.clone(),
+                        opts.window_s,
+                        opts.max_batches,
+                    );
                     vals.push(r.throughput / base[ki]);
                 }
             }
@@ -137,14 +146,24 @@ pub fn fig4_strong_scaling(costs: &MeasuredLocalCosts, opts: &RunOpts) -> String
                     SimAlgo::Ours { pivots: 1 },
                     42,
                 );
-                let base =
-                    run_sim_experiment(base_cfg, net(), costs.clone(), opts.window_s, opts.max_batches)
-                        .per_batch_s;
+                let base = run_sim_experiment(
+                    base_cfg,
+                    net(),
+                    costs.clone(),
+                    opts.window_s,
+                    opts.max_batches,
+                )
+                .per_batch_s;
                 for (ni, &nodes) in opts.nodes.iter().enumerate() {
                     let p = nodes * crate::harness::PES_PER_NODE;
                     let cfg = sim_config(nodes, k, big_b / p as u64, algo, 42);
-                    let r =
-                        run_sim_experiment(cfg, net(), costs.clone(), opts.window_s, opts.max_batches);
+                    let r = run_sim_experiment(
+                        cfg,
+                        net(),
+                        costs.clone(),
+                        opts.window_s,
+                        opts.max_batches,
+                    );
                     rows[ni].1.push(base / r.per_batch_s);
                 }
             }
@@ -173,8 +192,13 @@ pub fn fig5_throughput(costs: &MeasuredLocalCosts, opts: &RunOpts) -> String {
                 for (ni, &nodes) in opts.nodes.iter().enumerate() {
                     let p = nodes * crate::harness::PES_PER_NODE;
                     let cfg = sim_config(nodes, k, big_b / p as u64, algo, 42);
-                    let r =
-                        run_sim_experiment(cfg, net(), costs.clone(), opts.window_s, opts.max_batches);
+                    let r = run_sim_experiment(
+                        cfg,
+                        net(),
+                        costs.clone(),
+                        opts.window_s,
+                        opts.max_batches,
+                    );
                     rows[ni].1.push(r.throughput_per_pe / 1e6);
                 }
             }
@@ -276,7 +300,11 @@ pub fn recursion_depth_table(costs: &MeasuredLocalCosts, opts: &RunOpts) -> Stri
     );
     let _ = writeln!(out, "| k | d=1 | d=8 | reduction | paper d=1 | paper d=8 |");
     let _ = writeln!(out, "|---|---|---|---|---|---|");
-    let paper = [(1_000usize, 1.9, 1.1), (10_000, 4.3, 1.8), (100_000, 7.3, 2.7)];
+    let paper = [
+        (1_000usize, 1.9, 1.1),
+        (10_000, 4.3, 1.8),
+        (100_000, 7.3, 2.7),
+    ];
     for (k, p1, p8) in paper {
         let mut depth = [0.0f64; 2];
         for (i, d) in [1usize, 8].into_iter().enumerate() {
@@ -284,7 +312,11 @@ pub fn recursion_depth_table(costs: &MeasuredLocalCosts, opts: &RunOpts) -> Stri
             let r = run_sim_experiment(cfg, net(), costs.clone(), opts.window_s, opts.max_batches);
             depth[i] = r.avg_rounds;
         }
-        let red = if depth[1] > 0.0 { depth[0] / depth[1] } else { 0.0 };
+        let red = if depth[1] > 0.0 {
+            depth[0] / depth[1]
+        } else {
+            0.0
+        };
         let _ = writeln!(
             out,
             "| {k} | {:.1} | {:.1} | {red:.1}x | {p1} | {p8} |",

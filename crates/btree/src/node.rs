@@ -49,7 +49,11 @@ impl<K: Ord + Clone, V> Node<K, V> {
     pub fn max_key(&self) -> Option<&K> {
         match self {
             Node::Leaf(entries) => entries.last().map(|(k, _)| k),
-            Node::Inner(inner) => inner.children.last().expect("inner node has children").max_key(),
+            Node::Inner(inner) => inner
+                .children
+                .last()
+                .expect("inner node has children")
+                .max_key(),
         }
     }
 
@@ -57,7 +61,11 @@ impl<K: Ord + Clone, V> Node<K, V> {
     pub fn min_key(&self) -> Option<&K> {
         match self {
             Node::Leaf(entries) => entries.first().map(|(k, _)| k),
-            Node::Inner(inner) => inner.children.first().expect("inner node has children").min_key(),
+            Node::Inner(inner) => inner
+                .children
+                .first()
+                .expect("inner node has children")
+                .min_key(),
         }
     }
 
@@ -79,10 +87,17 @@ impl<K: Ord + Clone, V> Inner<K, V> {
     /// Build an inner node from children and the separators *between* them,
     /// recomputing the cached size.
     pub fn from_parts(seps: Vec<K>, children: Vec<Node<K, V>>) -> Self {
-        debug_assert!(children.len() >= 2, "inner nodes need at least two children");
+        debug_assert!(
+            children.len() >= 2,
+            "inner nodes need at least two children"
+        );
         debug_assert_eq!(seps.len() + 1, children.len());
         let size = children.iter().map(Node::size).sum();
-        Inner { seps, children, size }
+        Inner {
+            seps,
+            children,
+            size,
+        }
     }
 
     /// Index of the child that may contain `k`: the first child whose

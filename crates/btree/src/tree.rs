@@ -32,7 +32,10 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
 
     /// Empty tree with maximum node degree `degree` (≥ [`MIN_DEGREE`]).
     pub fn with_degree(degree: usize) -> Self {
-        assert!(degree >= MIN_DEGREE, "degree {degree} < MIN_DEGREE {MIN_DEGREE}");
+        assert!(
+            degree >= MIN_DEGREE,
+            "degree {degree} < MIN_DEGREE {MIN_DEGREE}"
+        );
         BPlusTree {
             root: Node::empty_leaf(),
             degree,
@@ -278,7 +281,10 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
     /// Concatenate two trees; every key of `self` must be smaller than every
     /// key of `other` (checked in debug builds). O(log n).
     pub fn join(self, other: Self) -> Self {
-        assert_eq!(self.degree, other.degree, "cannot join trees of different degree");
+        assert_eq!(
+            self.degree, other.degree,
+            "cannot join trees of different degree"
+        );
         debug_assert!(
             self.is_empty()
                 || other.is_empty()
@@ -286,8 +292,8 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
             "join requires all left keys < all right keys"
         );
         let degree = self.degree;
-        let root = join_nodes(Some(self.root), Some(other.root), degree)
-            .unwrap_or_else(Node::empty_leaf);
+        let root =
+            join_nodes(Some(self.root), Some(other.root), degree).unwrap_or_else(Node::empty_leaf);
         BPlusTree {
             root: root.collapse(),
             degree,
@@ -334,13 +340,6 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         Iter::new(&self.root)
     }
 
-    /// Consume the tree, yielding entries in key order.
-    pub fn into_iter(self) -> impl Iterator<Item = (K, V)> {
-        let mut out = Vec::with_capacity(self.len());
-        drain_node(self.root, &mut out);
-        out.into_iter()
-    }
-
     /// Verify every structural invariant; panics on violation. Test helper.
     #[doc(hidden)]
     pub fn check_invariants(&self)
@@ -350,7 +349,6 @@ impl<K: Ord + Clone, V> BPlusTree<K, V> {
         let h = self.root.height();
         crate::node::check_node(&self.root, self.degree, true, h);
     }
-
 }
 
 impl<'a, K: Ord + Clone, V> IntoIterator for &'a BPlusTree<K, V> {
@@ -358,6 +356,17 @@ impl<'a, K: Ord + Clone, V> IntoIterator for &'a BPlusTree<K, V> {
     type IntoIter = Iter<'a, K, V>;
     fn into_iter(self) -> Iter<'a, K, V> {
         self.iter()
+    }
+}
+
+/// Consuming iteration yields owned entries in key order.
+impl<K: Ord + Clone, V> IntoIterator for BPlusTree<K, V> {
+    type Item = (K, V);
+    type IntoIter = std::vec::IntoIter<(K, V)>;
+    fn into_iter(self) -> Self::IntoIter {
+        let mut out = Vec::with_capacity(self.len());
+        drain_node(self.root, &mut out);
+        out.into_iter()
     }
 }
 
@@ -588,10 +597,7 @@ fn join_nodes<K: Ord + Clone, V>(
 /// Turn a run of sibling children (with the separators between them) into a
 /// standalone subtree root. The root may be underfull, which `join_nodes`
 /// tolerates.
-fn fragment<K: Ord + Clone, V>(
-    seps: Vec<K>,
-    mut children: Vec<Node<K, V>>,
-) -> Option<Node<K, V>> {
+fn fragment<K: Ord + Clone, V>(seps: Vec<K>, mut children: Vec<Node<K, V>>) -> Option<Node<K, V>> {
     match children.len() {
         0 => None,
         1 => Some(children.pop().expect("one child")),
@@ -599,13 +605,16 @@ fn fragment<K: Ord + Clone, V>(
     }
 }
 
+/// The two (possibly empty) halves a split produces.
+type SplitHalves<K, V> = (Option<Node<K, V>>, Option<Node<K, V>>);
+
 /// Split `node` around key `k`. Left gets keys `<= k` (inclusive) or `< k`.
 fn split_node_key<K: Ord + Clone, V>(
     node: Node<K, V>,
     k: &K,
     inclusive: bool,
     degree: usize,
-) -> (Option<Node<K, V>>, Option<Node<K, V>>) {
+) -> SplitHalves<K, V> {
     match node {
         Node::Leaf(mut entries) => {
             let idx = if inclusive {
@@ -653,7 +662,7 @@ fn split_node_rank<K: Ord + Clone, V>(
     node: Node<K, V>,
     r: usize,
     degree: usize,
-) -> (Option<Node<K, V>>, Option<Node<K, V>>) {
+) -> SplitHalves<K, V> {
     debug_assert!(r <= node.size());
     match node {
         Node::Leaf(mut entries) => {

@@ -121,8 +121,7 @@ pub trait Collectives: Communicator {
     /// All-gather: every PE returns the rank-ordered vector of all values.
     fn allgather<T: Message + Clone>(&self, value: T) -> Vec<T> {
         let gathered = self.gather(0, value);
-        self.broadcast(0, gathered.map(GatheredVec))
-            .0
+        self.broadcast(0, gathered.map(GatheredVec)).0
     }
 
     /// Synchronize all PEs.

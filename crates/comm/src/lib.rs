@@ -12,8 +12,8 @@
 //!   O(βℓ + α log p) message pattern the paper assumes (Section 3,
 //!   "Collective Communication").
 //! * [`ThreadComm`] — a real parallel runtime: one OS thread per PE,
-//!   crossbeam channels as the interconnect, typed mailboxes with tag
-//!   matching. Used by tests, examples and the real-speedup benches.
+//!   `std::sync::mpsc` channels as the interconnect, typed mailboxes with
+//!   tag matching. Used by tests, examples and the real-speedup benches.
 //! * [`CommStats`] — per-endpoint message/word/round counters, so
 //!   experiments can report exact communication volumes.
 //! * [`CostModel`] — the α–β (latency/bandwidth) model used by the cluster

@@ -87,6 +87,12 @@ mod tests {
                 words: 14
             }
         );
-        assert_eq!(a.since(b), CommStats { messages: 2, words: 6 });
+        assert_eq!(
+            a.since(b),
+            CommStats {
+                messages: 2,
+                words: 6
+            }
+        );
     }
 }

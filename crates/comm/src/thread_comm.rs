@@ -1,4 +1,4 @@
-//! The threaded message-passing runtime: one OS thread per PE, crossbeam
+//! The threaded message-passing runtime: one OS thread per PE, `std::sync::mpsc`
 //! channels as the wire.
 //!
 //! This is the "real" backend — every PE executes concurrently, every
@@ -8,8 +8,7 @@
 
 use std::any::Any;
 use std::cell::{Cell, RefCell};
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 use crate::stats::StatsCell;
 use crate::{CommStats, Communicator};
@@ -42,7 +41,7 @@ impl ThreadComm {
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }
@@ -185,7 +184,10 @@ mod tests {
                     let value = (comm.rank() == root).then_some(root as u64 * 100);
                     comm.broadcast(root, value)
                 });
-                assert!(results.iter().all(|&v| v == root as u64 * 100), "p={p} root={root}");
+                assert!(
+                    results.iter().all(|&v| v == root as u64 * 100),
+                    "p={p} root={root}"
+                );
             }
         }
     }
@@ -211,9 +213,7 @@ mod tests {
     #[test]
     fn allreduce_vector_sum() {
         let p = 6;
-        let results = run_threads(p, |comm| {
-            comm.sum_u64_vec(vec![1, comm.rank() as u64, 100])
-        });
+        let results = run_threads(p, |comm| comm.sum_u64_vec(vec![1, comm.rank() as u64, 100]));
         for r in &results {
             assert_eq!(r, &vec![p as u64, 15, 600]);
         }

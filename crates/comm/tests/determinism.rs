@@ -1,0 +1,145 @@
+//! The threaded collectives must be **deterministic** — identical results
+//! across repeated runs with the same inputs, regardless of thread
+//! scheduling — and their communication volume must match the binomial-tree
+//! O(α log p + βℓ) structure exactly.
+
+use reservoir_comm::{run_threads, Collectives, CommStats, Communicator, CostModel};
+
+/// A deterministic per-rank value for seeding collective inputs.
+fn value_for(rank: usize, seed: u64) -> u64 {
+    (rank as u64 + 1)
+        .wrapping_mul(seed | 1)
+        .rotate_left(rank as u32)
+}
+
+/// Per-PE outcome of one scripted collective sequence.
+type RunOutcome = (u64, Option<u64>, Vec<u64>, Vec<u64>);
+
+#[test]
+fn collectives_are_deterministic_across_repeated_runs() {
+    for p in [1usize, 2, 3, 5, 8] {
+        let run = |seed: u64| -> Vec<RunOutcome> {
+            run_threads(p, |comm| {
+                let mine = value_for(comm.rank(), seed);
+                let bcast = comm.broadcast(p - 1, (comm.rank() == p - 1).then_some(mine));
+                let reduced = comm.reduce(0, mine, |a, b| a.wrapping_add(b));
+                let gathered = comm.allgather(mine);
+                let summed = comm.sum_u64_vec(vec![mine, comm.rank() as u64, 7]);
+                (bcast, reduced, gathered, summed)
+            })
+        };
+        for seed in [1u64, 99, 12345] {
+            let a = run(seed);
+            let b = run(seed);
+            let c = run(seed);
+            assert_eq!(a, b, "p={p} seed={seed}: repeated run diverged");
+            assert_eq!(a, c, "p={p} seed={seed}: third run diverged");
+            // And the results are what the collectives promise.
+            let expect_sum = (0..p).fold(0u64, |acc, r| acc.wrapping_add(value_for(r, seed)));
+            assert!(a.iter().all(|(bc, _, _, _)| *bc == value_for(p - 1, seed)));
+            assert_eq!(a[0].1, Some(expect_sum));
+            assert!(a[1..].iter().all(|(_, red, _, _)| red.is_none()));
+            let expect_gather: Vec<u64> = (0..p).map(|r| value_for(r, seed)).collect();
+            assert!(a.iter().all(|(_, _, g, _)| g == &expect_gather));
+        }
+    }
+}
+
+/// Total words over all endpoints of one binomial-tree broadcast or
+/// reduction of an `ℓ`-word payload: every non-root node receives the
+/// payload exactly once, so `(p − 1) · ℓ` words in `p − 1` messages.
+fn stats_for<F>(p: usize, f: F) -> CommStats
+where
+    F: Fn(&reservoir_comm::ThreadComm) + Sync,
+{
+    run_threads(p, |comm| {
+        f(&comm);
+        comm.stats()
+    })
+    .into_iter()
+    .fold(CommStats::default(), CommStats::merged)
+}
+
+#[test]
+fn broadcast_words_match_binomial_tree_expectation() {
+    for p in [2usize, 3, 4, 7, 8, 16] {
+        for payload_len in [1usize, 10, 100] {
+            let stats = stats_for(p, |comm| {
+                let v = (comm.rank() == 0).then(|| vec![7u64; payload_len]);
+                let got = comm.broadcast(0, v);
+                assert_eq!(got.len(), payload_len);
+            });
+            let words_per_msg = payload_len as u64 + 1; // Vec framing word
+            assert_eq!(stats.messages, p as u64 - 1, "p={p}");
+            assert_eq!(
+                stats.words,
+                (p as u64 - 1) * words_per_msg,
+                "p={p} ℓ={words_per_msg}"
+            );
+        }
+    }
+}
+
+#[test]
+fn reduce_words_match_binomial_tree_expectation() {
+    for p in [2usize, 5, 8, 13] {
+        let stats = stats_for(p, |comm| {
+            comm.reduce(0, comm.rank() as u64, |a, b| a + b);
+        });
+        assert_eq!(stats.messages, p as u64 - 1, "p={p}");
+        assert_eq!(stats.words, p as u64 - 1, "p={p}");
+    }
+}
+
+#[test]
+fn allreduce_words_are_twice_one_tree_pass() {
+    // Reduce-then-broadcast: both legs move the bare one-word value along
+    // p − 1 tree edges each.
+    for p in [2usize, 4, 9] {
+        let stats = stats_for(p, |comm| {
+            let _ = comm.sum_u64(comm.rank() as u64);
+        });
+        assert_eq!(stats.messages, 2 * (p as u64 - 1), "p={p}");
+        assert_eq!(stats.words, 2 * (p as u64 - 1), "p={p}");
+    }
+}
+
+#[test]
+fn per_batch_volume_is_independent_of_payload_history() {
+    // Counters are monotone and exact: running the same collective twice
+    // doubles the counts.
+    let p = 4;
+    let (once, twice) = {
+        let one = stats_for(p, |comm| {
+            let _ = comm.allgather(comm.rank() as u64);
+        });
+        let two = stats_for(p, |comm| {
+            let _ = comm.allgather(comm.rank() as u64);
+            let _ = comm.allgather(comm.rank() as u64);
+        });
+        (one, two)
+    };
+    assert_eq!(twice.messages, 2 * once.messages);
+    assert_eq!(twice.words, 2 * once.words);
+}
+
+#[test]
+fn latency_rounds_match_cost_model_tree_depth() {
+    // The number of sequential rounds the α term charges: a PE sends at
+    // most once per broadcast round, so the *maximum per-endpoint message
+    // count* of one broadcast is exactly ⌈log₂ p⌉ — the tree depth the
+    // CostModel charges.
+    for p in [2usize, 3, 4, 8, 13, 16] {
+        let per_pe = run_threads(p, |comm| {
+            let v = (comm.rank() == 0).then_some(1u64);
+            let _ = comm.broadcast(0, v);
+            comm.stats().messages
+        });
+        let max_sends = per_pe.iter().copied().max().expect("nonempty");
+        assert_eq!(
+            max_sends,
+            CostModel::tree_rounds(p) as u64,
+            "p={p}: root sends once per tree round"
+        );
+    }
+}

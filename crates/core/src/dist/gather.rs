@@ -1,0 +1,160 @@
+//! The centralized gathering baseline (paper Section 4.5).
+//!
+//! Every PE scans its batch exactly like the distributed algorithm —
+//! jump-scanning below the current threshold — but instead of running
+//! distributed selection, all candidates are **gathered at a root PE**,
+//! which merges them into the one true reservoir, re-computes the
+//! threshold with a sequential quickselect, and broadcasts it. The root's
+//! downlink carries Θ(candidates) words per batch (Θ(p·k) in the worst
+//! case), which is the bottleneck the paper's algorithm removes.
+
+use reservoir_btree::{SampleKey, DEFAULT_DEGREE};
+use reservoir_comm::{Collectives, Communicator};
+use reservoir_rng::{DefaultRng, SeedSequence, StreamKind};
+use reservoir_select::kth_smallest;
+use reservoir_stream::Item;
+
+use crate::dist::local::LocalReservoir;
+use crate::dist::{DistConfig, SamplingMode};
+use crate::sample::SampleItem;
+
+/// Wire representation of one candidate: `(id, weight, key)`.
+type WireItem = (u64, f64, f64);
+
+/// The root PE holding the global reservoir.
+const ROOT: usize = 0;
+
+/// One PE's endpoint of the centralized gathering sampler.
+pub struct GatherSampler<'a, C: Communicator> {
+    comm: &'a C,
+    cfg: DistConfig,
+    /// Per-batch candidate buffer (drained after every gather).
+    scratch: LocalReservoir,
+    /// The global reservoir; non-empty only at the root.
+    reservoir: Vec<(SampleKey, f64)>,
+    threshold: Option<SampleKey>,
+    key_rng: DefaultRng,
+    select_rng: DefaultRng,
+}
+
+impl<'a, C: Communicator> GatherSampler<'a, C> {
+    /// Create this PE's endpoint. Every PE must pass an identical `cfg`.
+    pub fn new(comm: &'a C, cfg: DistConfig) -> Self {
+        let seq = SeedSequence::new(cfg.seed);
+        GatherSampler {
+            comm,
+            scratch: LocalReservoir::new(cfg.k, DEFAULT_DEGREE),
+            reservoir: Vec::new(),
+            threshold: None,
+            key_rng: seq.rng_for(comm.rank(), StreamKind::Keys),
+            select_rng: seq.rng_for(comm.rank(), StreamKind::Selection),
+            cfg,
+        }
+    }
+
+    /// Process one mini-batch (collective).
+    pub fn process_batch(&mut self, items: &[Item]) {
+        // Local candidate generation: identical scan to the distributed
+        // algorithm, but into a throwaway buffer.
+        let t = self.threshold.map(|k| k.key);
+        match self.cfg.mode {
+            SamplingMode::Weighted => self.scratch.process_weighted(items, t, &mut self.key_rng),
+            SamplingMode::Uniform => self.scratch.process_uniform(items, t, &mut self.key_rng),
+        };
+        let wire: Vec<WireItem> = self
+            .scratch
+            .drain()
+            .into_iter()
+            .map(|s| (s.id, s.weight, s.key))
+            .collect();
+
+        // Ship every candidate to the root.
+        let gathered = self.comm.gather(ROOT, wire);
+
+        // Root: merge, select the k-th smallest key, prune, broadcast.
+        let announced = gathered.map(|parts| {
+            for (id, weight, key) in parts.into_iter().flatten() {
+                self.reservoir.push((SampleKey::new(key, id), weight));
+            }
+            let k = self.cfg.k;
+            if self.reservoir.len() > k {
+                let mut keys: Vec<SampleKey> = self.reservoir.iter().map(|(k, _)| *k).collect();
+                let cut = kth_smallest(&mut keys, k - 1, &mut self.select_rng);
+                self.reservoir.retain(|(key, _)| *key <= cut);
+                debug_assert_eq!(self.reservoir.len(), k);
+            }
+            let t = (self.reservoir.len() >= k)
+                .then(|| self.reservoir.iter().map(|(k, _)| *k).max())
+                .flatten();
+            t.map(|k| (k.key, k.id))
+        });
+        let wire_t: Option<(f64, u64)> = self.comm.broadcast(ROOT, announced);
+        self.threshold = wire_t.map(|(key, id)| SampleKey::new(key, id));
+    }
+
+    /// The current insertion threshold, once the reservoir filled.
+    pub fn threshold(&self) -> Option<f64> {
+        self.threshold.map(|k| k.key)
+    }
+
+    /// The sample: the full reservoir at the root, empty elsewhere.
+    pub fn sample(&self) -> Vec<SampleItem> {
+        self.reservoir
+            .iter()
+            .map(|(k, w)| SampleItem::from_entry(k, *w))
+            .collect()
+    }
+
+    /// Number of sample members held by this PE (root: the whole sample).
+    pub fn local_len(&self) -> u64 {
+        self.reservoir.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reservoir_comm::run_threads;
+
+    fn unit_batch(rank: usize, batch: u64, n: u64) -> Vec<Item> {
+        (0..n)
+            .map(|i| Item::new(((rank as u64) << 40) | (batch << 20) | i, 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn root_holds_k_distinct_members() {
+        let k = 40;
+        let results = run_threads(3, |comm| {
+            let mut s = GatherSampler::new(&comm, DistConfig::weighted(k, 7));
+            for b in 0..4u64 {
+                s.process_batch(&unit_batch(comm.rank(), b, 100));
+            }
+            (s.sample(), s.threshold())
+        });
+        let (sample, t) = &results[0];
+        assert_eq!(sample.len(), k);
+        let mut ids: Vec<u64> = sample.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), k);
+        let t = t.expect("threshold established");
+        assert!(sample.iter().all(|s| s.key <= t));
+        // Non-roots hold nothing but agree on the threshold.
+        for (sample, other_t) in &results[1..] {
+            assert!(sample.is_empty());
+            assert_eq!(other_t, &Some(t));
+        }
+    }
+
+    #[test]
+    fn growing_phase_keeps_everything() {
+        let results = run_threads(2, |comm| {
+            let mut s = GatherSampler::new(&comm, DistConfig::uniform(100, 3));
+            s.process_batch(&unit_batch(comm.rank(), 0, 20));
+            (s.sample().len(), s.threshold())
+        });
+        assert_eq!(results[0].0, 40);
+        assert_eq!(results[0].1, None);
+    }
+}

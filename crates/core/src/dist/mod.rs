@@ -1,0 +1,160 @@
+//! The distributed mini-batch reservoir sampler — Algorithm 1 of the paper.
+//!
+//! Every PE keeps its part of the global sample in a local reservoir (an
+//! augmented B+ tree, [`local::LocalReservoir`]) and agrees with all other
+//! PEs on a single **insertion threshold**: the key of global rank `k`
+//! over the union of the local reservoirs. A mini-batch step is
+//!
+//! 1. **insert** — scan the local batch with exponential (weighted) or
+//!    geometric (uniform) jumps, inserting every item whose key beats the
+//!    current threshold (no communication);
+//! 2. **count** — one `O(α log p)` all-reduce agrees on the union size;
+//! 3. **select** — if the union outgrew `k`, communication-efficient
+//!    distributed selection ([`reservoir_select`]) finds the key of rank
+//!    `k`; it becomes the new threshold and every PE prunes its local
+//!    reservoir to the keys at or below it.
+//!
+//! Per batch the algorithm moves `O(d)`-word payloads for an expected
+//! logarithmic number of selection rounds — independent of the batch size,
+//! which is the paper's headline claim.
+//!
+//! Two backends execute this identically: [`threaded`] on real threads over
+//! real collectives, and [`sim`] — a statistical cluster simulator that
+//! reproduces the algorithm's observable behaviour (sample law, threshold
+//! law, selection round counts) for thousands of PEs in one process while
+//! charging communication to an α–β cost model. [`gather`] is the
+//! centralized baseline of Section 4.5.
+
+pub mod gather;
+pub mod local;
+pub mod sim;
+pub mod threaded;
+
+/// Whether items carry weights or are sampled uniformly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SamplingMode {
+    /// Weighted sampling: keys are `Exp(weight)` variates (Section 4.1).
+    Weighted,
+    /// Uniform sampling: keys are `U(0, 1]` variates (Section 4.3).
+    Uniform,
+}
+
+/// Configuration shared by the distributed samplers.
+#[derive(Clone, Copy, Debug)]
+pub struct DistConfig {
+    /// Sample size `k` (the lower bound `k` in variable-size mode).
+    pub k: usize,
+    /// Master seed; per-PE streams are derived deterministically.
+    pub seed: u64,
+    /// Weighted or uniform sampling.
+    pub mode: SamplingMode,
+    /// Pivot candidates per selection round (the paper's `d`).
+    pub pivots: usize,
+    /// Variable-size window `(k, k̄)` of Section 4.4: the sample may grow
+    /// to `k̄` before an *approximate* selection shrinks it back into the
+    /// window. `None` keeps the size exactly `k`.
+    pub size_window: Option<(u64, u64)>,
+}
+
+impl DistConfig {
+    /// Weighted sampling with sample size `k`.
+    pub fn weighted(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "sample size must be at least 1");
+        DistConfig {
+            k,
+            seed,
+            mode: SamplingMode::Weighted,
+            pivots: 1,
+            size_window: None,
+        }
+    }
+
+    /// Uniform (unweighted) sampling with sample size `k`.
+    pub fn uniform(k: usize, seed: u64) -> Self {
+        DistConfig {
+            mode: SamplingMode::Uniform,
+            ..Self::weighted(k, seed)
+        }
+    }
+
+    /// Use `d` pivot candidates per selection round.
+    pub fn with_pivots(mut self, d: usize) -> Self {
+        assert!(d >= 1, "at least one pivot per round");
+        self.pivots = d;
+        self
+    }
+
+    /// Tolerate any sample size in `lo..=hi` (Section 4.4). Selection only
+    /// runs once the sample outgrows `hi`, and it targets the whole window
+    /// instead of an exact rank — far fewer selection rounds.
+    pub fn with_size_window(mut self, lo: u64, hi: u64) -> Self {
+        assert!(1 <= lo && lo <= hi, "invalid size window {lo}..{hi}");
+        self.size_window = Some((lo, hi));
+        self
+    }
+
+    /// The size the local reservoirs must retain during the growing phase:
+    /// the union of per-PE `cap`-smallest sets must contain the global
+    /// `cap`-smallest set for the largest rank selection may target.
+    pub(crate) fn local_cap(&self) -> usize {
+        match self.size_window {
+            Some((_, hi)) => (hi as usize).max(self.k),
+            None => self.k,
+        }
+    }
+
+    /// The union size above which a selection is triggered.
+    pub(crate) fn size_limit(&self) -> u64 {
+        match self.size_window {
+            Some((_, hi)) => hi,
+            None => self.k as u64,
+        }
+    }
+}
+
+/// What one [`threaded::DistributedSampler::process_batch`] call did.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Global sample size after the batch (union of the local reservoirs).
+    pub sample_size: u64,
+    /// Selection rounds used this batch (0 when no selection ran).
+    pub select_rounds: u32,
+    /// Items inserted into *this PE's* local reservoir during the batch.
+    pub inserted: u64,
+}
+
+pub use gather::GatherSampler;
+pub use local::LocalReservoir;
+pub use threaded::DistributedSampler;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_constructors() {
+        let w = DistConfig::weighted(10, 1);
+        assert_eq!(w.mode, SamplingMode::Weighted);
+        assert_eq!(w.pivots, 1);
+        assert_eq!(w.local_cap(), 10);
+        assert_eq!(w.size_limit(), 10);
+        let u = DistConfig::uniform(10, 1).with_pivots(8);
+        assert_eq!(u.mode, SamplingMode::Uniform);
+        assert_eq!(u.pivots, 8);
+        let v = DistConfig::weighted(10, 1).with_size_window(10, 25);
+        assert_eq!(v.local_cap(), 25);
+        assert_eq!(v.size_limit(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_k_rejected() {
+        let _ = DistConfig::weighted(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid size window")]
+    fn inverted_window_rejected() {
+        let _ = DistConfig::weighted(10, 1).with_size_window(20, 10);
+    }
+}

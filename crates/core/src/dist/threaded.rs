@@ -1,0 +1,231 @@
+//! Algorithm 1 on the real message-passing backend: every PE runs one
+//! [`DistributedSampler`] over a shared [`Communicator`].
+//!
+//! `process_batch` must be called collectively (same number of calls on
+//! every PE, empty slices allowed); all other methods are local except
+//! [`DistributedSampler::gather_sample`], which is also collective.
+
+use std::time::Instant;
+
+use reservoir_btree::{SampleKey, DEFAULT_DEGREE};
+use reservoir_comm::{Collectives, Communicator};
+use reservoir_rng::{DefaultRng, SeedSequence, StreamKind};
+use reservoir_select::{select_threaded, SelectParams, TargetRank};
+use reservoir_stream::Item;
+
+use crate::dist::local::LocalReservoir;
+use crate::dist::{BatchReport, DistConfig, SamplingMode};
+use crate::metrics::PhaseTimes;
+use crate::sample::SampleItem;
+
+/// Wire representation of one sample member: `(id, weight, key)`.
+type WireItem = (u64, f64, f64);
+
+/// One PE's endpoint of the distributed mini-batch sampler (Algorithm 1).
+pub struct DistributedSampler<'a, C: Communicator> {
+    comm: &'a C,
+    cfg: DistConfig,
+    local: LocalReservoir,
+    threshold: Option<SampleKey>,
+    key_rng: DefaultRng,
+    select_rng: DefaultRng,
+    phases: PhaseTimes,
+}
+
+impl<'a, C: Communicator> DistributedSampler<'a, C> {
+    /// Create this PE's endpoint. Every PE of `comm` must construct its
+    /// sampler with an identical `cfg`.
+    pub fn new(comm: &'a C, cfg: DistConfig) -> Self {
+        // Salt the master seed with the sample size so samplers of
+        // different geometry draw independent streams even under the same
+        // user seed.
+        let seq = SeedSequence::new(cfg.seed ^ (cfg.k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        DistributedSampler {
+            comm,
+            local: LocalReservoir::new(cfg.local_cap(), DEFAULT_DEGREE),
+            threshold: None,
+            key_rng: seq.rng_for(comm.rank(), StreamKind::Keys),
+            select_rng: seq.rng_for(comm.rank(), StreamKind::Selection),
+            phases: PhaseTimes::default(),
+            cfg,
+        }
+    }
+
+    /// Process one mini-batch (collective). Returns what happened.
+    pub fn process_batch(&mut self, items: &[Item]) -> BatchReport {
+        // Phase 1: local insertion below the current threshold.
+        let t0 = Instant::now();
+        let t = self.threshold.map(|k| k.key);
+        let stats = match self.cfg.mode {
+            SamplingMode::Weighted => self.local.process_weighted(items, t, &mut self.key_rng),
+            SamplingMode::Uniform => self.local.process_uniform(items, t, &mut self.key_rng),
+        };
+        self.phases.insert += t0.elapsed().as_secs_f64();
+
+        // Phase 2: agree on the union size.
+        let t1 = Instant::now();
+        let union = self.comm.sum_u64(self.local.len());
+        self.phases.threshold += t1.elapsed().as_secs_f64();
+
+        // Phase 3: if the union outgrew the limit, re-select the threshold
+        // and prune. The first selection already runs when the union
+        // *reaches* the target size — that is the moment the reservoir
+        // fills and the insertion threshold comes into existence.
+        let mut sample_size = union;
+        let mut rounds = 0u32;
+        let select_now = union > self.cfg.size_limit()
+            || (self.threshold.is_none()
+                && self.cfg.size_window.is_none()
+                && union >= self.cfg.k as u64);
+        if select_now {
+            let t2 = Instant::now();
+            let target = match self.cfg.size_window {
+                Some((lo, hi)) => TargetRank::range(lo, hi),
+                None => TargetRank::exact(self.cfg.k as u64),
+            };
+            let res = select_threaded(
+                self.comm,
+                self.local.tree(),
+                target,
+                union,
+                SelectParams::with_pivots(self.cfg.pivots),
+                &mut self.select_rng,
+            );
+            self.phases.select += t2.elapsed().as_secs_f64();
+            let t3 = Instant::now();
+            self.threshold = Some(res.threshold);
+            self.local.prune_above(&res.threshold);
+            sample_size = res.rank;
+            rounds = res.rounds;
+            self.phases.threshold += t3.elapsed().as_secs_f64();
+        }
+        BatchReport {
+            sample_size,
+            select_rounds: rounds,
+            inserted: stats.inserted,
+        }
+    }
+
+    /// The current global insertion threshold, once established.
+    pub fn threshold(&self) -> Option<f64> {
+        self.threshold.map(|k| k.key)
+    }
+
+    /// Number of sample members held by this PE.
+    pub fn local_len(&self) -> u64 {
+        self.local.len()
+    }
+
+    /// This PE's sample members.
+    pub fn local_sample(&self) -> Vec<SampleItem> {
+        self.local.items()
+    }
+
+    /// Gather the full sample at PE 0 (collective): `Some(sample)` there,
+    /// `None` elsewhere.
+    pub fn gather_sample(&self) -> Option<Vec<SampleItem>> {
+        let wire: Vec<WireItem> = self
+            .local
+            .items()
+            .into_iter()
+            .map(|s| (s.id, s.weight, s.key))
+            .collect();
+        self.comm.gather(0, wire).map(|parts| {
+            parts
+                .into_iter()
+                .flatten()
+                .map(|(id, weight, key)| SampleItem { id, weight, key })
+                .collect()
+        })
+    }
+
+    /// Accumulated wall-clock seconds per algorithm phase.
+    pub fn phase_totals(&self) -> PhaseTimes {
+        self.phases
+    }
+
+    /// The configuration this sampler runs with.
+    pub fn config(&self) -> &DistConfig {
+        &self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reservoir_comm::run_threads;
+
+    fn unit_batch(rank: usize, batch: u64, n: u64) -> Vec<Item> {
+        (0..n)
+            .map(|i| Item::new(((rank as u64) << 40) | (batch << 20) | i, 1.0))
+            .collect()
+    }
+
+    #[test]
+    fn single_pe_matches_sequential_law() {
+        // p = 1 distributed sampling is just reservoir sampling.
+        let results = run_threads(1, |comm| {
+            let mut s = DistributedSampler::new(&comm, DistConfig::weighted(20, 5));
+            for b in 0..4u64 {
+                s.process_batch(&unit_batch(0, b, 100));
+            }
+            (s.local_len(), s.threshold(), s.gather_sample())
+        });
+        let (len, t, sample) = &results[0];
+        assert_eq!(*len, 20);
+        let sample = sample.as_ref().expect("root");
+        assert_eq!(sample.len(), 20);
+        let max_key = sample.iter().map(|s| s.key).fold(f64::MIN, f64::max);
+        assert_eq!(*t, Some(max_key));
+    }
+
+    #[test]
+    fn threshold_is_agreed_and_monotone() {
+        let results = run_threads(3, |comm| {
+            let mut s = DistributedSampler::new(&comm, DistConfig::weighted(50, 9));
+            let mut history = Vec::new();
+            for b in 0..5u64 {
+                s.process_batch(&unit_batch(comm.rank(), b, 200));
+                history.push(s.threshold());
+            }
+            history
+        });
+        for r in &results[1..] {
+            assert_eq!(r, &results[0]);
+        }
+        let established: Vec<f64> = results[0].iter().flatten().copied().collect();
+        assert!(!established.is_empty());
+        assert!(established.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn phase_totals_accumulate() {
+        let results = run_threads(2, |comm| {
+            let mut s = DistributedSampler::new(&comm, DistConfig::uniform(10, 3));
+            for b in 0..3u64 {
+                s.process_batch(&unit_batch(comm.rank(), b, 500));
+            }
+            s.phase_totals()
+        });
+        assert!(results[0].total() > 0.0);
+        assert!(results[0].gather == 0.0);
+    }
+
+    #[test]
+    fn window_mode_keeps_size_in_window() {
+        let (lo, hi) = (30u64, 60u64);
+        let results = run_threads(2, |comm| {
+            let cfg = DistConfig::weighted(30, 11).with_size_window(lo, hi);
+            let mut s = DistributedSampler::new(&comm, cfg);
+            let mut sizes = Vec::new();
+            for b in 0..6u64 {
+                let rep = s.process_batch(&unit_batch(comm.rank(), b, 300));
+                sizes.push(rep.sample_size);
+            }
+            sizes
+        });
+        // After the first selection the size stays within the window.
+        assert!(results[0].iter().skip(1).all(|s| (lo..=hi).contains(s)));
+        assert_eq!(results[0], results[1]);
+    }
+}

@@ -90,7 +90,10 @@ impl Heap {
     /// threshold key.
     pub fn replace_max(&mut self, key: SampleKey, weight: f64) -> f64 {
         let evicted = self.entries.pop().expect("replace_max on empty reservoir");
-        debug_assert!(key <= evicted.key, "replacement key must beat the threshold");
+        debug_assert!(
+            key <= evicted.key,
+            "replacement key must beat the threshold"
+        );
         self.entries.push(HeapEntry { key, weight });
         self.peek_key().expect("nonempty after push")
     }

@@ -224,7 +224,10 @@ mod tests {
         let fr = hits_run as f64 / trials as f64;
         let fi = hits_item as f64 / trials as f64;
         assert!((fr - expect).abs() < 0.01, "run inclusion {fr} vs {expect}");
-        assert!((fi - expect).abs() < 0.01, "item inclusion {fi} vs {expect}");
+        assert!(
+            (fi - expect).abs() < 0.01,
+            "item inclusion {fi} vs {expect}"
+        );
     }
 
     #[test]

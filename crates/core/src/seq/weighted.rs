@@ -119,7 +119,8 @@ impl<R: Rng64> WeightedJumpSampler<R> {
         assert_eq!(self.k, other.k, "cannot merge reservoirs of different k");
         for item in other.sample() {
             if self.heap.len() < self.k {
-                self.heap.push(SampleKey::new(item.key, item.id), item.weight);
+                self.heap
+                    .push(SampleKey::new(item.key, item.id), item.weight);
             } else if item.key < self.heap.peek_key().expect("full") {
                 self.heap
                     .replace_max(SampleKey::new(item.key, item.id), item.weight);
@@ -251,11 +252,7 @@ mod tests {
         let st = s.stats();
         assert_eq!(st.processed, 200_000);
         // Expected insertions ≈ k (1 + ln(n/k)) ≈ 100 · (1 + 7.6) ≈ 860.
-        assert!(
-            st.inserted < 3_000,
-            "too many insertions: {}",
-            st.inserted
-        );
+        assert!(st.inserted < 3_000, "too many insertions: {}", st.inserted);
         assert!(st.inserted >= 100);
     }
 

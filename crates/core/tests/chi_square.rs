@@ -1,0 +1,112 @@
+//! Statistical goodness-of-fit: the exponential-jump sampler and the naive
+//! key-per-item sampler must produce *identically distributed* samples
+//! (paper Section 4.1 — the jumps are a pure speedup, not an
+//! approximation).
+//!
+//! Over many independent trials on a skewed weight distribution, the
+//! per-item inclusion counts of both samplers form two multinomial draws
+//! from (supposedly) the same inclusion law. A two-sample chi-square
+//! statistic over all items then follows a χ² distribution with n−1
+//! degrees of freedom; we assert it stays below a generous high quantile,
+//! and run a positive control to show the statistic *does* explode when
+//! the law actually differs.
+
+use reservoir_core::seq::{WeightedJumpSampler, WeightedNaiveSampler};
+use reservoir_rng::default_rng;
+
+/// A strongly skewed weight profile: geometric decay over items, spanning
+/// three orders of magnitude, with a few heavy hitters up front.
+fn skewed_weight(i: u64) -> f64 {
+    1000.0 * 0.9f64.powi((i % 60) as i32) + 0.5
+}
+
+/// Per-item inclusion counts over `trials` runs of a sampler.
+fn inclusion_counts(n: u64, k: usize, trials: u64, naive: bool, seed_base: u64) -> Vec<u64> {
+    let mut counts = vec![0u64; n as usize];
+    for t in 0..trials {
+        let rng = default_rng(seed_base + t);
+        if naive {
+            let mut s = WeightedNaiveSampler::new(k, rng);
+            for i in 0..n {
+                s.process(i, skewed_weight(i));
+            }
+            for item in s.sample() {
+                counts[item.id as usize] += 1;
+            }
+        } else {
+            let mut s = WeightedJumpSampler::new(k, rng);
+            for i in 0..n {
+                s.process(i, skewed_weight(i));
+            }
+            for item in s.sample() {
+                counts[item.id as usize] += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Two-sample chi-square statistic between equal-trial count vectors:
+/// Σ (a_i − b_i)² / (a_i + b_i) over items with a_i + b_i > 0.
+///
+/// Under H₀ (same inclusion law) this is asymptotically χ²(df) with
+/// df = #used items − 1.
+fn two_sample_chi_square(a: &[u64], b: &[u64]) -> (f64, usize) {
+    assert_eq!(a.len(), b.len());
+    let mut stat = 0.0;
+    let mut df = 0usize;
+    for (&x, &y) in a.iter().zip(b) {
+        let total = x + y;
+        if total == 0 {
+            continue;
+        }
+        let diff = x as f64 - y as f64;
+        stat += diff * diff / total as f64;
+        df += 1;
+    }
+    (stat, df.saturating_sub(1))
+}
+
+/// Normal-approximation upper quantile of χ²(df): df + z·√(2df) + z²·2/3.
+/// With z = 4 the false-failure probability is ≈ 3e-5.
+fn chi_square_upper(df: usize, z: f64) -> f64 {
+    let df = df as f64;
+    df + z * (2.0 * df).sqrt() + z * z * 2.0 / 3.0
+}
+
+#[test]
+fn jump_and_naive_samplers_have_matching_inclusion_law() {
+    let n = 120u64;
+    let k = 12;
+    let trials = 12_000u64;
+    let jump = inclusion_counts(n, k, trials, false, 1_000_000);
+    let naive = inclusion_counts(n, k, trials, true, 9_000_000);
+    // Sanity: both produced exactly k members per trial.
+    assert_eq!(jump.iter().sum::<u64>(), trials * k as u64);
+    assert_eq!(naive.iter().sum::<u64>(), trials * k as u64);
+    // Heavy items must dominate light ones in both (weights span 1000x).
+    assert!(jump[0] > jump[59] * 3, "{} vs {}", jump[0], jump[59]);
+    let (stat, df) = two_sample_chi_square(&jump, &naive);
+    let limit = chi_square_upper(df, 4.0);
+    assert!(
+        stat < limit,
+        "chi-square {stat:.1} exceeds χ²({df}) limit {limit:.1}: \
+         jump and naive inclusion laws differ"
+    );
+}
+
+#[test]
+fn chi_square_detects_a_genuinely_different_law() {
+    // Positive control: sampling k=12 vs k=14 of the same stream must blow
+    // far past the same limit — otherwise the statistic has no power.
+    let n = 120u64;
+    let trials = 6_000u64;
+    let a = inclusion_counts(n, 12, trials, false, 3_000_000);
+    let b = inclusion_counts(n, 14, trials, false, 5_000_000);
+    let (stat, df) = two_sample_chi_square(&a, &b);
+    let limit = chi_square_upper(df, 4.0);
+    assert!(
+        stat > limit,
+        "control failed: {stat:.1} should exceed {limit:.1} for different laws"
+    );
+}

@@ -1,0 +1,193 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the tiny subset of criterion's API its benches use: benchmark
+//! groups, `bench_function` / `bench_with_input`, and the
+//! `criterion_group!` / `criterion_main!` macros. Timing is a plain
+//! warm-up + measured-loop mean; results print one line per benchmark.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Minimum number of timed iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target wall-clock budget for the measurement loop.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Wall-clock budget for the warm-up loop.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}");
+        BenchmarkGroup { criterion: self }
+    }
+}
+
+/// Identifier combining a benchmark name and a parameter value.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing the driver's configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size: self.criterion.sample_size,
+            measurement_time: self.criterion.measurement_time,
+            warm_up_time: self.criterion.warm_up_time,
+            mean: None,
+        };
+        f(&mut bencher);
+        match bencher.mean {
+            Some(mean) => println!("  {id}: {:.3e} s/iter", mean),
+            None => println!("  {id}: no measurement"),
+        }
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = id.id.clone();
+        self.bench_function(name, |b| f(b, input))
+    }
+
+    /// End the group (printing is incremental; nothing left to do).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter` runs and times the workload.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    mean: Option<f64>,
+}
+
+impl Bencher {
+    /// Time `f`, first warming up, then looping until the measurement
+    /// budget or the sample size is reached — whichever is later.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let warm_until = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_until {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.sample_size as u64 || start.elapsed() < self.measurement_time {
+            std::hint::black_box(f());
+            iters += 1;
+        }
+        self.mean = Some(start.elapsed().as_secs_f64() / iters as f64);
+    }
+}
+
+/// Bundle benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )*
+        }
+    };
+    ($name:ident, $($target:path),* $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )*
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),* $(,)?) => {
+        fn main() {
+            $( $group(); )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut group = c.benchmark_group("tiny");
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sq", 3), &3u64, |b, &x| b.iter(|| x * x));
+        group.finish();
+    }
+
+    #[test]
+    fn runs_and_records_a_mean() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        tiny(&mut c);
+    }
+
+    criterion_group! {
+        name = demo;
+        config = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(2))
+            .warm_up_time(Duration::from_millis(1));
+        targets = tiny
+    }
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        demo();
+    }
+}

@@ -32,7 +32,10 @@ pub struct Xoshiro256PlusPlus {
 impl Xoshiro256PlusPlus {
     /// Seed from four raw state words. At least one must be nonzero.
     pub fn from_state(s: [u64; 4]) -> Self {
-        assert!(s.iter().any(|&w| w != 0), "xoshiro256++ state must not be all-zero");
+        assert!(
+            s.iter().any(|&w| w != 0),
+            "xoshiro256++ state must not be all-zero"
+        );
         Self { s }
     }
 

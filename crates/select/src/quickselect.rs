@@ -12,7 +12,11 @@ use reservoir_rng::Rng64;
 /// Panics if `keys` is empty or `k >= keys.len()`.
 pub fn kth_smallest(keys: &mut [SampleKey], k: usize, rng: &mut impl Rng64) -> SampleKey {
     assert!(!keys.is_empty(), "kth_smallest on empty slice");
-    assert!(k < keys.len(), "rank {k} out of range for {} keys", keys.len());
+    assert!(
+        k < keys.len(),
+        "rank {k} out of range for {} keys",
+        keys.len()
+    );
     let (mut lo, mut hi) = (0usize, keys.len());
     loop {
         if hi - lo <= 16 {
@@ -71,9 +75,9 @@ mod tests {
             ks
         };
         let mut rng = default_rng(1);
-        for k in 0..vals.len() {
+        for (k, expect) in reference.iter().enumerate() {
             let mut ks = keys(&vals);
-            assert_eq!(kth_smallest(&mut ks, k, &mut rng), reference[k], "rank {k}");
+            assert_eq!(kth_smallest(&mut ks, k, &mut rng), *expect, "rank {k}");
         }
     }
 

@@ -95,11 +95,7 @@ fn bernoulli_keys<S: CandidateSet + ?Sized>(
 
 /// Conductor (single-process) driver: select the key of global rank `k`
 /// over the union of `sets`, assuming randomly distributed keys.
-pub fn sorted_sample_select<S>(
-    sets: &[&S],
-    k: u64,
-    rngs: &mut [impl Rng64],
-) -> SortedSampleReport
+pub fn sorted_sample_select<S>(sets: &[&S], k: u64, rngs: &mut [impl Rng64]) -> SortedSampleReport
 where
     S: CandidateSet + ?Sized,
 {

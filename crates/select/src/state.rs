@@ -107,7 +107,10 @@ impl SelectionState {
     /// `total` is the global number of keys (sum of `CandidateSet::total`
     /// over PEs); the caller knows it already and the window must fit.
     pub fn new(target: TargetRank, total: u64, params: SelectParams) -> Self {
-        assert!(target.lo >= 1 && target.hi <= total, "target {target:?} outside 1..={total}");
+        assert!(
+            target.lo >= 1 && target.hi <= total,
+            "target {target:?} outside 1..={total}"
+        );
         let mut s = SelectionState {
             lo: None,
             hi: None,
@@ -206,7 +209,10 @@ impl SelectionState {
             Some(l) => set.count_le(l),
             None => 0,
         };
-        self.pivots.iter().map(|pv| set.count_le(pv) - base).collect()
+        self.pivots
+            .iter()
+            .map(|pv| set.count_le(pv) - base)
+            .collect()
     }
 
     /// Global step 4: inspect the summed counts; either finish or narrow the
@@ -220,7 +226,7 @@ impl SelectionState {
             if self.t_lo <= c && c <= self.t_hi {
                 let mid = (self.t_lo + self.t_hi) / 2;
                 let dist = c.abs_diff(mid);
-                if best.map_or(true, |(d, _)| dist < d) {
+                if best.is_none_or(|(d, _)| dist < d) {
                     best = Some((dist, j));
                 }
             }

@@ -57,7 +57,9 @@ fn main() {
     println!("exact-size reservoir   : {sels_exact:>2} selections, {rounds_exact:>3} total rounds");
 
     let (rounds_window, sels_window, sizes) = run(pes, Some((900, 1_500)));
-    println!("variable-size (900..1500): {sels_window:>2} selections, {rounds_window:>3} total rounds");
+    println!(
+        "variable-size (900..1500): {sels_window:>2} selections, {rounds_window:>3} total rounds"
+    );
     println!("\nsample size trajectory (variable mode):");
     print!("  ");
     for (i, s) in sizes.iter().enumerate() {
@@ -70,6 +72,9 @@ fn main() {
         "\nthe window mode ran {}x fewer selection rounds while keeping the size in [900, 1500]",
         (rounds_exact as f64 / rounds_window.max(1) as f64).round()
     );
-    assert!(rounds_window < rounds_exact, "lazy selection must reduce rounds");
+    assert!(
+        rounds_window < rounds_exact,
+        "lazy selection must reduce rounds"
+    );
     assert!(sizes.iter().skip(2).all(|&s| (900..=1500).contains(&s)));
 }

@@ -79,9 +79,16 @@ fn main() {
     let mut est: Vec<(u64, u32)> = hits.into_iter().collect();
     est.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
 
-    println!("true top-8 flows by bytes (of {:.1} MB total):", total_bytes / 1e6);
+    println!(
+        "true top-8 flows by bytes (of {:.1} MB total):",
+        total_bytes / 1e6
+    );
     for (flow, bytes) in true_top.iter().take(8) {
-        println!("  flow {flow:>5}: {:>6.2} MB ({:.1}%)", bytes / 1e6, 100.0 * bytes / total_bytes);
+        println!(
+            "  flow {flow:>5}: {:>6.2} MB ({:.1}%)",
+            bytes / 1e6,
+            100.0 * bytes / total_bytes
+        );
     }
     println!("\nflows by sample membership (k = {k} weighted sample):");
     for (flow, count) in est.iter().take(8) {
@@ -93,5 +100,8 @@ fn main() {
     let est_set: Vec<u64> = est.iter().take(8).map(|(f, _)| *f).collect();
     let recovered = est_set.iter().filter(|f| true_set.contains(f)).count();
     println!("\nrecovered {recovered}/8 true heavy hitters in the sample's top 8");
-    assert!(recovered >= 6, "weighted sampling should surface the heavy flows");
+    assert!(
+        recovered >= 6,
+        "weighted sampling should surface the heavy flows"
+    );
 }

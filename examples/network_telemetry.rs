@@ -18,12 +18,7 @@ use reservoir::rng::{default_rng, Rng64};
 use reservoir::stream::Item;
 
 /// Application mix: (label, share of packets).
-const APPS: [(&str, f64); 4] = [
-    ("video", 0.55),
-    ("web", 0.25),
-    ("dns", 0.15),
-    ("ssh", 0.05),
-];
+const APPS: [(&str, f64); 4] = [("video", 0.55), ("web", 0.25), ("dns", 0.15), ("ssh", 0.05)];
 
 fn draw_app(rng: &mut impl Rng64) -> usize {
     let x = rng.rand_co();
@@ -54,8 +49,9 @@ fn main() {
                     let app = draw_app(&mut rng);
                     sent_per_app[app] += 1;
                     // Packet id encodes (switch, seq, app).
-                    let uid =
-                        ((comm.rank() as u64) << 48) | ((b * packets_per_batch + i) << 2) | app as u64;
+                    let uid = ((comm.rank() as u64) << 48)
+                        | ((b * packets_per_batch + i) << 2)
+                        | app as u64;
                     Item::new(uid, 1.0)
                 })
                 .collect();
@@ -68,8 +64,6 @@ fn main() {
                     sampler.threshold().unwrap_or(1.0),
                 );
             }
-            (report.sample_size, ())
-                .1
         }
         (sampler.gather_sample(), sent_per_app)
     });
@@ -90,7 +84,10 @@ fn main() {
         sampled[(item.id & 0x3) as usize] += 1;
     }
 
-    println!("\napplication traffic shares — stream vs sample (n = {total_packets} packets, k = {}):", sample.len());
+    println!(
+        "\napplication traffic shares — stream vs sample (n = {total_packets} packets, k = {}):",
+        sample.len()
+    );
     println!("| app | true share | sample share |");
     println!("|---|---|---|");
     for (i, (name, _)) in APPS.iter().enumerate() {

@@ -27,7 +27,10 @@ fn main() {
     let mut sample = sampler.sample();
     sample.sort_by(|a, b| a.key.total_cmp(&b.key));
     for item in &sample {
-        println!("  id {:>7}  weight {:>7.0}  key {:.3e}", item.id, item.weight, item.key);
+        println!(
+            "  id {:>7}  weight {:>7.0}  key {:.3e}",
+            item.id, item.weight, item.key
+        );
     }
     let stats = sampler.stats();
     println!(
@@ -64,7 +67,11 @@ fn main() {
         sampler.gather_sample()
     });
     let sample = results[0].as_ref().expect("PE 0 gathers the sample");
-    println!("\ndistributed sample of {} items over {} PEs:", sample.len(), pes);
+    println!(
+        "\ndistributed sample of {} items over {} PEs:",
+        sample.len(),
+        pes
+    );
     for item in sample.iter().take(5) {
         println!("  id {:#018x}  weight {:>6.2}", item.id, item.weight);
     }

@@ -47,7 +47,11 @@ fn distributed_sample_invariants() {
         ids.sort_unstable();
         ids.dedup();
         assert_eq!(ids.len(), k, "duplicate ids in sample");
-        let t = results[0].1.last().expect("batches ran").expect("threshold");
+        let t = results[0]
+            .1
+            .last()
+            .expect("batches ran")
+            .expect("threshold");
         assert!(sample.iter().all(|s| s.key <= t));
         // Thresholds are non-increasing once established.
         let established: Vec<f64> = results[0].1.iter().flatten().copied().collect();

@@ -17,7 +17,11 @@ fn sim(p: usize, k: usize, b: u64, batches: usize, seed: u64) -> (f64, f64) {
         algo: SimAlgo::Ours { pivots: 1 },
         seed,
     };
-    let mut cluster = SimCluster::new(cfg, CostModel::infiniband_edr(), AnalyticLocalCosts::default());
+    let mut cluster = SimCluster::new(
+        cfg,
+        CostModel::infiniband_edr(),
+        AnalyticLocalCosts::default(),
+    );
     let mut rounds = 0u64;
     let mut selections = 0u64;
     for _ in 0..batches {
@@ -117,7 +121,11 @@ fn simulated_threshold_matches_theory() {
         algo: SimAlgo::Ours { pivots: 8 },
         seed: 11,
     };
-    let mut cluster = SimCluster::new(cfg, CostModel::infiniband_edr(), AnalyticLocalCosts::default());
+    let mut cluster = SimCluster::new(
+        cfg,
+        CostModel::infiniband_edr(),
+        AnalyticLocalCosts::default(),
+    );
     for _ in 0..6 {
         cluster.process_batch();
     }
@@ -161,7 +169,10 @@ fn sim_algorithms_share_workload_law() {
     }
     assert_eq!(ours.sample().len(), 300);
     assert_eq!(gather.sample().len(), 300);
-    let (to, tg) = (ours.threshold().expect("set"), gather.threshold().expect("set"));
+    let (to, tg) = (
+        ours.threshold().expect("set"),
+        gather.threshold().expect("set"),
+    );
     assert!(
         (to - tg).abs() < 0.5 * to.max(tg),
         "same-seed thresholds far apart: ours {to:.3e}, gather {tg:.3e}"

@@ -106,7 +106,10 @@ fn uniform_and_weighted_with_unit_weights_agree() {
     let f1 = hits[1] as f64 / trials as f64;
     let expect = k as f64 / (p as u64 * per_batch * 2) as f64;
     assert!((f0 - expect).abs() < 0.035, "uniform mode inclusion {f0}");
-    assert!((f1 - expect).abs() < 0.035, "unit-weight mode inclusion {f1}");
+    assert!(
+        (f1 - expect).abs() < 0.035,
+        "unit-weight mode inclusion {f1}"
+    );
 }
 
 #[test]
