@@ -61,12 +61,7 @@ pub fn run_sim_experiment<L: LocalCostModel>(
     }
     let per_batch = total / batches as f64;
     let items_per_batch = (cfg.p as u64 * cfg.b_per_pe) as f64;
-    let phases_avg = PhaseTimes {
-        insert: phases.insert / batches as f64,
-        select: phases.select / batches as f64,
-        threshold: phases.threshold / batches as f64,
-        gather: phases.gather / batches as f64,
-    };
+    let phases_avg = phases.scaled(batches as f64);
     ExperimentResult {
         per_batch_s: per_batch,
         phases: phases_avg,

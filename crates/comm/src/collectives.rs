@@ -124,6 +124,55 @@ pub trait Collectives: Communicator {
         self.broadcast(0, gathered.map(GatheredVec)).0
     }
 
+    /// Exclusive prefix fold over ranks (MPI's `Exscan`): PE `i` returns
+    /// `op` folded over the values of PEs `0..i`, and PE 0 returns `None`.
+    ///
+    /// Implemented with Hillis–Steele recursive doubling, which works for
+    /// any PE count: `⌈log₂ p⌉` rounds, one `words(value)`-word message per
+    /// PE per round — the O(βℓ + α log p) bound the Section 5 output
+    /// collection relies on. `op` must be associative.
+    fn exscan<T: Message + Clone>(&self, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
+        let (rank, p) = (self.rank(), self.size());
+        let tag = coll_tag(self.next_collective_seq(), 3);
+        // `incl` covers a window of ranks ending at `rank`; `excl` covers
+        // everything below that window's start, so appending each incoming
+        // window (which always directly precedes the current one) keeps
+        // `excl · incl = fold(0..=rank)` as the windows double.
+        let mut incl = value;
+        let mut excl: Option<T> = None;
+        let mut d = 1usize;
+        while d < p {
+            if rank + d < p {
+                self.send(rank + d, tag, incl.clone());
+            }
+            if rank >= d {
+                let incoming = self.recv::<T>(rank - d, tag);
+                excl = Some(match excl {
+                    None => incoming.clone(),
+                    Some(e) => op(incoming.clone(), e),
+                });
+                incl = op(incoming, incl);
+            }
+            d <<= 1;
+        }
+        excl
+    }
+
+    /// Segmented all-gather by rank (MPI's `Allgatherv`): every PE
+    /// contributes a variable-length vector and receives the concatenation
+    /// of all contributions in rank order, plus the per-rank segment
+    /// lengths (so callers can recover which PE contributed which slice).
+    fn allgatherv<T: Message + Clone>(&self, items: Vec<T>) -> (Vec<T>, Vec<u64>) {
+        let gathered = self.gather(0, items);
+        let packed = gathered.map(|parts| {
+            let counts: Vec<u64> = parts.iter().map(|v| v.len() as u64).collect();
+            let flat: Vec<T> = parts.into_iter().flatten().collect();
+            (counts, flat)
+        });
+        let (counts, flat) = self.broadcast(0, packed);
+        (flat, counts)
+    }
+
     /// Synchronize all PEs.
     fn barrier(&self) {
         self.allreduce((), |_, _| ());
@@ -150,6 +199,13 @@ pub trait Collectives: Communicator {
     /// Maximum of one `f64` over all PEs (NaN-free inputs assumed).
     fn max_f64(&self, x: f64) -> f64 {
         self.allreduce(x, f64::max)
+    }
+
+    /// Exclusive prefix sum of one `u64` over ranks: the sum of the values
+    /// of all lower-ranked PEs (0 on PE 0). The offset primitive of the
+    /// Section 5 distributed output collection.
+    fn exscan_sum_u64(&self, x: u64) -> u64 {
+        self.exscan(x, |a, b| a + b).unwrap_or(0)
     }
 }
 

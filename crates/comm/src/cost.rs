@@ -106,6 +106,22 @@ impl CostModel {
     pub fn gather(&self, p: usize, total_words: u64) -> SimTime {
         SimTime(Self::tree_rounds(p) as f64 * self.alpha + self.beta * total_words as f64)
     }
+
+    /// Exclusive prefix sum (exscan) of a `words`-word value: Hillis–Steele
+    /// recursive doubling, `⌈log₂ p⌉` rounds of one message per PE —
+    /// matching [`crate::collectives::Collectives::exscan`].
+    #[inline]
+    pub fn exscan(&self, p: usize, words: u64) -> SimTime {
+        self.tree_collective(p, words)
+    }
+
+    /// All-gather of `total_words` spread over `p` PEs: gather to a root
+    /// then broadcast the concatenation — matching
+    /// [`crate::collectives::Collectives::allgatherv`].
+    #[inline]
+    pub fn allgather(&self, p: usize, total_words: u64) -> SimTime {
+        self.gather(p, total_words) + self.tree_collective(p, total_words)
+    }
 }
 
 #[cfg(test)]

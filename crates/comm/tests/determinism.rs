@@ -124,6 +124,70 @@ fn per_batch_volume_is_independent_of_payload_history() {
 }
 
 #[test]
+fn exscan_computes_exclusive_prefix_sums() {
+    // Correctness for arbitrary (including non-power-of-two) PE counts,
+    // plus determinism across repeated runs.
+    for p in [1usize, 2, 3, 5, 6, 8, 13] {
+        let run = || -> Vec<(u64, Option<u64>)> {
+            run_threads(p, |comm| {
+                let mine = value_for(comm.rank(), 42) % 1000;
+                (
+                    comm.exscan_sum_u64(mine),
+                    comm.exscan(mine, |a, b| a.max(b)),
+                )
+            })
+        };
+        let a = run();
+        assert_eq!(a, run(), "p={p}: exscan nondeterministic");
+        let mut prefix = 0u64;
+        let mut prefix_max: Option<u64> = None;
+        for (rank, (sum, max)) in a.iter().enumerate() {
+            let mine = value_for(rank, 42) % 1000;
+            assert_eq!(*sum, prefix, "p={p} rank={rank}");
+            assert_eq!(*max, prefix_max, "p={p} rank={rank}");
+            prefix += mine;
+            prefix_max = Some(prefix_max.map_or(mine, |m| m.max(mine)));
+        }
+    }
+}
+
+#[test]
+fn exscan_rounds_match_cost_model() {
+    // Hillis–Steele: every PE sends at most one message per doubling round,
+    // so the maximum per-endpoint message count is ⌈log₂ p⌉ — exactly what
+    // CostModel::exscan charges.
+    for p in [2usize, 3, 4, 7, 8, 16] {
+        let per_pe = run_threads(p, |comm| {
+            let _ = comm.exscan_sum_u64(comm.rank() as u64);
+            comm.stats().messages
+        });
+        let max_sends = per_pe.iter().copied().max().expect("nonempty");
+        assert_eq!(max_sends, CostModel::tree_rounds(p) as u64, "p={p}");
+    }
+}
+
+#[test]
+fn allgatherv_concatenates_in_rank_order() {
+    for p in [1usize, 2, 4, 5] {
+        let results = run_threads(p, |comm| {
+            // PE r contributes r+1 values tagged with its rank.
+            let mine: Vec<u64> = (0..=comm.rank() as u64)
+                .map(|i| ((comm.rank() as u64) << 32) | i)
+                .collect();
+            comm.allgatherv(mine)
+        });
+        let expect_counts: Vec<u64> = (1..=p as u64).collect();
+        let expect_flat: Vec<u64> = (0..p as u64)
+            .flat_map(|r| (0..=r).map(move |i| (r << 32) | i))
+            .collect();
+        for (flat, counts) in &results {
+            assert_eq!(counts, &expect_counts, "p={p}");
+            assert_eq!(flat, &expect_flat, "p={p}");
+        }
+    }
+}
+
+#[test]
 fn latency_rounds_match_cost_model_tree_depth() {
     // The number of sequential rounds the α term charges: a PE sends at
     // most once per broadcast round, so the *maximum per-endpoint message

@@ -15,6 +15,7 @@ use reservoir_select::kth_smallest;
 use reservoir_stream::Item;
 
 use crate::dist::local::LocalReservoir;
+use crate::dist::output::SampleHandle;
 use crate::dist::{DistConfig, SamplingMode};
 use crate::sample::SampleItem;
 
@@ -109,6 +110,19 @@ impl<'a, C: Communicator> GatherSampler<'a, C> {
     pub fn local_len(&self) -> u64 {
         self.reservoir.len() as u64
     }
+
+    /// Output collection for the centralized baseline (collective): the
+    /// root already holds the whole reservoir, so the returned
+    /// [`SampleHandle`] simply places the root's slice at offset 0 and
+    /// gives every other PE an empty slice. This is the comparison point
+    /// for the Section 5 distributed output — here all Θ(β·k) words
+    /// already moved through the root's downlink during the batches.
+    pub fn collect_output(&self) -> SampleHandle {
+        let mut items: Vec<SampleItem> = self.sample();
+        items
+            .sort_unstable_by(|a, b| SampleKey::new(a.key, a.id).cmp(&SampleKey::new(b.key, b.id)));
+        SampleHandle::assemble(self.comm, items, self.threshold())
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +159,27 @@ mod tests {
             assert!(sample.is_empty());
             assert_eq!(other_t, &Some(t));
         }
+    }
+
+    #[test]
+    fn collect_output_places_everything_at_the_root() {
+        let k = 30;
+        let results = run_threads(3, |comm| {
+            let mut s = GatherSampler::new(&comm, DistConfig::weighted(k, 19));
+            for b in 0..3u64 {
+                s.process_batch(&unit_batch(comm.rank(), b, 80));
+            }
+            s.collect_output()
+        });
+        assert_eq!(results[0].local_len(), k as u64);
+        assert_eq!(results[0].offset(), 0);
+        for h in &results {
+            assert_eq!(h.total_len(), k as u64);
+        }
+        assert!(results[1..].iter().all(|h| h.local_len() == 0));
+        // The root's slice is key-sorted, as the handle contract requires.
+        let keys: Vec<f64> = results[0].local_items().iter().map(|s| s.key).collect();
+        assert!(keys.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

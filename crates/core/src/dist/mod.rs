@@ -24,9 +24,16 @@
 //! law, selection round counts) for thousands of PEs in one process while
 //! charging communication to an α–β cost model. [`gather`] is the
 //! centralized baseline of Section 4.5.
+//!
+//! The sample itself stays distributed: [`output`] implements the Section 5
+//! output collection, which finalizes the sample to exactly `k` members and
+//! hands every PE a root-free [`output::SampleHandle`] over its slice of
+//! the global output — O(log p) small messages instead of a Θ(β·k) root
+//! funnel.
 
 pub mod gather;
 pub mod local;
+pub mod output;
 pub mod sim;
 pub mod threaded;
 
@@ -113,7 +120,7 @@ impl DistConfig {
 }
 
 /// What one [`threaded::DistributedSampler::process_batch`] call did.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct BatchReport {
     /// Global sample size after the batch (union of the local reservoirs).
     pub sample_size: u64,
@@ -121,10 +128,14 @@ pub struct BatchReport {
     pub select_rounds: u32,
     /// Items inserted into *this PE's* local reservoir during the batch.
     pub inserted: u64,
+    /// Wall-clock seconds this batch spent per algorithm phase on this PE
+    /// (`output` is always 0 here; it accrues in `collect_output`).
+    pub times: crate::metrics::PhaseTimes,
 }
 
 pub use gather::GatherSampler;
 pub use local::LocalReservoir;
+pub use output::SampleHandle;
 pub use threaded::DistributedSampler;
 
 #[cfg(test)]

@@ -158,6 +158,36 @@ pub struct SimBatchReport {
     pub times: PhaseTimes,
 }
 
+/// How the finalized sample leaves the cluster (paper Sections 4.5 vs 5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OutputPath {
+    /// Section 5: finalize in place — a distributed selection to rank `k`
+    /// (only if the union currently exceeds `k`) plus one all-reduce and
+    /// one exclusive prefix sum; no sample member moves.
+    Distributed,
+    /// Funnel every surviving member through a root gather (the output
+    /// analogue of the Section 4.5 baseline).
+    Gather,
+}
+
+/// Modeled cost of one output collection.
+#[derive(Clone, Copy, Debug)]
+pub struct SimOutputReport {
+    /// Modeled wall time. Everything — including the finalization
+    /// selection rounds on the distributed path — is charged to the
+    /// `output` phase, matching the threaded backend's `collect_output`.
+    pub times: PhaseTimes,
+    /// Selection rounds the distributed finalization used (0 when the
+    /// sample was already at `k`, and always 0 for the gather path).
+    pub rounds: u32,
+    /// Global sample size of the collected output.
+    pub total: u64,
+    /// Words through the busiest endpoint — the root's downlink for the
+    /// gather path, one PE's collective payloads for the distributed path.
+    /// This is the communication-volume bottleneck the paper compares.
+    pub bottleneck_words: u64,
+}
+
 /// One simulated PE's reservoir: `(key, weight)` entries sorted by key.
 #[derive(Debug, Default)]
 struct SimPe {
@@ -294,6 +324,84 @@ impl<L: LocalCostModel> SimCluster<L> {
             };
         }
         SimBatchReport { rounds, times }
+    }
+
+    /// Model one output collection (paper Section 5 vs the root funnel)
+    /// over the current sample, without disturbing the cluster state —
+    /// like the threaded backend's `collect_output`, this is a snapshot:
+    /// streaming can continue afterwards.
+    ///
+    /// The distributed path charges a finalization selection to exact rank
+    /// `k` (only when the union currently exceeds `k` — variable-size mode
+    /// or a mid-window cut), one 1-word all-reduce and one 1-word exscan.
+    /// The gather path charges shipping every surviving member (3 words
+    /// each) through the root's downlink plus a sequential final
+    /// quickselect there. `bottleneck_words` reports the busiest
+    /// endpoint's traffic for the same two designs.
+    pub fn collect_output(&mut self, path: OutputPath) -> SimOutputReport {
+        let p = self.cfg.p;
+        let k = self.cfg.k as u64;
+        let union: u64 = self.pes.iter().map(|pe| pe.total()).sum();
+        let total = union.min(k);
+        let mut times = PhaseTimes::default();
+        let mut rounds = 0u32;
+        let tree = CostModel::tree_rounds(p) as u64;
+        // Both paths agree on the union size first (1-word all-reduce).
+        times.output += self.net.allreduce(p, 1).seconds();
+        let mut bottleneck_words = 2 * tree;
+        match path {
+            OutputPath::Distributed => {
+                if union > k {
+                    let d = self.pivots();
+                    let refs: Vec<&SimPe> = self.pes.iter().collect();
+                    let report = select_conductor(
+                        &refs,
+                        TargetRank::exact(k),
+                        SelectParams::with_pivots(d),
+                        &mut self.select_rngs,
+                    );
+                    let max_tree = self.pes.iter().map(|pe| pe.total()).max().unwrap_or(0);
+                    for &words in &report.round_payload_words {
+                        times.output += self.net.allreduce(p, words).seconds()
+                            + self.costs.select_round_local(max_tree, d as u64);
+                        // Busiest endpoint: forwards the combined payload
+                        // once per broadcast tree level.
+                        bottleneck_words += words * (1 + tree);
+                    }
+                    rounds = report.result.rounds;
+                }
+                // The exclusive prefix sum that places every PE's slice.
+                times.output += self.net.exscan(p, 1).seconds();
+                bottleneck_words += tree;
+            }
+            OutputPath::Gather => {
+                // Every surviving member moves: 3 words each, plus one
+                // count word per PE, through the root's downlink.
+                let payload = 3 * union + p as u64;
+                times.output += self.net.gather(p, payload).seconds();
+                if union > k {
+                    times.output += self.costs.quickselect(union);
+                }
+                // Announce the finalized threshold back.
+                times.output += self.net.tree_collective(p, 3).seconds();
+                bottleneck_words += payload + 3 * tree;
+            }
+        }
+        SimOutputReport {
+            times,
+            rounds,
+            total,
+            bottleneck_words,
+        }
+    }
+
+    /// The pivot count the cluster's selections use (1 for the gather
+    /// algorithm, whose threshold selection is sequential at the root).
+    fn pivots(&self) -> usize {
+        match self.cfg.algo {
+            SimAlgo::Ours { pivots } => pivots,
+            SimAlgo::Gather => 1,
+        }
     }
 
     /// The current global threshold, once established.
@@ -692,6 +800,58 @@ mod tests {
         assert_eq!(ours_t.gather, 0.0);
         assert!(ours_t.select > 0.0);
         assert!(gather_t.gather > 0.0);
+    }
+
+    #[test]
+    fn distributed_output_beats_gather_at_scale() {
+        // The Section 5 crossover: for a large machine and a large sample,
+        // the root funnel pays Θ(β·k) on its downlink while the
+        // distributed path pays O(α log p) — both in time and in words.
+        let mut sim = SimCluster::new(
+            cfg(1024, 50_000, 2_000, SimAlgo::Ours { pivots: 8 }, 5),
+            CostModel::infiniband_edr(),
+            AnalyticLocalCosts::default(),
+        );
+        for _ in 0..3 {
+            sim.process_batch();
+        }
+        let dist = sim.collect_output(OutputPath::Distributed);
+        let gather = sim.collect_output(OutputPath::Gather);
+        assert_eq!(dist.total, 50_000);
+        assert_eq!(gather.total, 50_000);
+        assert!(
+            dist.bottleneck_words * 10 < gather.bottleneck_words,
+            "distributed {d} words should be far below gather {g}",
+            d = dist.bottleneck_words,
+            g = gather.bottleneck_words
+        );
+        assert!(
+            dist.times.output < gather.times.output,
+            "distributed {d:.2e}s should beat gather {g:.2e}s",
+            d = dist.times.output,
+            g = gather.times.output
+        );
+    }
+
+    #[test]
+    fn output_is_a_snapshot_and_finalizes_only_above_k() {
+        let mut sim = SimCluster::new(
+            cfg(8, 500, 2_000, SimAlgo::Ours { pivots: 2 }, 9),
+            CostModel::infiniband_edr(),
+            AnalyticLocalCosts::default(),
+        );
+        for _ in 0..2 {
+            sim.process_batch();
+        }
+        let before = sim.sample().len();
+        // Steady state: the sample is already exactly k, so the distributed
+        // path needs no finalization selection.
+        let out = sim.collect_output(OutputPath::Distributed);
+        assert_eq!(out.rounds, 0);
+        assert_eq!(out.total, 500);
+        assert_eq!(sim.sample().len(), before, "collect_output must not prune");
+        assert!(out.times.output > 0.0);
+        assert!(out.times.insert == 0.0 && out.times.gather == 0.0);
     }
 
     #[test]

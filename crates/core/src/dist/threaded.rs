@@ -14,6 +14,7 @@ use reservoir_select::{select_threaded, SelectParams, TargetRank};
 use reservoir_stream::Item;
 
 use crate::dist::local::LocalReservoir;
+use crate::dist::output::SampleHandle;
 use crate::dist::{BatchReport, DistConfig, SamplingMode};
 use crate::metrics::PhaseTimes;
 use crate::sample::SampleItem;
@@ -53,6 +54,8 @@ impl<'a, C: Communicator> DistributedSampler<'a, C> {
 
     /// Process one mini-batch (collective). Returns what happened.
     pub fn process_batch(&mut self, items: &[Item]) -> BatchReport {
+        let mut times = PhaseTimes::default();
+
         // Phase 1: local insertion below the current threshold.
         let t0 = Instant::now();
         let t = self.threshold.map(|k| k.key);
@@ -60,12 +63,12 @@ impl<'a, C: Communicator> DistributedSampler<'a, C> {
             SamplingMode::Weighted => self.local.process_weighted(items, t, &mut self.key_rng),
             SamplingMode::Uniform => self.local.process_uniform(items, t, &mut self.key_rng),
         };
-        self.phases.insert += t0.elapsed().as_secs_f64();
+        times.insert += t0.elapsed().as_secs_f64();
 
         // Phase 2: agree on the union size.
         let t1 = Instant::now();
         let union = self.comm.sum_u64(self.local.len());
-        self.phases.threshold += t1.elapsed().as_secs_f64();
+        times.threshold += t1.elapsed().as_secs_f64();
 
         // Phase 3: if the union outgrew the limit, re-select the threshold
         // and prune. The first selection already runs when the union
@@ -91,19 +94,60 @@ impl<'a, C: Communicator> DistributedSampler<'a, C> {
                 SelectParams::with_pivots(self.cfg.pivots),
                 &mut self.select_rng,
             );
-            self.phases.select += t2.elapsed().as_secs_f64();
+            times.select += t2.elapsed().as_secs_f64();
             let t3 = Instant::now();
             self.threshold = Some(res.threshold);
             self.local.prune_above(&res.threshold);
             sample_size = res.rank;
             rounds = res.rounds;
-            self.phases.threshold += t3.elapsed().as_secs_f64();
+            times.threshold += t3.elapsed().as_secs_f64();
         }
+        self.phases.accumulate(&times);
         BatchReport {
             sample_size,
             select_rounds: rounds,
             inserted: stats.inserted,
+            times,
         }
+    }
+
+    /// Fully distributed output collection (collective; paper Section 5).
+    ///
+    /// Finalizes the sample to exactly `min(k, items seen)` members — in
+    /// variable-size mode (or after a mid-window stream cut) one
+    /// distributed selection for rank `k` fixes the final threshold; no
+    /// items move — and assigns every PE the global output positions of its
+    /// slice via an exclusive prefix count. O(d · rounds + 1) words per PE
+    /// at O(α log p) latency, independent of `k` and the stream length.
+    ///
+    /// The sampler itself is left untouched (its local reservoir keeps any
+    /// members above the finalization threshold), so streaming may continue
+    /// afterwards; the handle is a consistent snapshot.
+    pub fn collect_output(&mut self) -> SampleHandle {
+        let t0 = Instant::now();
+        let union = self.comm.sum_u64(self.local.len());
+        let k = self.cfg.k as u64;
+        let (items, threshold) = if union > k {
+            // Variable-size mode holds up to k̄ members between selections;
+            // the output is defined as the exact-k sample (Section 4.4).
+            let res = select_threaded(
+                self.comm,
+                self.local.tree(),
+                TargetRank::exact(k),
+                union,
+                SelectParams::with_pivots(self.cfg.pivots),
+                &mut self.select_rng,
+            );
+            let keep = self.local.tree().count_le(&res.threshold);
+            let mut items = self.local.items();
+            items.truncate(keep);
+            (items, Some(res.threshold.key))
+        } else {
+            (self.local.items(), self.threshold.map(|t| t.key))
+        };
+        let handle = SampleHandle::assemble(self.comm, items, threshold);
+        self.phases.output += t0.elapsed().as_secs_f64();
+        handle
     }
 
     /// The current global insertion threshold, once established.
@@ -209,6 +253,75 @@ mod tests {
         });
         assert!(results[0].total() > 0.0);
         assert!(results[0].gather == 0.0);
+    }
+
+    #[test]
+    fn collect_output_matches_gather_sample() {
+        // The distributed output must contain exactly the members the root
+        // funnel would collect — same ids, same keys, no movement needed.
+        let results = run_threads(3, |comm| {
+            let mut s = DistributedSampler::new(&comm, DistConfig::weighted(40, 21));
+            for b in 0..4u64 {
+                s.process_batch(&unit_batch(comm.rank(), b, 120));
+            }
+            let gathered = s.gather_sample();
+            let handle = s.collect_output();
+            let all = handle.all_items(&comm);
+            (gathered, handle, all)
+        });
+        let rooted = results[0].0.as_ref().expect("root");
+        let mut rooted_ids: Vec<u64> = rooted.iter().map(|s| s.id).collect();
+        rooted_ids.sort_unstable();
+        for (_, handle, all) in &results {
+            assert_eq!(handle.total_len(), 40);
+            let mut ids: Vec<u64> = all.iter().map(|s| s.id).collect();
+            ids.sort_unstable();
+            assert_eq!(ids, rooted_ids, "distributed output lost/changed members");
+        }
+        // Offsets partition 0..total in rank order.
+        let mut next = 0u64;
+        for (_, handle, _) in &results {
+            assert_eq!(handle.offset(), next);
+            next += handle.local_len();
+        }
+        assert_eq!(next, 40);
+    }
+
+    #[test]
+    fn collect_output_finalizes_window_mode_to_exactly_k() {
+        let (lo, hi) = (25u64, 60u64);
+        let results = run_threads(2, |comm| {
+            let cfg = DistConfig::weighted(25, 13).with_size_window(lo, hi);
+            let mut s = DistributedSampler::new(&comm, cfg);
+            for b in 0..5u64 {
+                s.process_batch(&unit_batch(comm.rank(), b, 200));
+            }
+            let before = s.local_len();
+            let handle = s.collect_output();
+            // The sampler keeps streaming state: nothing was pruned.
+            assert_eq!(s.local_len(), before);
+            let t = handle.threshold().expect("finalized");
+            assert!(handle.local_items().iter().all(|m| m.key <= t));
+            (handle, s.phase_totals())
+        });
+        let total: u64 = results.iter().map(|(h, _)| h.local_len()).sum();
+        assert_eq!(total, lo, "finalization must cut the window back to k");
+        assert_eq!(results[0].0.total_len(), lo);
+        // Output phase time was recorded.
+        assert!(results.iter().all(|(_, p)| p.output > 0.0));
+    }
+
+    #[test]
+    fn collect_output_before_fill_keeps_everything() {
+        let results = run_threads(2, |comm| {
+            let mut s = DistributedSampler::new(&comm, DistConfig::uniform(100, 5));
+            s.process_batch(&unit_batch(comm.rank(), 0, 20));
+            s.collect_output()
+        });
+        let total: u64 = results.iter().map(|h| h.local_len()).sum();
+        assert_eq!(total, 40);
+        assert_eq!(results[0].total_len(), 40);
+        assert_eq!(results[0].threshold(), None);
     }
 
     #[test]

@@ -1,9 +1,10 @@
-//! Per-phase running-time accounting (paper Section 6.5).
+//! Per-phase running-time accounting (paper Sections 5 and 6.5).
 //!
 //! The paper decomposes each algorithm's running time into **insert**
 //! (local batch processing), **select** (distributed or sequential
 //! selection), **threshold** (the final all-reduction / broadcast of the
-//! new threshold) and — for the centralized baseline — **gather**. Both
+//! new threshold), **output** (Section 5 sample finalization and output
+//! collection) and — for the centralized baseline — **gather**. Both
 //! backends fill the same structure: the threaded backend from wall-clock
 //! measurements, the simulator from its cost model.
 
@@ -19,12 +20,15 @@ pub struct PhaseTimes {
     pub threshold: f64,
     /// Collecting candidates at the root (centralized baseline only).
     pub gather: f64,
+    /// Output collection (Section 5): final top-k finalization plus the
+    /// prefix counts that assign every PE its slice of the global sample.
+    pub output: f64,
 }
 
 impl PhaseTimes {
     /// Total across phases.
     pub fn total(&self) -> f64 {
-        self.insert + self.select + self.threshold + self.gather
+        self.insert + self.select + self.threshold + self.gather + self.output
     }
 
     /// Elementwise accumulation.
@@ -33,21 +37,34 @@ impl PhaseTimes {
         self.select += other.select;
         self.threshold += other.threshold;
         self.gather += other.gather;
+        self.output += other.output;
     }
 
     /// Fractions of the total per phase (insert, select, threshold,
-    /// gather); all zeros for an empty accumulator.
-    pub fn fractions(&self) -> [f64; 4] {
+    /// gather, output); all zeros for an empty accumulator.
+    pub fn fractions(&self) -> [f64; 5] {
         let t = self.total();
         if t == 0.0 {
-            return [0.0; 4];
+            return [0.0; 5];
         }
         [
             self.insert / t,
             self.select / t,
             self.threshold / t,
             self.gather / t,
+            self.output / t,
         ]
+    }
+
+    /// Elementwise division by a scalar (e.g. to average over batches).
+    pub fn scaled(&self, divisor: f64) -> PhaseTimes {
+        PhaseTimes {
+            insert: self.insert / divisor,
+            select: self.select / divisor,
+            threshold: self.threshold / divisor,
+            gather: self.gather / divisor,
+            output: self.output / divisor,
+        }
     }
 }
 
@@ -69,11 +86,12 @@ mod tests {
             insert: 2.0,
             select: 1.0,
             threshold: 0.5,
-            gather: 0.5,
+            gather: 0.25,
+            output: 0.25,
         };
         assert_eq!(t.total(), 4.0);
         let f = t.fractions();
-        assert_eq!(f, [0.5, 0.25, 0.125, 0.125]);
+        assert_eq!(f, [0.5, 0.25, 0.125, 0.0625, 0.0625]);
     }
 
     #[test]
@@ -89,6 +107,21 @@ mod tests {
         };
         assert_eq!(b.insert, 1.0);
         assert_eq!(b.select, 2.0);
-        assert_eq!(PhaseTimes::default().fractions(), [0.0; 4]);
+        assert_eq!(PhaseTimes::default().fractions(), [0.0; 5]);
+    }
+
+    #[test]
+    fn scaled_divides_every_phase() {
+        let t = PhaseTimes {
+            insert: 2.0,
+            select: 4.0,
+            threshold: 6.0,
+            gather: 8.0,
+            output: 10.0,
+        };
+        let half = t.scaled(2.0);
+        assert_eq!(half.insert, 1.0);
+        assert_eq!(half.output, 5.0);
+        assert_eq!(half.total(), t.total() / 2.0);
     }
 }

@@ -12,7 +12,7 @@
 //! the law actually differs.
 
 use reservoir_core::seq::{WeightedJumpSampler, WeightedNaiveSampler};
-use reservoir_rng::default_rng;
+use reservoir_rng::{default_rng, test_base_seed};
 
 /// A strongly skewed weight profile: geometric decay over items, spanning
 /// three orders of magnitude, with a few heavy hitters up front.
@@ -79,8 +79,9 @@ fn jump_and_naive_samplers_have_matching_inclusion_law() {
     let n = 120u64;
     let k = 12;
     let trials = 12_000u64;
-    let jump = inclusion_counts(n, k, trials, false, 1_000_000);
-    let naive = inclusion_counts(n, k, trials, true, 9_000_000);
+    let base = test_base_seed();
+    let jump = inclusion_counts(n, k, trials, false, base.wrapping_add(1_000_000));
+    let naive = inclusion_counts(n, k, trials, true, base.wrapping_add(9_000_000));
     // Sanity: both produced exactly k members per trial.
     assert_eq!(jump.iter().sum::<u64>(), trials * k as u64);
     assert_eq!(naive.iter().sum::<u64>(), trials * k as u64);
@@ -91,7 +92,8 @@ fn jump_and_naive_samplers_have_matching_inclusion_law() {
     assert!(
         stat < limit,
         "chi-square {stat:.1} exceeds χ²({df}) limit {limit:.1}: \
-         jump and naive inclusion laws differ"
+         jump and naive inclusion laws differ (base seed {base}; \
+         set RESERVOIR_TEST_SEED to reproduce/vary)"
     );
 }
 
@@ -101,12 +103,14 @@ fn chi_square_detects_a_genuinely_different_law() {
     // far past the same limit — otherwise the statistic has no power.
     let n = 120u64;
     let trials = 6_000u64;
-    let a = inclusion_counts(n, 12, trials, false, 3_000_000);
-    let b = inclusion_counts(n, 14, trials, false, 5_000_000);
+    let base = test_base_seed();
+    let a = inclusion_counts(n, 12, trials, false, base.wrapping_add(3_000_000));
+    let b = inclusion_counts(n, 14, trials, false, base.wrapping_add(5_000_000));
     let (stat, df) = two_sample_chi_square(&a, &b);
     let limit = chi_square_upper(df, 4.0);
     assert!(
         stat > limit,
-        "control failed: {stat:.1} should exceed {limit:.1} for different laws"
+        "control failed: {stat:.1} should exceed {limit:.1} for different laws \
+         (base seed {base})"
     );
 }

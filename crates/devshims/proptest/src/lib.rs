@@ -26,9 +26,12 @@ impl TestRng {
         TestRng(seed)
     }
 
-    /// Derive a seed from a test's name.
+    /// Derive a seed from a test's name, mixed with the suite-wide base
+    /// seed (`RESERVOIR_TEST_SEED` env override, decimal or 0x-hex), so a
+    /// failing case can be reproduced — or the whole suite re-rolled —
+    /// from the environment.
     pub fn seed_from_name(name: &str) -> u64 {
-        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut h = 0xcbf2_9ce4_8422_2325u64 ^ base_seed_from_env();
         for b in name.bytes() {
             h ^= b as u64;
             h = h.wrapping_mul(0x0000_0100_0000_01b3);
@@ -54,6 +57,48 @@ impl TestRng {
     /// Uniform `f64` in `[0, 1)`.
     pub fn unit_f64(&mut self) -> f64 {
         (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// The suite-wide base seed: the same `RESERVOIR_TEST_SEED` knob (and the
+/// same default, so setting the variable to the default is a no-op for
+/// the whole workspace) as `reservoir_rng::test_base_seed`. Duplicated
+/// here because the dev-shims stand below every workspace crate; keep the
+/// parsing in sync with `reservoir-rng`'s.
+pub fn base_seed_from_env() -> u64 {
+    match std::env::var("RESERVOIR_TEST_SEED") {
+        Ok(v) => {
+            let v = v.trim();
+            match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            }
+            .unwrap_or_else(|_| panic!("RESERVOIR_TEST_SEED must be a u64, got {v:?}"))
+        }
+        Err(_) => 0x5EED_BA5E,
+    }
+}
+
+/// Drop guard that reports the failing case's reproduction recipe when a
+/// property-test body panics (the shim has no shrinking, so the seed and
+/// case index are the whole recipe).
+pub struct FailureReporter {
+    /// The per-test derived seed.
+    pub seed: u64,
+    /// Zero-based index of the running case.
+    pub case: u32,
+}
+
+impl Drop for FailureReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "proptest case {} failed under derived seed {:#x} \
+                 (base seed: RESERVOIR_TEST_SEED, default 0); \
+                 re-run with the same environment to reproduce",
+                self.case, self.seed
+            );
+        }
     }
 }
 
@@ -318,10 +363,12 @@ macro_rules! proptest {
                 let seed = $crate::TestRng::seed_from_name(stringify!($name));
                 let mut rng = $crate::TestRng::new(seed);
                 for _case in 0..config.cases {
+                    let _failure_reporter = $crate::FailureReporter { seed, case: _case };
                     $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
                     // The closure gives `prop_assume!` an early exit.
                     #[allow(clippy::redundant_closure_call)]
                     (|| { $body })();
+                    ::std::mem::forget(_failure_reporter);
                 }
             }
         )*

@@ -28,7 +28,7 @@ mod seeding;
 mod xoshiro;
 
 pub use mt19937_64::Mt19937_64;
-pub use seeding::{SeedSequence, StreamKind};
+pub use seeding::{test_base_seed, SeedSequence, StreamKind};
 pub use xoshiro::{splitmix64, Xoshiro256PlusPlus};
 
 /// Scale factor mapping a 53-bit integer in `1..=2^53` onto `(0, 1]`.

@@ -34,6 +34,30 @@ impl StreamKind {
     }
 }
 
+/// The base seed randomized *tests* derive their per-trial seeds from.
+///
+/// Defaults to a fixed constant so test runs are reproducible; set the
+/// `RESERVOIR_TEST_SEED` environment variable (decimal, or hex with a `0x`
+/// prefix) to re-run a suite under a different seed — e.g. to reproduce or
+/// rule out a statistical near-miss. Failing statistical tests print the
+/// base seed they ran under.
+pub fn test_base_seed() -> u64 {
+    match std::env::var("RESERVOIR_TEST_SEED") {
+        Ok(v) => parse_seed(&v).unwrap_or_else(|| {
+            panic!("RESERVOIR_TEST_SEED must be a u64 (decimal or 0x-hex), got {v:?}")
+        }),
+        Err(_) => 0x5EED_BA5E_u64,
+    }
+}
+
+fn parse_seed(v: &str) -> Option<u64> {
+    let v = v.trim();
+    match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => v.parse().ok(),
+    }
+}
+
 /// Derives arbitrarily many independent generator seeds from one master seed.
 #[derive(Clone, Copy, Debug)]
 pub struct SeedSequence {
@@ -69,6 +93,16 @@ mod tests {
     use super::*;
     use crate::Rng64;
     use std::collections::HashSet;
+
+    #[test]
+    fn test_seed_parsing_accepts_decimal_and_hex() {
+        assert_eq!(parse_seed("12345"), Some(12345));
+        assert_eq!(parse_seed(" 0xABCD "), Some(0xABCD));
+        assert_eq!(parse_seed("0Xff"), Some(255));
+        assert_eq!(parse_seed("not-a-seed"), None);
+        // The env-driven entry point is stable within a process.
+        assert_eq!(test_base_seed(), test_base_seed());
+    }
 
     #[test]
     fn seeds_are_deterministic() {

@@ -12,7 +12,7 @@
 //! | Layer | Crate | What it provides |
 //! |---|---|---|
 //! | [`seq`] | `reservoir-core` | sequential samplers: exponential/geometric jumps + naive references |
-//! | [`dist`] | `reservoir-core` | Algorithm 1 (threaded + simulated backends), variable-size variant, centralized gather baseline |
+//! | [`dist`] | `reservoir-core` | Algorithm 1 (threaded + simulated backends), variable-size variant, centralized gather baseline, Section 5 distributed output ([`SampleHandle`]) |
 //! | [`select`] | `reservoir-select` | distributed selection: single/multi-pivot, approximate (amsSelect), quickselect |
 //! | [`btree`] | `reservoir-btree` | augmented B+ tree: rank/select/split/join local reservoirs |
 //! | [`comm`] | `reservoir-comm` | Communicator trait, threaded runtime, collectives, α–β cost model |
@@ -53,7 +53,7 @@
 //! assert_eq!(samples[0].as_ref().map(Vec::len), Some(50));
 //! ```
 
-pub use reservoir_core::{dist, metrics, sample, seq, PhaseTimes, SampleItem};
+pub use reservoir_core::{dist, metrics, sample, seq, PhaseTimes, SampleHandle, SampleItem};
 
 /// Augmented B+ tree (rank/select/split/join) — the local reservoirs.
 pub mod btree {

@@ -1,0 +1,42 @@
+//! Helpers shared by the statistical integration tests.
+//!
+//! All randomized tests derive their seeds from
+//! [`reservoir::rng::test_base_seed`] (override with `RESERVOIR_TEST_SEED`)
+//! and print that base seed when an assertion fires, so every failure is
+//! reproducible from the environment alone.
+
+/// A strongly skewed weight profile: geometric decay over items, spanning
+/// three orders of magnitude, with a few heavy hitters up front — the same
+/// profile as the sequential jump-vs-naive goodness-of-fit test.
+pub fn skewed_weight(i: u64) -> f64 {
+    1000.0 * 0.9f64.powi((i % 60) as i32) + 0.5
+}
+
+/// Two-sample chi-square statistic between equal-trial count vectors:
+/// Σ (a_i − b_i)² / (a_i + b_i) over items with a_i + b_i > 0.
+///
+/// Under H₀ (same inclusion law) this is asymptotically χ²(df) with
+/// df = #used items − 1.
+pub fn two_sample_chi_square(a: &[u64], b: &[u64]) -> (f64, usize) {
+    assert_eq!(a.len(), b.len());
+    let mut stat = 0.0;
+    let mut df = 0usize;
+    for (&x, &y) in a.iter().zip(b) {
+        let total = x + y;
+        if total == 0 {
+            continue;
+        }
+        let diff = x as f64 - y as f64;
+        stat += diff * diff / total as f64;
+        df += 1;
+    }
+    (stat, df.saturating_sub(1))
+}
+
+/// Normal-approximation upper quantile of χ²(df): df + z·√(2df) + z²·2/3.
+/// z = 2.33 is the 99th percentile (the "p > 0.01" acceptance bar);
+/// z = 4 keeps the false-failure probability around 3e-5.
+pub fn chi_square_upper(df: usize, z: f64) -> f64 {
+    let df = df as f64;
+    df + z * (2.0 * df).sqrt() + z * z * 2.0 / 3.0
+}

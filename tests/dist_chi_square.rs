@@ -1,0 +1,222 @@
+//! End-to-end statistical goodness of fit for the **distributed** sampler
+//! (threaded backend, skewed weights, many independent trials), mirroring
+//! the sequential jump-vs-naive test in `crates/core/tests/chi_square.rs`.
+//!
+//! The paper's Section 5 output collection must be a pure re-packaging of
+//! the sample: the members every PE keeps under the distributed output
+//! path must be (a) *identical* to what the root funnel would have
+//! gathered from the same sampler, and (b) drawn from the *same inclusion
+//! law* as the centralized `GatherSampler` baseline, which computes the
+//! sample with a completely different protocol. (a) is checked exactly
+//! inside every trial; (b) with a two-sample chi-square over per-item
+//! inclusion counts.
+//!
+//! The always-on tests keep trial counts modest; the `stats_`-prefixed
+//! tests behind the `stats` feature run the same laws at CI scale
+//! (`cargo test --release --features stats -- stats_`).
+
+mod common;
+
+use common::{chi_square_upper, skewed_weight, two_sample_chi_square};
+use reservoir::comm::run_threads;
+use reservoir::dist::gather::GatherSampler;
+use reservoir::dist::threaded::DistributedSampler;
+use reservoir::dist::DistConfig;
+use reservoir::rng::test_base_seed;
+use reservoir::stream::Item;
+
+/// Deal items 0..n round-robin over `p` PEs, split each PE's share into
+/// `batches` mini-batches.
+fn batches_for(rank: usize, p: usize, n: u64, batches: usize) -> Vec<Vec<Item>> {
+    let mine: Vec<Item> = (0..n)
+        .filter(|i| *i as usize % p == rank)
+        .map(|i| Item::new(i, skewed_weight(i)))
+        .collect();
+    let per = mine.len().div_ceil(batches).max(1);
+    mine.chunks(per).map(<[Item]>::to_vec).collect()
+}
+
+/// Per-item inclusion counts of the distributed sampler over `trials`
+/// runs, collected through the Section 5 distributed output path. Each
+/// trial also pins the output paths against each other: the all-gathered
+/// distributed output must equal the root-funnel `gather_sample` exactly.
+#[allow(clippy::too_many_arguments)]
+fn distributed_counts(
+    n: u64,
+    k: usize,
+    p: usize,
+    batches: usize,
+    trials: u64,
+    seed_base: u64,
+    window: Option<(u64, u64)>,
+) -> Vec<u64> {
+    let mut counts = vec![0u64; n as usize];
+    for t in 0..trials {
+        let ids = run_threads(p, |comm| {
+            use reservoir::comm::Communicator;
+            let mut cfg = DistConfig::weighted(k, seed_base.wrapping_add(t));
+            if let Some((lo, hi)) = window {
+                cfg = cfg.with_size_window(lo, hi);
+            }
+            let mut s = DistributedSampler::new(&comm, cfg);
+            for batch in batches_for(comm.rank(), p, n, batches) {
+                s.process_batch(&batch);
+            }
+            let rooted = s.gather_sample();
+            let handle = s.collect_output();
+            let all = handle.all_items(&comm);
+            // Both output paths expose the same member set — except in
+            // window mode, where the distributed path finalizes to exact k
+            // while the funnel ships the current (wider) window.
+            if window.is_none() {
+                let mut a: Vec<u64> = all.iter().map(|s| s.id).collect();
+                a.sort_unstable();
+                if let Some(r) = rooted {
+                    let mut b: Vec<u64> = r.iter().map(|s| s.id).collect();
+                    b.sort_unstable();
+                    assert_eq!(a, b, "output paths diverged (trial {t})");
+                }
+            }
+            assert_eq!(handle.total_len(), k as u64);
+            all.into_iter().map(|s| s.id).collect::<Vec<u64>>()
+        });
+        assert_eq!(ids[0].len(), k);
+        for &id in &ids[0] {
+            counts[id as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Per-item inclusion counts of the centralized `GatherSampler` baseline,
+/// read through its own output handle.
+fn gather_baseline_counts(
+    n: u64,
+    k: usize,
+    p: usize,
+    batches: usize,
+    trials: u64,
+    seed_base: u64,
+) -> Vec<u64> {
+    let mut counts = vec![0u64; n as usize];
+    for t in 0..trials {
+        let results = run_threads(p, |comm| {
+            use reservoir::comm::Communicator;
+            let mut s =
+                GatherSampler::new(&comm, DistConfig::weighted(k, seed_base.wrapping_add(t)));
+            for batch in batches_for(comm.rank(), p, n, batches) {
+                s.process_batch(&batch);
+            }
+            s.collect_output()
+        });
+        assert_eq!(results[0].local_len(), k as u64, "root holds the sample");
+        for m in results[0].local_items() {
+            counts[m.id as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// The body shared by the quick and the CI-scale variants.
+fn check_distributed_matches_gather_law(n: u64, k: usize, p: usize, trials: u64, z: f64) {
+    let base = test_base_seed();
+    let dist = distributed_counts(n, k, p, 2, trials, base.wrapping_add(1_000_000), None);
+    let gather = gather_baseline_counts(n, k, p, 2, trials, base.wrapping_add(9_000_000));
+    // Sanity: both produced exactly k members per trial.
+    assert_eq!(dist.iter().sum::<u64>(), trials * k as u64);
+    assert_eq!(gather.iter().sum::<u64>(), trials * k as u64);
+    // Heavy items must dominate light ones (weights span three decades).
+    assert!(dist[0] > dist[59] * 3, "{} vs {}", dist[0], dist[59]);
+    let (stat, df) = two_sample_chi_square(&dist, &gather);
+    let limit = chi_square_upper(df, z);
+    assert!(
+        stat < limit,
+        "chi-square {stat:.1} exceeds χ²({df}) limit {limit:.1}: distributed and \
+         gather-baseline inclusion laws differ (base seed {base}; \
+         set RESERVOIR_TEST_SEED to reproduce/vary)"
+    );
+}
+
+#[test]
+fn distributed_and_gather_inclusion_laws_match() {
+    // z = 2.33 is the 99th χ² percentile — the observed statistic
+    // corresponds to p > 0.01. Deterministic under the default base seed.
+    check_distributed_matches_gather_law(96, 16, 2, 600, 2.33);
+}
+
+#[test]
+fn dist_chi_square_detects_a_genuinely_different_law() {
+    // Positive control: distributed k vs gather 3k/2 on the same stream
+    // must blow far past the same limit — otherwise the statistic has no
+    // power at these trial counts.
+    let base = test_base_seed();
+    let (n, p, trials) = (96u64, 2usize, 300u64);
+    let a = distributed_counts(n, 16, p, 2, trials, base.wrapping_add(3_000_000), None);
+    let b = gather_baseline_counts(n, 24, p, 2, trials, base.wrapping_add(5_000_000));
+    let (stat, df) = two_sample_chi_square(&a, &b);
+    let limit = chi_square_upper(df, 2.33);
+    assert!(
+        stat > limit,
+        "control failed: {stat:.1} should exceed {limit:.1} for different laws \
+         (base seed {base})"
+    );
+}
+
+#[test]
+fn window_mode_output_has_the_exact_k_law() {
+    // Variable-size mode holds up to k̄ members mid-stream; collect_output
+    // must cut it back to an exact-k sample with the same law as an
+    // exact-k run. Compare window-mode distributed output against the
+    // plain gather baseline at k.
+    let base = test_base_seed();
+    let (n, k, p, trials) = (96u64, 16usize, 2usize, 600u64);
+    let windowed = distributed_counts(
+        n,
+        k,
+        p,
+        2,
+        trials,
+        base.wrapping_add(7_000_000),
+        Some((k as u64, 2 * k as u64 + 8)),
+    );
+    let gather = gather_baseline_counts(n, k, p, 2, trials, base.wrapping_add(8_000_000));
+    assert_eq!(windowed.iter().sum::<u64>(), trials * k as u64);
+    let (stat, df) = two_sample_chi_square(&windowed, &gather);
+    let limit = chi_square_upper(df, 2.33);
+    assert!(
+        stat < limit,
+        "chi-square {stat:.1} exceeds χ²({df}) limit {limit:.1}: window-mode \
+         finalization distorts the sample law (base seed {base})"
+    );
+}
+
+/// CI-scale version (release build, `stats` feature): more items, more
+/// PEs, an order of magnitude more trials.
+#[cfg(feature = "stats")]
+#[test]
+fn stats_distributed_matches_gather_law_at_scale() {
+    check_distributed_matches_gather_law(240, 30, 3, 4_000, 2.33);
+}
+
+#[cfg(feature = "stats")]
+#[test]
+fn stats_window_mode_matches_exact_mode_law_at_scale() {
+    let base = test_base_seed();
+    let (n, k, p, trials) = (240u64, 30usize, 3usize, 3_000u64);
+    let windowed = distributed_counts(
+        n,
+        k,
+        p,
+        3,
+        trials,
+        base.wrapping_add(11_000_000),
+        Some((k as u64, 3 * k as u64)),
+    );
+    let exact = distributed_counts(n, k, p, 3, trials, base.wrapping_add(13_000_000), None);
+    let (stat, df) = two_sample_chi_square(&windowed, &exact);
+    let limit = chi_square_upper(df, 2.33);
+    assert!(
+        stat < limit,
+        "chi-square {stat:.1} exceeds χ²({df}) limit {limit:.1} (base seed {base})"
+    );
+}

@@ -5,6 +5,7 @@ use reservoir::comm::{run_threads, Collectives, Communicator};
 use reservoir::dist::gather::GatherSampler;
 use reservoir::dist::threaded::DistributedSampler;
 use reservoir::dist::DistConfig;
+use reservoir::rng::test_base_seed;
 use reservoir::stream::{Item, StreamSpec, WeightGen};
 
 /// The union of local reservoirs is a size-k sample with distinct ids and
@@ -71,11 +72,13 @@ fn uniform_inclusion_probability_is_k_over_n() {
     let k = 30;
     let n_per_pe = 150u64; // n = 300, inclusion 0.1
     let trials = 500;
+    let base = test_base_seed();
     let mut early_hits = 0u32; // an item from batch 1
     let mut late_hits = 0u32; // an item from the last batch
     for t in 0..trials {
         let results = run_threads(p, |comm| {
-            let mut s = DistributedSampler::new(&comm, DistConfig::uniform(k, 1000 + t));
+            let mut s =
+                DistributedSampler::new(&comm, DistConfig::uniform(k, base.wrapping_add(1000 + t)));
             let rank = comm.rank() as u64;
             for b in 0..3u64 {
                 let items: Vec<Item> = (0..n_per_pe / 3)
@@ -99,7 +102,8 @@ fn uniform_inclusion_probability_is_k_over_n() {
         let frac = hits as f64 / trials as f64;
         assert!(
             (frac - expect).abs() < 0.04,
-            "{name} item inclusion {frac:.3} vs expected {expect:.3}"
+            "{name} item inclusion {frac:.3} vs expected {expect:.3} \
+             (base seed {base}; set RESERVOIR_TEST_SEED to reproduce/vary)"
         );
     }
 }
@@ -112,17 +116,19 @@ fn gather_and_distributed_threshold_laws_agree() {
     let p = 2;
     let k = 100;
     let trials = 40;
+    let base = test_base_seed();
     let mut dist_sum = 0.0;
     let mut gather_sum = 0.0;
     for t in 0..trials {
+        let seed = base.wrapping_add(5_000 + t);
         let spec = StreamSpec {
             pes: p,
             batch_size: 1_000,
             weights: WeightGen::paper_uniform(),
-            seed: 5_000 + t,
+            seed,
         };
         let d = run_threads(p, |comm| {
-            let mut s = DistributedSampler::new(&comm, DistConfig::weighted(k, 5_000 + t));
+            let mut s = DistributedSampler::new(&comm, DistConfig::weighted(k, seed));
             let mut src = spec.source_for(comm.rank());
             let mut buf = Vec::new();
             for _ in 0..3 {
@@ -132,7 +138,7 @@ fn gather_and_distributed_threshold_laws_agree() {
             s.threshold()
         });
         let g = run_threads(p, |comm| {
-            let mut s = GatherSampler::new(&comm, DistConfig::weighted(k, 5_000 + t));
+            let mut s = GatherSampler::new(&comm, DistConfig::weighted(k, seed));
             let mut src = spec.source_for(comm.rank());
             let mut buf = Vec::new();
             for _ in 0..3 {
@@ -147,7 +153,8 @@ fn gather_and_distributed_threshold_laws_agree() {
     let (dm, gm) = (dist_sum / trials as f64, gather_sum / trials as f64);
     assert!(
         (dm - gm).abs() < 0.2 * dm.max(gm),
-        "threshold means diverge: distributed {dm:.3e} vs gather {gm:.3e}"
+        "threshold means diverge: distributed {dm:.3e} vs gather {gm:.3e} \
+         (base seed {base}; set RESERVOIR_TEST_SEED to reproduce/vary)"
     );
 }
 

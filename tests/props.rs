@@ -51,6 +51,82 @@ proptest! {
         prop_assert!(sample.iter().all(|x| x.id < n && x.key > 0.0 && x.key <= 1.0));
     }
 
+    /// Size-window (Section 4.4) invariants under arbitrary geometry: the
+    /// reported sample size stays at or below `hi` and — once the sample
+    /// filled — at or above `lo`; the threshold is monotonically
+    /// non-increasing; finalization cuts the output back to exactly
+    /// min(lo, total); and no item id appears on two PEs afterwards.
+    #[test]
+    fn size_window_invariants(
+        lo in 5u64..40,
+        extra in 1u64..40,
+        p in 1usize..4,
+        batch in 20usize..150,
+        seed in 0u64..400,
+    ) {
+        let hi = lo + extra;
+        let results = run_threads(p, move |comm| {
+            use reservoir::comm::Communicator;
+            let cfg = DistConfig::weighted(lo as usize, seed ^ 0x517E_AB1E).with_size_window(lo, hi);
+            let mut s = DistributedSampler::new(&comm, cfg);
+            let mut sizes = Vec::new();
+            let mut thresholds = Vec::new();
+            let mut total = 0u64;
+            for b in 0..4u64 {
+                let items: Vec<Item> = (0..batch as u64)
+                    .map(|i| {
+                        let id = ((comm.rank() as u64) << 40) | (b << 20) | i;
+                        Item::new(id, 0.25 + (i % 13) as f64)
+                    })
+                    .collect();
+                total += items.len() as u64;
+                let rep = s.process_batch(&items);
+                sizes.push(rep.sample_size);
+                thresholds.push(s.threshold());
+            }
+            let handle = s.collect_output();
+            (sizes, thresholds, handle, total)
+        });
+        let (sizes, thresholds, _, per_pe_total) = &results[0];
+        let total: u64 = per_pe_total * p as u64;
+        // The size never exceeds the window top; once the sample has
+        // filled (a threshold exists), it never drops below the bottom.
+        for (sz, t) in sizes.iter().zip(thresholds) {
+            prop_assert!(*sz <= hi, "size {sz} above window top {hi}");
+            if t.is_some() {
+                prop_assert!(*sz >= lo, "size {sz} under window bottom {lo}");
+            }
+        }
+        // Thresholds are non-increasing once established.
+        let established: Vec<f64> = thresholds.iter().flatten().copied().collect();
+        prop_assert!(established.windows(2).all(|w| w[1] <= w[0]));
+        // Every PE agrees on sizes and thresholds.
+        for r in &results[1..] {
+            prop_assert_eq!(&r.0, sizes);
+            prop_assert_eq!(&r.1, thresholds);
+        }
+        // Finalized output: exactly min(lo, total) members, disjoint ids
+        // across PEs, offsets partitioning the global range in rank order.
+        let expect = lo.min(total);
+        let grand: u64 = results.iter().map(|(_, _, h, _)| h.local_len()).sum();
+        prop_assert_eq!(grand, expect);
+        let mut next = 0u64;
+        let mut all_ids = Vec::new();
+        for (_, _, h, _) in &results {
+            prop_assert_eq!(h.total_len(), expect);
+            prop_assert_eq!(h.offset(), next);
+            next += h.local_len();
+            all_ids.extend(h.local_items().iter().map(|m| m.id));
+            if let Some(t) = h.threshold() {
+                prop_assert!(h.local_items().iter().all(|m| m.key <= t));
+            }
+        }
+        let distinct = all_ids.len();
+        all_ids.sort_unstable();
+        all_ids.dedup();
+        prop_assert_eq!(all_ids.len(), distinct, "duplicate ids across PEs");
+    }
+
     /// Distributed sampler with arbitrary (small) batch plans: the union
     /// sample always has size min(k, total items); ids unique.
     #[test]

@@ -6,6 +6,7 @@ use reservoir::comm::{run_threads, CostModel};
 use reservoir::dist::sim::{AnalyticLocalCosts, SimAlgo, SimCluster, SimConfig};
 use reservoir::dist::threaded::DistributedSampler;
 use reservoir::dist::{DistConfig, SamplingMode};
+use reservoir::rng::test_base_seed;
 use reservoir::stream::{StreamSpec, WeightGen};
 
 fn sim(p: usize, k: usize, b: u64, batches: usize, seed: u64) -> (f64, f64) {
@@ -72,11 +73,12 @@ fn threaded(p: usize, k: usize, b: usize, batches: usize, seed: u64) -> (f64, f6
 fn threshold_law_matches_threaded_backend() {
     let (p, k, b, batches) = (4, 200, 2_000u64, 4);
     let trials = 25;
+    let base = test_base_seed();
     let mut sim_mean = 0.0;
     let mut thr_mean = 0.0;
     for t in 0..trials {
-        sim_mean += sim(p, k, b, batches, 100 + t).0;
-        thr_mean += threaded(p, k, b as usize, batches, 100 + t).0;
+        sim_mean += sim(p, k, b, batches, base.wrapping_add(100 + t)).0;
+        thr_mean += threaded(p, k, b as usize, batches, base.wrapping_add(100 + t)).0;
     }
     sim_mean /= trials as f64;
     thr_mean /= trials as f64;
@@ -84,7 +86,8 @@ fn threshold_law_matches_threaded_backend() {
     // n·q(t) ≈ k; both implementations must concentrate near it.
     assert!(
         (sim_mean - thr_mean).abs() < 0.15 * thr_mean,
-        "threshold law diverges: sim {sim_mean:.4e} vs threaded {thr_mean:.4e}"
+        "threshold law diverges: sim {sim_mean:.4e} vs threaded {thr_mean:.4e} \
+         (base seed {base}; set RESERVOIR_TEST_SEED to reproduce/vary)"
     );
 }
 
@@ -94,17 +97,19 @@ fn threshold_law_matches_threaded_backend() {
 fn selection_rounds_match_threaded_backend() {
     let (p, k, b, batches) = (4, 500, 5_000u64, 6);
     let trials = 15;
+    let base = test_base_seed();
     let mut sim_rounds = 0.0;
     let mut thr_rounds = 0.0;
     for t in 0..trials {
-        sim_rounds += sim(p, k, b, batches, 300 + t).1;
-        thr_rounds += threaded(p, k, b as usize, batches, 300 + t).1;
+        sim_rounds += sim(p, k, b, batches, base.wrapping_add(300 + t)).1;
+        thr_rounds += threaded(p, k, b as usize, batches, base.wrapping_add(300 + t)).1;
     }
     sim_rounds /= trials as f64;
     thr_rounds /= trials as f64;
     assert!(
         (sim_rounds - thr_rounds).abs() < 0.30 * thr_rounds.max(sim_rounds),
-        "avg selection rounds diverge: sim {sim_rounds:.2} vs threaded {thr_rounds:.2}"
+        "avg selection rounds diverge: sim {sim_rounds:.2} vs threaded {thr_rounds:.2} \
+         (base seed {base}; set RESERVOIR_TEST_SEED to reproduce/vary)"
     );
 }
 

@@ -1,0 +1,254 @@
+//! Cost-model regression snapshots: fig4/5/6-style gather-vs-distributed
+//! tables from `SimCluster`, pinned as a golden file so silent drift in
+//! the α–β model, the local cost model, or the selection protocol fails
+//! CI.
+//!
+//! The golden table lives in `tests/golden/sim_costs.tsv`. On mismatch the
+//! test writes the freshly computed table (and a cell-level diff) to
+//! `target/sim-snapshot/` — CI uploads that directory as an artifact. To
+//! re-baseline after an *intentional* cost-model change:
+//!
+//! ```text
+//! UPDATE_SIM_GOLDEN=1 cargo test --test sim_snapshots
+//! ```
+//!
+//! The grid runs a fixed literal seed (not `RESERVOIR_TEST_SEED`): the
+//! snapshot pins one concrete trajectory, it is not a statistical test.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use reservoir::comm::CostModel;
+use reservoir::dist::sim::{AnalyticLocalCosts, OutputPath, SimAlgo, SimCluster, SimConfig};
+use reservoir::dist::SamplingMode;
+
+/// PE counts (nodes × 20 as in the paper's grid) and sample sizes pinned
+/// by the snapshot.
+const P_GRID: [usize; 3] = [20, 320, 5120];
+const K_GRID: [usize; 3] = [1_000, 10_000, 100_000];
+const SNAPSHOT_SEED: u64 = 0xC0FFEE;
+const BATCHES: usize = 3;
+
+/// Relative tolerance for modeled seconds and word counts: wide enough to
+/// absorb cross-platform libm wiggle shifting a selection by a round or
+/// two, narrow enough that any real cost-model change trips it.
+const REL_TOL: f64 = 0.35;
+/// Selection rounds may drift by a couple across platforms.
+const ROUNDS_TOL: i64 = 4;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Row {
+    p: usize,
+    k: usize,
+    /// Mean modeled seconds per mini-batch, Algorithm 1 (8 pivots).
+    ours_batch_s: f64,
+    /// Mean modeled seconds per mini-batch, gather baseline.
+    gather_batch_s: f64,
+    /// Output collection, Section 5 distributed path: seconds + busiest
+    /// endpoint's words + finalization rounds.
+    dist_out_s: f64,
+    dist_out_words: u64,
+    dist_rounds: u32,
+    /// Output collection through the root funnel.
+    gather_out_s: f64,
+    gather_out_words: u64,
+}
+
+const COLUMNS: &str = "p\tk\tours_batch_s\tgather_batch_s\tdist_out_s\tdist_out_words\tdist_rounds\tgather_out_s\tgather_out_words";
+
+fn compute_table() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &p in &P_GRID {
+        for &k in &K_GRID {
+            let mk = |algo| SimConfig {
+                p,
+                k,
+                b_per_pe: k as u64,
+                mode: SamplingMode::Weighted,
+                algo,
+                seed: SNAPSHOT_SEED ^ ((p as u64) << 32) ^ k as u64,
+            };
+            let net = CostModel::infiniband_edr();
+            let costs = AnalyticLocalCosts::default();
+            let mut ours = SimCluster::new(mk(SimAlgo::Ours { pivots: 8 }), net, costs);
+            let mut gather = SimCluster::new(mk(SimAlgo::Gather), net, costs);
+            let mut ours_s = 0.0;
+            let mut gather_s = 0.0;
+            for _ in 0..BATCHES {
+                ours_s += ours.process_batch().times.total();
+                gather_s += gather.process_batch().times.total();
+            }
+            let dist_out = ours.collect_output(OutputPath::Distributed);
+            let gather_out = ours.collect_output(OutputPath::Gather);
+            rows.push(Row {
+                p,
+                k,
+                ours_batch_s: ours_s / BATCHES as f64,
+                gather_batch_s: gather_s / BATCHES as f64,
+                dist_out_s: dist_out.times.total(),
+                dist_out_words: dist_out.bottleneck_words,
+                dist_rounds: dist_out.rounds,
+                gather_out_s: gather_out.times.total(),
+                gather_out_words: gather_out.bottleneck_words,
+            });
+        }
+    }
+    rows
+}
+
+fn format_table(rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# SimCluster cost snapshot — seed {SNAPSHOT_SEED:#x}, {BATCHES} batches, b_per_pe = k,\n\
+         # InfiniBand EDR α–β model, AnalyticLocalCosts. Regenerate with\n\
+         # UPDATE_SIM_GOLDEN=1 cargo test --test sim_snapshots\n\
+         # {COLUMNS}"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{:.6e}\t{:.6e}\t{:.6e}\t{}\t{}\t{:.6e}\t{}",
+            r.p,
+            r.k,
+            r.ours_batch_s,
+            r.gather_batch_s,
+            r.dist_out_s,
+            r.dist_out_words,
+            r.dist_rounds,
+            r.gather_out_s,
+            r.gather_out_words,
+        );
+    }
+    out
+}
+
+fn parse_table(text: &str) -> Vec<Row> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let f: Vec<&str> = l.split('\t').collect();
+            assert_eq!(f.len(), 9, "malformed golden row: {l:?}");
+            Row {
+                p: f[0].parse().expect("p"),
+                k: f[1].parse().expect("k"),
+                ours_batch_s: f[2].parse().expect("ours_batch_s"),
+                gather_batch_s: f[3].parse().expect("gather_batch_s"),
+                dist_out_s: f[4].parse().expect("dist_out_s"),
+                dist_out_words: f[5].parse().expect("dist_out_words"),
+                dist_rounds: f[6].parse().expect("dist_rounds"),
+                gather_out_s: f[7].parse().expect("gather_out_s"),
+                gather_out_words: f[8].parse().expect("gather_out_words"),
+            }
+        })
+        .collect()
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/sim_costs.tsv")
+}
+
+fn rel_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= REL_TOL * a.abs().max(b.abs()) + 1e-12
+}
+
+#[test]
+fn sim_cost_tables_match_golden_snapshot() {
+    let rows = compute_table();
+    let actual_text = format_table(&rows);
+    if std::env::var("UPDATE_SIM_GOLDEN").is_ok() {
+        fs::write(golden_path(), &actual_text).expect("write golden");
+        eprintln!("sim golden snapshot rewritten at {:?}", golden_path());
+        return;
+    }
+    let golden_text = fs::read_to_string(golden_path())
+        .expect("missing tests/golden/sim_costs.tsv — run UPDATE_SIM_GOLDEN=1 once");
+    let golden = parse_table(&golden_text);
+    assert_eq!(
+        golden.len(),
+        rows.len(),
+        "snapshot grid changed; re-baseline"
+    );
+
+    let mut diffs = String::new();
+    for (g, a) in golden.iter().zip(&rows) {
+        assert_eq!((g.p, g.k), (a.p, a.k), "grid order changed; re-baseline");
+        let mut cell = |name: &str, gv: f64, av: f64| {
+            if !rel_close(gv, av) {
+                let _ = writeln!(
+                    diffs,
+                    "p={} k={} {name}: golden {gv:.6e} vs actual {av:.6e} ({:+.1}%)",
+                    g.p,
+                    g.k,
+                    100.0 * (av - gv) / gv.abs().max(1e-300)
+                );
+            }
+        };
+        cell("ours_batch_s", g.ours_batch_s, a.ours_batch_s);
+        cell("gather_batch_s", g.gather_batch_s, a.gather_batch_s);
+        cell("dist_out_s", g.dist_out_s, a.dist_out_s);
+        cell("gather_out_s", g.gather_out_s, a.gather_out_s);
+        cell(
+            "dist_out_words",
+            g.dist_out_words as f64,
+            a.dist_out_words as f64,
+        );
+        cell(
+            "gather_out_words",
+            g.gather_out_words as f64,
+            a.gather_out_words as f64,
+        );
+        if (g.dist_rounds as i64 - a.dist_rounds as i64).abs() > ROUNDS_TOL {
+            let _ = writeln!(
+                diffs,
+                "p={} k={} dist_rounds: golden {} vs actual {}",
+                g.p, g.k, g.dist_rounds, a.dist_rounds
+            );
+        }
+    }
+    if !diffs.is_empty() {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/sim-snapshot");
+        fs::create_dir_all(&dir).expect("create target/sim-snapshot");
+        fs::write(dir.join("actual.tsv"), &actual_text).expect("write actual");
+        fs::write(dir.join("diff.txt"), &diffs).expect("write diff");
+        panic!(
+            "sim cost snapshot drifted (full table + diff written to \
+             target/sim-snapshot/):\n{diffs}\n\
+             If the change is intentional, re-baseline with \
+             UPDATE_SIM_GOLDEN=1 cargo test --test sim_snapshots"
+        );
+    }
+}
+
+/// The acceptance-criterion crossover, read off the pinned table (which
+/// the companion test keeps equal to the live computation): the Section 5
+/// distributed output beats the root funnel — in bottleneck words
+/// everywhere the sample is non-trivial, and in modeled time on large
+/// machines.
+#[test]
+fn sim_distributed_output_beats_gather_for_large_p() {
+    let rows = parse_table(&fs::read_to_string(golden_path()).expect("golden table present"));
+    assert_eq!(rows.len(), P_GRID.len() * K_GRID.len());
+    for r in &rows {
+        assert!(
+            r.dist_out_words < r.gather_out_words,
+            "p={} k={}: distributed output moves {} bottleneck words, \
+             gather {} — the funnel should always carry more",
+            r.p,
+            r.k,
+            r.dist_out_words,
+            r.gather_out_words
+        );
+    }
+    for r in rows.iter().filter(|r| r.p >= 320 && r.k >= 10_000) {
+        assert!(
+            r.dist_out_s < r.gather_out_s,
+            "p={} k={}: distributed output {:.3e}s should beat gather {:.3e}s",
+            r.p,
+            r.k,
+            r.dist_out_s,
+            r.gather_out_s
+        );
+    }
+}

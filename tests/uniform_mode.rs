@@ -8,6 +8,7 @@ use reservoir::comm::Communicator;
 use reservoir::dist::gather::GatherSampler;
 use reservoir::dist::threaded::DistributedSampler;
 use reservoir::dist::DistConfig;
+use reservoir::rng::test_base_seed;
 use reservoir::stream::Item;
 
 fn uniform_batch(rank: usize, batch: u64, size: u64) -> Vec<Item> {
@@ -21,11 +22,13 @@ fn gather_uniform_inclusion_probability() {
     let (p, k, per_batch, batches) = (2usize, 25, 100u64, 3u64);
     let n = p as u64 * per_batch * batches;
     let trials = 400;
+    let base = test_base_seed();
     let mut hits = 0u32;
     let probe = (1u64 << 40) | (2 << 20) | 42; // PE 1, last batch
     for t in 0..trials {
         let results = run_threads(p, |comm| {
-            let mut s = GatherSampler::new(&comm, DistConfig::uniform(k, 40_000 + t));
+            let mut s =
+                GatherSampler::new(&comm, DistConfig::uniform(k, base.wrapping_add(40_000 + t)));
             for b in 0..batches {
                 let items = uniform_batch(comm.rank(), b, per_batch);
                 s.process_batch(&items);
@@ -41,7 +44,8 @@ fn gather_uniform_inclusion_probability() {
     let expect = k as f64 / n as f64;
     assert!(
         (frac - expect).abs() < 0.035,
-        "inclusion {frac:.3} vs k/n = {expect:.3}"
+        "inclusion {frac:.3} vs k/n = {expect:.3} \
+         (base seed {base}; set RESERVOIR_TEST_SEED to reproduce/vary)"
     );
 }
 
@@ -75,15 +79,17 @@ fn uniform_and_weighted_with_unit_weights_agree() {
     // *distributions* (uniform vs Exp(1)) but identical sample laws.
     let (p, k, per_batch) = (2usize, 40, 500u64);
     let trials = 300;
+    let base = test_base_seed();
     let probe = 7u64; // an id on PE 0, batch 0
     let mut hits = [0u32; 2];
     for (mode_idx, uniform) in [true, false].into_iter().enumerate() {
         for t in 0..trials {
+            let seed = base.wrapping_add(60_000 + t);
             let results = run_threads(p, |comm| {
                 let cfg = if uniform {
-                    DistConfig::uniform(k, 60_000 + t)
+                    DistConfig::uniform(k, seed)
                 } else {
-                    DistConfig::weighted(k, 60_000 + t)
+                    DistConfig::weighted(k, seed)
                 };
                 let mut s = DistributedSampler::new(&comm, cfg);
                 for b in 0..2u64 {
@@ -105,10 +111,13 @@ fn uniform_and_weighted_with_unit_weights_agree() {
     let f0 = hits[0] as f64 / trials as f64;
     let f1 = hits[1] as f64 / trials as f64;
     let expect = k as f64 / (p as u64 * per_batch * 2) as f64;
-    assert!((f0 - expect).abs() < 0.035, "uniform mode inclusion {f0}");
+    assert!(
+        (f0 - expect).abs() < 0.035,
+        "uniform mode inclusion {f0} (base seed {base})"
+    );
     assert!(
         (f1 - expect).abs() < 0.035,
-        "unit-weight mode inclusion {f1}"
+        "unit-weight mode inclusion {f1} (base seed {base})"
     );
 }
 
