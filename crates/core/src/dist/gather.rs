@@ -8,15 +8,19 @@
 //! downlink carries Θ(candidates) words per batch (Θ(p·k) in the worst
 //! case), which is the bottleneck the paper's algorithm removes.
 
+use std::sync::mpsc::Receiver;
+
 use reservoir_btree::{SampleKey, DEFAULT_DEGREE};
 use reservoir_comm::{Collectives, Communicator};
 use reservoir_rng::{DefaultRng, SeedSequence, StreamKind};
 use reservoir_select::kth_smallest;
+use reservoir_stream::ingest::MiniBatch;
 use reservoir_stream::Item;
 
 use crate::dist::local::LocalReservoir;
 use crate::dist::output::SampleHandle;
-use crate::dist::{DistConfig, SamplingMode};
+use crate::dist::{DistConfig, PipelineReport, SamplingMode};
+use crate::metrics::PhaseTimes;
 use crate::sample::SampleItem;
 
 /// Wire representation of one candidate: `(id, weight, key)`.
@@ -53,8 +57,9 @@ impl<'a, C: Communicator> GatherSampler<'a, C> {
         }
     }
 
-    /// Process one mini-batch (collective).
-    pub fn process_batch(&mut self, items: &[Item]) {
+    /// Process one mini-batch (collective). Returns the number of
+    /// candidates this PE generated (and shipped to the root).
+    pub fn process_batch(&mut self, items: &[Item]) -> u64 {
         // Local candidate generation: identical scan to the distributed
         // algorithm, but into a throwaway buffer.
         let t = self.threshold.map(|k| k.key);
@@ -68,6 +73,7 @@ impl<'a, C: Communicator> GatherSampler<'a, C> {
             .into_iter()
             .map(|s| (s.id, s.weight, s.key))
             .collect();
+        let candidates = wire.len() as u64;
 
         // Ship every candidate to the root.
         let gathered = self.comm.gather(ROOT, wire);
@@ -91,6 +97,38 @@ impl<'a, C: Communicator> GatherSampler<'a, C> {
         });
         let wire_t: Option<(f64, u64)> = self.comm.broadcast(ROOT, announced);
         self.threshold = wire_t.map(|(key, id)| SampleKey::new(key, id));
+        candidates
+    }
+
+    /// Drive the baseline from a push-based ingestion channel
+    /// (collective): the same drain protocol as
+    /// [`crate::dist::threaded::DistributedSampler::run_pipeline`] — one
+    /// 1-word all-reduce per round keeps `process_batch` collective across
+    /// unequal stream lengths, and a final collective
+    /// [`Self::collect_output`] yields the handle (the whole sample at the
+    /// root, empty slices elsewhere). The baseline instruments only the
+    /// ingest wait (`report.times.ingest`); its other phases are not
+    /// timed.
+    pub fn run_pipeline(&mut self, batches: &Receiver<MiniBatch>) -> PipelineReport {
+        let comm = self.comm;
+        let mut candidates = 0u64;
+        let stats = crate::dist::drain_collective(comm, batches, |items| {
+            candidates += self.process_batch(items);
+        });
+        let handle = self.collect_output();
+        PipelineReport {
+            batches: stats.batches,
+            rounds: stats.rounds,
+            records: stats.records,
+            inserted: candidates,
+            select_rounds: 0,
+            ingest_wait_s: stats.ingest_wait_s,
+            times: PhaseTimes {
+                ingest: stats.ingest_wait_s,
+                ..Default::default()
+            },
+            handle,
+        }
     }
 
     /// The current insertion threshold, once the reservoir filled.
@@ -180,6 +218,32 @@ mod tests {
         // The root's slice is key-sorted, as the handle contract requires.
         let keys: Vec<f64> = results[0].local_items().iter().map(|s| s.key).collect();
         assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn pipeline_places_the_sample_at_the_root() {
+        use reservoir_stream::ingest::{spawn_source, BatchPolicy, ReplayRecords};
+        let k = 20;
+        let results = run_threads(3, |comm| {
+            let mut s = GatherSampler::new(&comm, DistConfig::weighted(k, 23));
+            // Unequal stream lengths: PE r pushes (r+1)·50 records.
+            let mine: Vec<Item> = (0..=comm.rank() as u64)
+                .flat_map(|batch| unit_batch(comm.rank(), batch, 50))
+                .collect();
+            let mut ingest = spawn_source(ReplayRecords::new(mine), BatchPolicy::by_size(50), 2);
+            let rx = ingest.take_receiver();
+            let report = s.run_pipeline(&rx);
+            let counters = ingest.join();
+            assert_eq!(counters.records_in, (comm.rank() as u64 + 1) * 50);
+            (report.rounds, report.records, report.handle)
+        });
+        for (rank, (rounds, records, handle)) in results.iter().enumerate() {
+            assert_eq!(*rounds, 3);
+            assert_eq!(*records, (rank as u64 + 1) * 50);
+            assert_eq!(handle.total_len(), k as u64);
+        }
+        assert_eq!(results[0].2.local_len(), k as u64, "root holds everything");
+        assert!(results[1..].iter().all(|(_, _, h)| h.local_len() == 0));
     }
 
     #[test]

@@ -30,6 +30,12 @@
 //! hands every PE a root-free [`output::SampleHandle`] over its slice of
 //! the global output — O(log p) small messages instead of a Θ(β·k) root
 //! funnel.
+//!
+//! Batches may be handed in directly (`process_batch`) or pushed through
+//! the ingestion runtime of `reservoir_stream::ingest`: `run_pipeline` on
+//! either backend drains a bounded batch channel collectively (empty
+//! contributions keep lagging PEs in step), processes every batch, and
+//! finishes with one `collect_output` — see [`PipelineReport`].
 
 pub mod gather;
 pub mod local;
@@ -129,8 +135,118 @@ pub struct BatchReport {
     /// Items inserted into *this PE's* local reservoir during the batch.
     pub inserted: u64,
     /// Wall-clock seconds this batch spent per algorithm phase on this PE
-    /// (`output` is always 0 here; it accrues in `collect_output`).
+    /// (`output` and `ingest` are always 0 here; they accrue in
+    /// `collect_output` and the `run_pipeline` drain respectively).
     pub times: crate::metrics::PhaseTimes,
+}
+
+/// What one `run_pipeline` drain did on this PE: the samplers' driver for
+/// the push-based ingestion runtime (`reservoir_stream::ingest`). The
+/// drain is collective — every PE executes the same number of
+/// `process_batch` rounds (PEs whose channel ran dry contribute empty
+/// batches until every channel is closed and drained), then one
+/// collective `collect_output` produces the final [`SampleHandle`].
+#[derive(Clone, Debug)]
+pub struct PipelineReport {
+    /// Mini-batches this PE actually drained from its channel.
+    pub batches: u64,
+    /// Collective `process_batch` rounds executed (identical on every PE;
+    /// at least `batches`, more when other PEs had longer streams).
+    pub rounds: u64,
+    /// Records this PE pushed through the sampler.
+    pub records: u64,
+    /// Items this PE contributed across the drain: reservoir insertions
+    /// on the distributed backend; candidates generated for the root on
+    /// the gather baseline (whose non-root PEs hold no local reservoir).
+    pub inserted: u64,
+    /// Distributed selection rounds summed over all batches (always 0 on
+    /// the gather baseline, which selects sequentially at the root).
+    pub select_rounds: u64,
+    /// Seconds this PE spent blocked on the ingestion channel plus in the
+    /// drain's own continue/stop agreement (equals `times.ingest`).
+    pub ingest_wait_s: f64,
+    /// Phase times of this drain on this PE, including the ingest wait.
+    /// The distributed backend fills every phase (the same accounting as
+    /// [`threaded::DistributedSampler::phase_totals`], restricted to this
+    /// drain); the gather baseline instruments only `ingest`.
+    pub times: crate::metrics::PhaseTimes,
+    /// The Section 5 output handle over the final sample.
+    pub handle: SampleHandle,
+}
+
+impl PipelineReport {
+    /// Global size of the final sample.
+    pub fn sample_size(&self) -> u64 {
+        self.handle.total_len()
+    }
+}
+
+/// What the shared collective drain loop observed on this PE.
+pub(crate) struct DrainStats {
+    /// Mini-batches actually drained from this PE's channel.
+    pub batches: u64,
+    /// Collective rounds executed (identical on every PE).
+    pub rounds: u64,
+    /// Records delivered to `process` on this PE.
+    pub records: u64,
+    /// Seconds spent in `recv` plus the continue/stop all-reduce.
+    pub ingest_wait_s: f64,
+}
+
+/// The collective drain protocol shared by both backends' `run_pipeline`
+/// drivers: per round, receive this PE's next batch (or notice the
+/// channel is closed and drained), agree with one 1-word all-reduce
+/// whether *any* PE produced a batch, and — while any did — call
+/// `process` with this PE's items (empty when its channel ran dry). This
+/// keeps `process_batch`'s same-number-of-calls-on-every-PE contract
+/// intact across unequal stream lengths; the loop ends only when every
+/// channel is exhausted, so every PE leaves after the same round.
+pub(crate) fn drain_collective<C, F>(
+    comm: &C,
+    batches: &std::sync::mpsc::Receiver<reservoir_stream::ingest::MiniBatch>,
+    mut process: F,
+) -> DrainStats
+where
+    C: reservoir_comm::Communicator,
+    F: FnMut(&[reservoir_stream::Item]),
+{
+    use reservoir_comm::Collectives;
+    let mut stats = DrainStats {
+        batches: 0,
+        rounds: 0,
+        records: 0,
+        ingest_wait_s: 0.0,
+    };
+    let mut open = true;
+    loop {
+        let t0 = std::time::Instant::now();
+        // `recv` blocks until the producer cuts the next batch or closes;
+        // after a close the channel stays empty forever, so skip straight
+        // to empty contributions.
+        let next = if open {
+            match batches.recv() {
+                Ok(batch) => Some(batch),
+                Err(_) => {
+                    open = false;
+                    None
+                }
+            }
+        } else {
+            None
+        };
+        let active = comm.sum_u64(next.is_some() as u64);
+        stats.ingest_wait_s += t0.elapsed().as_secs_f64();
+        if active == 0 {
+            return stats;
+        }
+        let items = next.map(|b| {
+            stats.batches += 1;
+            stats.records += b.items.len() as u64;
+            b.items
+        });
+        process(items.as_deref().unwrap_or(&[]));
+        stats.rounds += 1;
+    }
 }
 
 pub use gather::GatherSampler;

@@ -5,17 +5,19 @@
 //! every PE, empty slices allowed); all other methods are local except
 //! [`DistributedSampler::gather_sample`], which is also collective.
 
+use std::sync::mpsc::Receiver;
 use std::time::Instant;
 
 use reservoir_btree::{SampleKey, DEFAULT_DEGREE};
 use reservoir_comm::{Collectives, Communicator};
 use reservoir_rng::{DefaultRng, SeedSequence, StreamKind};
 use reservoir_select::{select_threaded, SelectParams, TargetRank};
+use reservoir_stream::ingest::MiniBatch;
 use reservoir_stream::Item;
 
 use crate::dist::local::LocalReservoir;
 use crate::dist::output::SampleHandle;
-use crate::dist::{BatchReport, DistConfig, SamplingMode};
+use crate::dist::{BatchReport, DistConfig, PipelineReport, SamplingMode};
 use crate::metrics::PhaseTimes;
 use crate::sample::SampleItem;
 
@@ -111,6 +113,44 @@ impl<'a, C: Communicator> DistributedSampler<'a, C> {
         }
     }
 
+    /// Drive the sampler from a push-based ingestion channel (collective):
+    /// drain mini-batches cut by a `reservoir_stream::ingest::Batcher`,
+    /// [`Self::process_batch`] each, and finish with one collective
+    /// [`Self::collect_output`].
+    ///
+    /// The drain itself is made collective by a 1-word all-reduce per
+    /// round: a PE whose channel is closed and drained contributes an
+    /// empty batch as long as any other PE still has input, and the loop
+    /// ends only when every channel is exhausted — so `process_batch`'s
+    /// "same number of calls on every PE" contract holds even when
+    /// streams have unequal lengths. Time blocked on the channel (the
+    /// producer being slower than the sampler) and in the continue/stop
+    /// agreement accrues in [`PhaseTimes::ingest`]; the report's `times`
+    /// carries this drain's full phase decomposition.
+    pub fn run_pipeline(&mut self, batches: &Receiver<MiniBatch>) -> PipelineReport {
+        let comm = self.comm;
+        let before = self.phases;
+        let mut inserted = 0u64;
+        let mut select_rounds = 0u64;
+        let stats = crate::dist::drain_collective(comm, batches, |items| {
+            let report = self.process_batch(items);
+            inserted += report.inserted;
+            select_rounds += report.select_rounds as u64;
+        });
+        self.phases.ingest += stats.ingest_wait_s;
+        let handle = self.collect_output();
+        PipelineReport {
+            batches: stats.batches,
+            rounds: stats.rounds,
+            records: stats.records,
+            inserted,
+            select_rounds,
+            ingest_wait_s: stats.ingest_wait_s,
+            times: self.phases.delta_since(&before),
+            handle,
+        }
+    }
+
     /// Fully distributed output collection (collective; paper Section 5).
     ///
     /// Finalizes the sample to exactly `min(k, items seen)` members — in
@@ -198,6 +238,7 @@ impl<'a, C: Communicator> DistributedSampler<'a, C> {
 mod tests {
     use super::*;
     use reservoir_comm::run_threads;
+    use reservoir_stream::ingest::{spawn_source, BatchPolicy, ReplayRecords};
 
     fn unit_batch(rank: usize, batch: u64, n: u64) -> Vec<Item> {
         (0..n)
@@ -322,6 +363,91 @@ mod tests {
         assert_eq!(total, 40);
         assert_eq!(results[0].total_len(), 40);
         assert_eq!(results[0].threshold(), None);
+    }
+
+    #[test]
+    fn pipeline_matches_direct_batch_feeding() {
+        // Pushing records through the ingestion runtime with count-driven
+        // cuts of the same size must reproduce the direct process_batch
+        // path bit for bit: same batches, same randomness, same sample.
+        let p = 3;
+        let b = 120;
+        let direct = run_threads(p, |comm| {
+            let mut s = DistributedSampler::new(&comm, DistConfig::weighted(40, 77));
+            for batch in 0..4u64 {
+                s.process_batch(&unit_batch(comm.rank(), batch, b));
+            }
+            let handle = s.collect_output();
+            let mut ids: Vec<u64> = handle.local_items().iter().map(|m| m.id).collect();
+            ids.sort_unstable();
+            ids
+        });
+        let piped = run_threads(p, |comm| {
+            let mut s = DistributedSampler::new(&comm, DistConfig::weighted(40, 77));
+            let records: Vec<Item> = (0..4u64)
+                .flat_map(|batch| unit_batch(comm.rank(), batch, b))
+                .collect();
+            let mut ingest = spawn_source(
+                ReplayRecords::new(records),
+                BatchPolicy::by_size(b as usize),
+                2,
+            );
+            let rx = ingest.take_receiver();
+            let report = s.run_pipeline(&rx);
+            let counters = ingest.join();
+            assert_eq!(counters.records_in, 4 * b);
+            assert_eq!(counters.batches_cut, 4);
+            assert_eq!(report.batches, 4);
+            assert_eq!(report.rounds, 4);
+            assert_eq!(report.records, 4 * b);
+            assert_eq!(report.sample_size(), 40);
+            assert!(s.phase_totals().ingest > 0.0, "ingest wait not recorded");
+            // The report's phase decomposition covers this drain: ingest
+            // matches the wait, and the algorithm phases ran too.
+            assert!((report.times.ingest - report.ingest_wait_s).abs() < 1e-9);
+            assert!(report.times.insert > 0.0 && report.times.output > 0.0);
+            let mut ids: Vec<u64> = report.handle.local_items().iter().map(|m| m.id).collect();
+            ids.sort_unstable();
+            ids
+        });
+        assert_eq!(direct, piped, "pipeline path diverged from direct path");
+    }
+
+    #[test]
+    fn pipeline_survives_unequal_stream_lengths() {
+        // PE r produces r+1 batches; the drain must keep process_batch
+        // collective (empty contributions) until every channel is dry.
+        let p = 3;
+        let results = run_threads(p, |comm| {
+            let mut s = DistributedSampler::new(&comm, DistConfig::uniform(25, 5));
+            let mine: Vec<Item> = (0..=comm.rank() as u64)
+                .flat_map(|batch| unit_batch(comm.rank(), batch, 60))
+                .collect();
+            let mut ingest = spawn_source(ReplayRecords::new(mine), BatchPolicy::by_size(60), 1);
+            let rx = ingest.take_receiver();
+            let report = s.run_pipeline(&rx);
+            ingest.join();
+            (report.batches, report.rounds, report.handle.total_len())
+        });
+        for (rank, (batches, rounds, total)) in results.iter().enumerate() {
+            assert_eq!(*batches, rank as u64 + 1);
+            assert_eq!(*rounds, 3, "every PE must run the longest stream's rounds");
+            assert_eq!(*total, 25);
+        }
+    }
+
+    #[test]
+    fn pipeline_on_empty_streams_yields_an_empty_sample() {
+        let results = run_threads(2, |comm| {
+            let mut s = DistributedSampler::new(&comm, DistConfig::weighted(10, 3));
+            let mut ingest =
+                spawn_source(ReplayRecords::new(Vec::new()), BatchPolicy::by_size(8), 1);
+            let rx = ingest.take_receiver();
+            let report = s.run_pipeline(&rx);
+            assert_eq!(ingest.join().records_in, 0);
+            (report.rounds, report.handle.total_len())
+        });
+        assert!(results.iter().all(|r| *r == (0, 0)));
     }
 
     #[test]

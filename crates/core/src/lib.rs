@@ -40,6 +40,6 @@ pub mod metrics;
 pub mod sample;
 pub mod seq;
 
-pub use dist::{DistConfig, SampleHandle, SamplingMode};
+pub use dist::{DistConfig, PipelineReport, SampleHandle, SamplingMode};
 pub use metrics::PhaseTimes;
 pub use sample::SampleItem;

@@ -11,6 +11,10 @@
 /// Accumulated seconds per algorithm phase.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct PhaseTimes {
+    /// Waiting on the ingestion channel for the next mini-batch (pipeline
+    /// drivers only; zero when batches are handed in directly). A large
+    /// value means the front door, not the sampler, limits throughput.
+    pub ingest: f64,
     /// Local batch processing: jump scans and reservoir insertions.
     pub insert: f64,
     /// Finding the new global threshold (distributed selection, or the
@@ -28,11 +32,12 @@ pub struct PhaseTimes {
 impl PhaseTimes {
     /// Total across phases.
     pub fn total(&self) -> f64 {
-        self.insert + self.select + self.threshold + self.gather + self.output
+        self.ingest + self.insert + self.select + self.threshold + self.gather + self.output
     }
 
     /// Elementwise accumulation.
     pub fn accumulate(&mut self, other: &PhaseTimes) {
+        self.ingest += other.ingest;
         self.insert += other.insert;
         self.select += other.select;
         self.threshold += other.threshold;
@@ -40,14 +45,15 @@ impl PhaseTimes {
         self.output += other.output;
     }
 
-    /// Fractions of the total per phase (insert, select, threshold,
-    /// gather, output); all zeros for an empty accumulator.
-    pub fn fractions(&self) -> [f64; 5] {
+    /// Fractions of the total per phase (ingest, insert, select,
+    /// threshold, gather, output); all zeros for an empty accumulator.
+    pub fn fractions(&self) -> [f64; 6] {
         let t = self.total();
         if t == 0.0 {
-            return [0.0; 5];
+            return [0.0; 6];
         }
         [
+            self.ingest / t,
             self.insert / t,
             self.select / t,
             self.threshold / t,
@@ -56,9 +62,24 @@ impl PhaseTimes {
         ]
     }
 
+    /// Elementwise difference against an earlier snapshot of the same
+    /// accumulator — the time spent per phase *since* that snapshot (e.g.
+    /// the share of a sampler's totals attributable to one pipeline run).
+    pub fn delta_since(&self, earlier: &PhaseTimes) -> PhaseTimes {
+        PhaseTimes {
+            ingest: self.ingest - earlier.ingest,
+            insert: self.insert - earlier.insert,
+            select: self.select - earlier.select,
+            threshold: self.threshold - earlier.threshold,
+            gather: self.gather - earlier.gather,
+            output: self.output - earlier.output,
+        }
+    }
+
     /// Elementwise division by a scalar (e.g. to average over batches).
     pub fn scaled(&self, divisor: f64) -> PhaseTimes {
         PhaseTimes {
+            ingest: self.ingest / divisor,
             insert: self.insert / divisor,
             select: self.select / divisor,
             threshold: self.threshold / divisor,
@@ -83,15 +104,16 @@ mod tests {
     #[test]
     fn totals_and_fractions() {
         let t = PhaseTimes {
+            ingest: 4.0,
             insert: 2.0,
             select: 1.0,
             threshold: 0.5,
             gather: 0.25,
             output: 0.25,
         };
-        assert_eq!(t.total(), 4.0);
+        assert_eq!(t.total(), 8.0);
         let f = t.fractions();
-        assert_eq!(f, [0.5, 0.25, 0.125, 0.0625, 0.0625]);
+        assert_eq!(f, [0.5, 0.25, 0.125, 0.0625, 0.03125, 0.03125]);
     }
 
     #[test]
@@ -107,12 +129,33 @@ mod tests {
         };
         assert_eq!(b.insert, 1.0);
         assert_eq!(b.select, 2.0);
-        assert_eq!(PhaseTimes::default().fractions(), [0.0; 5]);
+        assert_eq!(PhaseTimes::default().fractions(), [0.0; 6]);
+    }
+
+    #[test]
+    fn delta_since_subtracts_elementwise() {
+        let earlier = PhaseTimes {
+            ingest: 1.0,
+            insert: 2.0,
+            ..Default::default()
+        };
+        let mut later = earlier;
+        later.accumulate(&PhaseTimes {
+            ingest: 0.5,
+            select: 3.0,
+            ..Default::default()
+        });
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.ingest, 0.5);
+        assert_eq!(d.insert, 0.0);
+        assert_eq!(d.select, 3.0);
+        assert_eq!(d.total(), 3.5);
     }
 
     #[test]
     fn scaled_divides_every_phase() {
         let t = PhaseTimes {
+            ingest: 1.0,
             insert: 2.0,
             select: 4.0,
             threshold: 6.0,

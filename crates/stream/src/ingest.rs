@@ -1,0 +1,706 @@
+//! Push-based streaming ingestion with backpressure.
+//!
+//! The paper's mini-batch model (Section 3) assumes batches *arrive* at
+//! the PEs; the rest of this workspace pulls synthetic batches out of
+//! [`StreamSpec`](crate::StreamSpec)/[`StreamSource`]. This module is the
+//! front door for workloads that **push** records instead:
+//!
+//! ```text
+//! RecordSource ──record──▶ Batcher ──bounded mpsc──▶ sampler pipeline
+//!  (adapters)              size/deadline cuts         drain → process_batch
+//! ```
+//!
+//! * [`RecordSource`] — anything that yields records one at a time:
+//!   [`SyntheticRecords`] adapts the existing generators, [`ReplayRecords`]
+//!   replays a recorded slice, [`SkewShiftRecords`] shifts its weight
+//!   distribution mid-stream (scenario diversity), [`PacedRecords`] slows
+//!   any source down to exercise time-driven cuts.
+//! * [`Batcher`] — accumulates pushed records and cuts a [`MiniBatch`]
+//!   when the buffer reaches [`BatchPolicy::max_items`] (count-driven
+//!   boundary) or the oldest buffered record has waited longer than
+//!   [`BatchPolicy::deadline`] (time-driven boundary — the discretized
+//!   streams model).
+//! * **Backpressure** — batches travel over a bounded
+//!   [`std::sync::mpsc::sync_channel`]. When downstream selection rounds
+//!   are slower than the source, the producer's `send` blocks (the wait is
+//!   recorded in [`IngestCounters::blocked_send_s`]) instead of queueing
+//!   without limit: a slow consumer throttles the source, it does not OOM
+//!   the process.
+//! * [`spawn_source`] — the pump: one producer thread per PE draining a
+//!   [`RecordSource`] into a [`Batcher`]; the PE's sampler loop owns the
+//!   receiving end (`DistributedSampler::run_pipeline` in
+//!   `reservoir-core`).
+//!
+//! Every pushed record is delivered exactly once across the cut batches,
+//! in push order; `close`/`flush` never lose residual records
+//! (`crates/stream/tests/batcher_props.rs` holds these properties under
+//! the proptest harness).
+
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::time::{Duration, Instant};
+
+use reservoir_rng::{DefaultRng, SeedSequence, StreamKind};
+
+use crate::gen::{IdStream, WeightGen};
+use crate::source::StreamSource;
+use crate::Item;
+
+/// A push-style record producer: the ingestion pump drains it one record
+/// at a time into a [`Batcher`].
+///
+/// `None` means the stream ended; the pump then flushes and closes the
+/// batcher. Sources are consumed on a producer thread, so they must be
+/// [`Send`].
+pub trait RecordSource: Send {
+    /// The next record, or `None` once the stream is exhausted.
+    fn next_record(&mut self) -> Option<Item>;
+
+    /// Total records this source will still emit, when known (used only
+    /// for diagnostics; `None` for unbounded/unknown sources).
+    fn remaining_hint(&self) -> Option<u64> {
+        None
+    }
+}
+
+/// Adapter over the existing synthetic generators: pulls mini-batches from
+/// a [`StreamSource`] in chunks (via the buffer-reusing
+/// [`StreamSource::next_batch_of_into`], so the refill path performs no
+/// per-chunk allocation) and emits them record by record, up to a total
+/// record budget.
+#[derive(Debug)]
+pub struct SyntheticRecords {
+    src: StreamSource,
+    remaining: u64,
+    chunk: usize,
+    buf: Vec<Item>,
+    pos: usize,
+}
+
+impl SyntheticRecords {
+    /// Emit `records` records from `src` (which keeps its own
+    /// deterministic per-`(seed, pe)` randomness).
+    pub fn new(src: StreamSource, records: u64) -> Self {
+        SyntheticRecords {
+            src,
+            remaining: records,
+            chunk: 1024,
+            buf: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Refill granularity (records pulled from the generator at once).
+    pub fn with_chunk(mut self, chunk: usize) -> Self {
+        assert!(chunk >= 1, "chunk must be at least 1");
+        self.chunk = chunk;
+        self
+    }
+}
+
+impl RecordSource for SyntheticRecords {
+    fn next_record(&mut self) -> Option<Item> {
+        if self.remaining == 0 {
+            return None;
+        }
+        if self.pos == self.buf.len() {
+            let n = self.remaining.min(self.chunk as u64) as usize;
+            self.src.next_batch_of_into(n, &mut self.buf);
+            self.pos = 0;
+        }
+        self.remaining -= 1;
+        let item = self.buf[self.pos];
+        self.pos += 1;
+        Some(item)
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some(self.remaining)
+    }
+}
+
+/// Replays a recorded slice of items in order — the bridge for real
+/// workloads that already hold their records in memory, and the
+/// deterministic source the pipeline acceptance tests are built on.
+#[derive(Clone, Debug)]
+pub struct ReplayRecords {
+    items: Vec<Item>,
+    pos: usize,
+}
+
+impl ReplayRecords {
+    /// Replay `items` front to back.
+    pub fn new(items: Vec<Item>) -> Self {
+        ReplayRecords { items, pos: 0 }
+    }
+
+    /// Replay a borrowed slice (copied once up front).
+    pub fn from_slice(items: &[Item]) -> Self {
+        Self::new(items.to_vec())
+    }
+}
+
+impl RecordSource for ReplayRecords {
+    fn next_record(&mut self) -> Option<Item> {
+        let item = self.items.get(self.pos).copied();
+        self.pos += item.is_some() as usize;
+        item
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        Some((self.items.len() - self.pos) as u64)
+    }
+}
+
+/// A source whose weight distribution shifts as the stream progresses:
+/// a schedule of `(WeightGen, records)` segments played back to back.
+/// Each segment's generator sees the segment index as its batch index, so
+/// e.g. [`WeightGen::paper_skewed`] drifts segment over segment — the
+/// "workload changes under the sampler" scenario the fixed generators
+/// cannot produce.
+#[derive(Debug)]
+pub struct SkewShiftRecords {
+    pe: usize,
+    segments: Vec<(WeightGen, u64)>,
+    seg: usize,
+    emitted_in_seg: u64,
+    ids: IdStream,
+    rng: DefaultRng,
+}
+
+impl SkewShiftRecords {
+    /// A shifting stream for PE `pe`: plays every `(generator, records)`
+    /// segment in order. Randomness is the same per-`(seed, pe)` scheme as
+    /// [`StreamSpec::source_for`](crate::StreamSpec::source_for).
+    pub fn new(pe: usize, seed: u64, segments: Vec<(WeightGen, u64)>) -> Self {
+        assert!(!segments.is_empty(), "need at least one segment");
+        SkewShiftRecords {
+            pe,
+            segments,
+            seg: 0,
+            emitted_in_seg: 0,
+            ids: IdStream::new(pe),
+            rng: SeedSequence::new(seed).rng_for(pe, StreamKind::Workload),
+        }
+    }
+}
+
+impl RecordSource for SkewShiftRecords {
+    fn next_record(&mut self) -> Option<Item> {
+        while let Some(&(gen, count)) = self.segments.get(self.seg) {
+            if self.emitted_in_seg < count {
+                self.emitted_in_seg += 1;
+                let w = gen.sample(self.pe, self.seg as u64, &mut self.rng);
+                return Some(Item::new(self.ids.next_id(), w));
+            }
+            self.seg += 1;
+            self.emitted_in_seg = 0;
+        }
+        None
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        let mut left = 0;
+        for (i, &(_, count)) in self.segments.iter().enumerate().skip(self.seg) {
+            left += count
+                - if i == self.seg {
+                    self.emitted_in_seg
+                } else {
+                    0
+                };
+        }
+        Some(left)
+    }
+}
+
+/// Slows an inner source down: sleeps `pause` before every `every`-th
+/// record. Turns any source into a sparse arrival process, which is what
+/// makes deadline cuts (and backpressure measurements) observable.
+#[derive(Debug)]
+pub struct PacedRecords<S> {
+    inner: S,
+    every: u64,
+    pause: Duration,
+    emitted: u64,
+}
+
+impl<S: RecordSource> PacedRecords<S> {
+    /// Pause for `pause` before every `every`-th record of `inner`.
+    pub fn new(inner: S, every: u64, pause: Duration) -> Self {
+        assert!(every >= 1, "pause interval must be at least 1");
+        PacedRecords {
+            inner,
+            every,
+            pause,
+            emitted: 0,
+        }
+    }
+}
+
+impl<S: RecordSource> RecordSource for PacedRecords<S> {
+    fn next_record(&mut self) -> Option<Item> {
+        if self.emitted.is_multiple_of(self.every) && !self.pause.is_zero() {
+            std::thread::sleep(self.pause);
+        }
+        self.emitted += 1;
+        self.inner.next_record()
+    }
+
+    fn remaining_hint(&self) -> Option<u64> {
+        self.inner.remaining_hint()
+    }
+}
+
+/// When a [`Batcher`] cuts a mini-batch.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Cut when the buffer holds this many records (the paper's `b`).
+    pub max_items: usize,
+    /// Cut a non-empty buffer whose oldest record has waited this long
+    /// (checked on every push and on [`Batcher::poll_deadline`]). `None`
+    /// makes batch boundaries purely count-driven.
+    pub deadline: Option<Duration>,
+}
+
+impl BatchPolicy {
+    /// Count-driven boundaries only: cut every `max_items` records.
+    pub fn by_size(max_items: usize) -> Self {
+        assert!(max_items >= 1, "batches must hold at least one record");
+        BatchPolicy {
+            max_items,
+            deadline: None,
+        }
+    }
+
+    /// Additionally cut when the oldest buffered record has waited
+    /// `deadline` (the time-driven boundaries of discretized streams).
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Why a [`MiniBatch`] was cut.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CutReason {
+    /// The buffer reached [`BatchPolicy::max_items`].
+    Size,
+    /// The oldest buffered record exceeded [`BatchPolicy::deadline`].
+    Deadline,
+    /// An explicit [`Batcher::flush`] or the final flush in
+    /// [`Batcher::close`].
+    Flush,
+}
+
+/// One cut mini-batch travelling from a [`Batcher`] to a sampler pipeline.
+#[derive(Debug)]
+pub struct MiniBatch {
+    /// The records, in push order.
+    pub items: Vec<Item>,
+    /// What triggered the cut.
+    pub cut: CutReason,
+    /// Zero-based batch sequence number on this producer.
+    pub seq: u64,
+}
+
+/// Ingestion-side counters, surfaced so operators can see whether the
+/// front door (and not the sampler) is the bottleneck.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IngestCounters {
+    /// Records accepted by [`Batcher::push`].
+    pub records_in: u64,
+    /// Mini-batches cut (all reasons).
+    pub batches_cut: u64,
+    /// Cuts triggered by the size bound.
+    pub size_cuts: u64,
+    /// Cuts triggered by the deadline.
+    pub deadline_flushes: u64,
+    /// Seconds the producer spent blocked in `send` because the channel
+    /// was full — the backpressure the bounded channel applied.
+    pub blocked_send_s: f64,
+}
+
+/// The consumer hung up: the receiving end of the batch channel was
+/// dropped, so no further records can be delivered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct IngestClosed;
+
+impl std::fmt::Display for IngestClosed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ingestion channel closed: batch receiver was dropped")
+    }
+}
+
+impl std::error::Error for IngestClosed {}
+
+/// Accumulates pushed records and cuts mini-batches on size or deadline
+/// into a bounded channel (see the [module docs](self) for the topology).
+#[derive(Debug)]
+pub struct Batcher {
+    tx: SyncSender<MiniBatch>,
+    policy: BatchPolicy,
+    buf: Vec<Item>,
+    /// When the oldest record of the current buffer arrived.
+    opened_at: Option<Instant>,
+    seq: u64,
+    counters: IngestCounters,
+}
+
+impl Batcher {
+    /// A batcher cutting batches per `policy` into a bounded channel
+    /// holding at most `capacity` in-flight batches. Returns the batcher
+    /// (producer side) and the receiver the sampler pipeline drains.
+    pub fn new(policy: BatchPolicy, capacity: usize) -> (Batcher, Receiver<MiniBatch>) {
+        assert!(capacity >= 1, "channel capacity must be at least 1");
+        let (tx, rx) = sync_channel(capacity);
+        (
+            Batcher {
+                tx,
+                policy,
+                buf: Vec::with_capacity(policy.max_items),
+                opened_at: None,
+                seq: 0,
+                counters: IngestCounters::default(),
+            },
+            rx,
+        )
+    }
+
+    /// Push one record. Cuts and sends a batch when the size bound is
+    /// reached, after first flushing a buffer whose deadline expired. May
+    /// block on a full channel (backpressure); the blocked time accrues in
+    /// [`IngestCounters::blocked_send_s`].
+    pub fn push(&mut self, item: Item) -> Result<(), IngestClosed> {
+        self.poll_deadline()?;
+        if self.buf.is_empty() {
+            self.opened_at = Some(Instant::now());
+        }
+        self.buf.push(item);
+        self.counters.records_in += 1;
+        if self.buf.len() >= self.policy.max_items {
+            self.cut(CutReason::Size)?;
+        }
+        Ok(())
+    }
+
+    /// Cut the buffered records now if the deadline expired; returns
+    /// whether a batch was sent. Drivers with sparse sources call this
+    /// between arrivals so a trickle of records still becomes batches.
+    pub fn poll_deadline(&mut self) -> Result<bool, IngestClosed> {
+        let expired = match (self.policy.deadline, self.opened_at) {
+            (Some(deadline), Some(opened)) => !self.buf.is_empty() && opened.elapsed() >= deadline,
+            _ => false,
+        };
+        if expired {
+            self.cut(CutReason::Deadline)?;
+        }
+        Ok(expired)
+    }
+
+    /// Cut whatever is buffered as a batch, regardless of size or age.
+    pub fn flush(&mut self) -> Result<(), IngestClosed> {
+        if !self.buf.is_empty() {
+            self.cut(CutReason::Flush)?;
+        }
+        Ok(())
+    }
+
+    /// Flush residual records and close the channel (the receiver's
+    /// `recv` then reports disconnection, ending the pipeline drain).
+    /// Returns the final counters.
+    pub fn close(mut self) -> IngestCounters {
+        // A hung-up receiver means the residual records have nowhere to
+        // go; the counters still report everything that happened.
+        let _ = self.flush();
+        self.counters
+    }
+
+    /// Counters so far.
+    pub fn counters(&self) -> IngestCounters {
+        self.counters
+    }
+
+    /// Records currently buffered (not yet cut into a batch).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn cut(&mut self, cut: CutReason) -> Result<(), IngestClosed> {
+        debug_assert!(!self.buf.is_empty(), "cut of an empty buffer");
+        let items = std::mem::replace(&mut self.buf, Vec::with_capacity(self.policy.max_items));
+        self.opened_at = None;
+        let batch = MiniBatch {
+            items,
+            cut,
+            seq: self.seq,
+        };
+        // Fast path: room in the channel. Slow path: measure how long
+        // backpressure stalls the producer.
+        let batch = match self.tx.try_send(batch) {
+            Ok(()) => {
+                self.record_cut(cut);
+                return Ok(());
+            }
+            Err(TrySendError::Disconnected(_)) => return Err(IngestClosed),
+            Err(TrySendError::Full(batch)) => batch,
+        };
+        let blocked = Instant::now();
+        let sent = self.tx.send(batch);
+        self.counters.blocked_send_s += blocked.elapsed().as_secs_f64();
+        match sent {
+            Ok(()) => {
+                self.record_cut(cut);
+                Ok(())
+            }
+            Err(_) => Err(IngestClosed),
+        }
+    }
+
+    fn record_cut(&mut self, cut: CutReason) {
+        self.seq += 1;
+        self.counters.batches_cut += 1;
+        match cut {
+            CutReason::Size => self.counters.size_cuts += 1,
+            CutReason::Deadline => self.counters.deadline_flushes += 1,
+            CutReason::Flush => {}
+        }
+    }
+}
+
+/// The producer half of a pumped source: the receiver to hand to the
+/// sampler pipeline plus the producer thread's join handle.
+pub struct IngestHandle {
+    receiver: Option<Receiver<MiniBatch>>,
+    join: std::thread::JoinHandle<IngestCounters>,
+}
+
+impl IngestHandle {
+    /// The batch receiver (available exactly once).
+    pub fn take_receiver(&mut self) -> Receiver<MiniBatch> {
+        self.receiver.take().expect("receiver already taken")
+    }
+
+    /// Wait for the producer thread to finish and return its counters.
+    /// Call after the pipeline drained the channel (or dropped the
+    /// receiver — the producer then stops at its next send).
+    pub fn join(self) -> IngestCounters {
+        self.join.join().expect("ingest producer thread panicked")
+    }
+}
+
+/// Pump `source` through a [`Batcher`] on a dedicated producer thread:
+/// the per-PE ingestion topology (source thread → bounded channel → the
+/// PE's sampler loop). Between sparse arrivals nothing fires the deadline
+/// — the pump checks it on every push, so a batch is cut at the first
+/// arrival after expiry; [`PacedRecords`] in the tests exercises exactly
+/// this.
+pub fn spawn_source<S: RecordSource + 'static>(
+    source: S,
+    policy: BatchPolicy,
+    capacity: usize,
+) -> IngestHandle {
+    let (batcher, rx) = Batcher::new(policy, capacity);
+    let join = std::thread::Builder::new()
+        .name("reservoir-ingest".into())
+        .spawn(move || pump(source, batcher))
+        .expect("failed to spawn ingest producer thread");
+    IngestHandle {
+        receiver: Some(rx),
+        join,
+    }
+}
+
+fn pump<S: RecordSource>(mut source: S, mut batcher: Batcher) -> IngestCounters {
+    while let Some(record) = source.next_record() {
+        if batcher.push(record).is_err() {
+            // Consumer hung up; stop producing.
+            break;
+        }
+    }
+    batcher.close()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::StreamSpec;
+
+    fn items(n: u64) -> Vec<Item> {
+        (0..n).map(|i| Item::new(i, 1.0 + i as f64)).collect()
+    }
+
+    #[test]
+    fn size_cuts_deliver_everything_in_order() {
+        let (mut b, rx) = Batcher::new(BatchPolicy::by_size(4), 16);
+        for it in items(10) {
+            b.push(it).unwrap();
+        }
+        let counters = b.close();
+        let batches: Vec<MiniBatch> = rx.iter().collect();
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].items.len(), 4);
+        assert_eq!(batches[1].items.len(), 4);
+        assert_eq!(batches[2].items.len(), 2);
+        assert_eq!(batches[2].cut, CutReason::Flush);
+        assert_eq!(
+            batches.iter().map(|b| b.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        let ids: Vec<u64> = batches
+            .iter()
+            .flat_map(|b| b.items.iter())
+            .map(|i| i.id)
+            .collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+        assert_eq!(counters.records_in, 10);
+        assert_eq!(counters.batches_cut, 3);
+        assert_eq!(counters.size_cuts, 2);
+        assert_eq!(counters.deadline_flushes, 0);
+    }
+
+    #[test]
+    fn deadline_cuts_a_stale_buffer() {
+        let policy = BatchPolicy::by_size(1000).with_deadline(Duration::from_millis(1));
+        let (mut b, rx) = Batcher::new(policy, 16);
+        b.push(Item::new(1, 1.0)).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(b.poll_deadline().unwrap());
+        b.push(Item::new(2, 1.0)).unwrap();
+        let counters = b.close();
+        let batches: Vec<MiniBatch> = rx.iter().collect();
+        assert_eq!(batches.len(), 2);
+        assert_eq!(batches[0].cut, CutReason::Deadline);
+        assert_eq!(counters.deadline_flushes, 1);
+    }
+
+    #[test]
+    fn push_flushes_an_expired_buffer_before_admitting_the_record() {
+        let policy = BatchPolicy::by_size(1000).with_deadline(Duration::from_millis(1));
+        let (mut b, rx) = Batcher::new(policy, 16);
+        b.push(Item::new(1, 1.0)).unwrap();
+        std::thread::sleep(Duration::from_millis(5));
+        b.push(Item::new(2, 1.0)).unwrap();
+        drop(b);
+        let batches: Vec<MiniBatch> = rx.iter().collect();
+        assert_eq!(batches.len(), 1, "second record stays buffered");
+        assert_eq!(batches[0].cut, CutReason::Deadline);
+        assert_eq!(batches[0].items.len(), 1);
+    }
+
+    #[test]
+    fn bounded_channel_blocks_and_records_backpressure() {
+        let (mut b, rx) = Batcher::new(BatchPolicy::by_size(1), 1);
+        let producer = std::thread::spawn(move || {
+            for it in items(4) {
+                b.push(it).unwrap();
+            }
+            b.close()
+        });
+        // Let the producer fill the 1-slot channel and block, then drain
+        // slowly.
+        std::thread::sleep(Duration::from_millis(20));
+        let mut seen = 0;
+        for batch in rx.iter() {
+            seen += batch.items.len();
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let counters = producer.join().unwrap();
+        assert_eq!(seen, 4);
+        assert!(
+            counters.blocked_send_s > 0.0,
+            "producer never felt backpressure: {counters:?}"
+        );
+    }
+
+    #[test]
+    fn closed_receiver_surfaces_as_ingest_closed() {
+        let (mut b, rx) = Batcher::new(BatchPolicy::by_size(1), 1);
+        drop(rx);
+        assert_eq!(b.push(Item::new(1, 1.0)), Err(IngestClosed));
+    }
+
+    #[test]
+    fn synthetic_records_match_the_pull_generator() {
+        let spec = StreamSpec {
+            pes: 2,
+            batch_size: 8,
+            weights: WeightGen::paper_uniform(),
+            seed: 5,
+        };
+        // 24 records through the push adapter, chunked unevenly...
+        let mut push = SyntheticRecords::new(spec.source_for(1), 24).with_chunk(7);
+        let pushed: Vec<Item> = std::iter::from_fn(|| push.next_record()).collect();
+        // ...must equal 24 records pulled straight off the generator.
+        let mut src = spec.source_for(1);
+        let mut pulled = src.next_batch_of(7);
+        for _ in 0..2 {
+            pulled.extend(src.next_batch_of(7));
+        }
+        pulled.extend(src.next_batch_of(3));
+        assert_eq!(pushed.len(), 24);
+        assert_eq!(pushed, pulled);
+        assert_eq!(push.remaining_hint(), Some(0));
+    }
+
+    #[test]
+    fn replay_records_roundtrip() {
+        let data = items(5);
+        let mut r = ReplayRecords::from_slice(&data);
+        assert_eq!(r.remaining_hint(), Some(5));
+        let replayed: Vec<Item> = std::iter::from_fn(|| r.next_record()).collect();
+        assert_eq!(replayed, data);
+        assert_eq!(r.next_record(), None, "stays exhausted");
+    }
+
+    #[test]
+    fn skew_shift_walks_its_segments() {
+        let segments = vec![
+            (WeightGen::Unit, 3u64),
+            (WeightGen::Uniform { max: 50.0 }, 2),
+        ];
+        let mut s = SkewShiftRecords::new(0, 9, segments);
+        assert_eq!(s.remaining_hint(), Some(5));
+        let out: Vec<Item> = std::iter::from_fn(|| s.next_record()).collect();
+        assert_eq!(out.len(), 5);
+        assert!(out[..3].iter().all(|i| i.weight == 1.0));
+        assert!(out[3..].iter().all(|i| i.weight != 1.0 && i.weight <= 50.0));
+        // Ids stay collision-free and sequential.
+        let ids: Vec<u64> = out.iter().map(|i| i.id).collect();
+        assert_eq!(ids, (0..5).collect::<Vec<_>>());
+        assert_eq!(s.next_record(), None);
+    }
+
+    #[test]
+    fn spawned_pump_delivers_the_whole_stream() {
+        let spec = StreamSpec {
+            pes: 1,
+            batch_size: 16,
+            weights: WeightGen::paper_uniform(),
+            seed: 11,
+        };
+        let source = SyntheticRecords::new(spec.source_for(0), 100);
+        let mut handle = spawn_source(source, BatchPolicy::by_size(16), 2);
+        let rx = handle.take_receiver();
+        let total: usize = rx.iter().map(|b| b.items.len()).sum();
+        let counters = handle.join();
+        assert_eq!(total, 100);
+        assert_eq!(counters.records_in, 100);
+        assert_eq!(counters.batches_cut, 7); // 6 full + 1 residual flush
+    }
+
+    #[test]
+    fn paced_source_triggers_deadline_flushes_through_the_pump() {
+        let source = PacedRecords::new(ReplayRecords::new(items(6)), 2, Duration::from_millis(8));
+        let policy = BatchPolicy::by_size(1000).with_deadline(Duration::from_millis(2));
+        let mut handle = spawn_source(source, policy, 8);
+        let rx = handle.take_receiver();
+        let batches: Vec<MiniBatch> = rx.iter().collect();
+        let counters = handle.join();
+        assert_eq!(counters.records_in, 6);
+        assert!(
+            counters.deadline_flushes >= 1,
+            "paced arrivals never aged out a buffer: {counters:?}"
+        );
+        let delivered: usize = batches.iter().map(|b| b.items.len()).sum();
+        assert_eq!(delivered, 6);
+    }
+}

@@ -13,8 +13,13 @@
 //!   weights for the uniform sampler.
 //! * [`StreamSource`] — a per-PE batch producer with deterministic
 //!   per-`(seed, pe)` randomness and collision-free id assignment.
+//! * [`ingest`] — the push-based front door: [`ingest::RecordSource`]
+//!   adapters feed per-PE [`ingest::Batcher`]s that cut mini-batches on
+//!   size or deadline over bounded channels, so slow consumers apply
+//!   backpressure instead of buffering without limit.
 
 mod gen;
+pub mod ingest;
 mod source;
 
 pub use gen::{IdStream, WeightGen};

@@ -76,16 +76,27 @@ impl StreamSource {
         buf
     }
 
-    /// Produce a batch of a custom size (variable-size batches are allowed
-    /// by the model: "b need not be the same across PEs and batches").
-    pub fn next_batch_of(&mut self, size: usize) -> Vec<Item> {
+    /// Produce a batch of a custom size into `buf` (cleared first),
+    /// reusing the buffer like [`Self::next_batch_into`]; returns the
+    /// batch index. Variable-size batches are allowed by the model
+    /// ("b need not be the same across PEs and batches"), and hot loops
+    /// with per-batch sizes must not pay a per-batch allocation.
+    pub fn next_batch_of_into(&mut self, size: usize, buf: &mut Vec<Item>) -> u64 {
+        buf.clear();
+        buf.reserve(size);
         let batch = self.batch_index;
-        let mut buf = Vec::with_capacity(size);
         for _ in 0..size {
             let w = self.weights.sample(self.pe, batch, &mut self.rng);
             buf.push(Item::new(self.ids.next_id(), w));
         }
         self.batch_index += 1;
+        batch
+    }
+
+    /// Allocating convenience wrapper around [`Self::next_batch_of_into`].
+    pub fn next_batch_of(&mut self, size: usize) -> Vec<Item> {
+        let mut buf = Vec::new();
+        self.next_batch_of_into(size, &mut buf);
         buf
     }
 
@@ -170,6 +181,18 @@ mod tests {
         let mut src = spec(1, 10).source_for(0);
         assert_eq!(src.next_batch_of(3).len(), 3);
         assert_eq!(src.next_batch_of(17).len(), 17);
+    }
+
+    #[test]
+    fn custom_size_buffer_reuse_matches_allocating_variant() {
+        let mut a = spec(1, 10).source_for(0);
+        let mut b = spec(1, 10).source_for(0);
+        let mut buf = Vec::new();
+        assert_eq!(a.next_batch_of_into(5, &mut buf), 0);
+        assert_eq!(buf, b.next_batch_of(5));
+        assert_eq!(a.next_batch_of_into(9, &mut buf), 1);
+        assert_eq!(buf, b.next_batch_of(9));
+        assert_eq!(a.batches_produced(), 2);
     }
 
     #[test]

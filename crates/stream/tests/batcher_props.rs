@@ -1,0 +1,153 @@
+//! Property tests for the ingestion [`Batcher`]: arbitrary push sequences,
+//! batch policies and channel capacities must never lose, duplicate or
+//! reorder a record, never overfill a batch, and always drain residual
+//! records on flush/close — including the empty-stream and single-record
+//! edge cases.
+
+use proptest::prelude::*;
+use reservoir_stream::ingest::{BatchPolicy, Batcher, CutReason, MiniBatch};
+use reservoir_stream::Item;
+
+/// Deterministic record streams: ids 0..n in order, varied weights.
+fn records(n: usize) -> Vec<Item> {
+    (0..n as u64)
+        .map(|i| Item::new(i, 0.5 + (i % 17) as f64))
+        .collect()
+}
+
+/// Push `items` through a batcher cutting at `max_items`, optionally with
+/// interleaved explicit flushes every `flush_every` pushes, and return the
+/// cut batches. The channel capacity always exceeds the number of batches
+/// a single-threaded driver can cut, so the producer never deadlocks on
+/// its own consumer.
+fn drive(items: &[Item], max_items: usize, flush_every: Option<usize>) -> Vec<MiniBatch> {
+    let capacity = items.len() + 2;
+    let (mut batcher, rx) = Batcher::new(BatchPolicy::by_size(max_items), capacity);
+    for (i, item) in items.iter().enumerate() {
+        batcher.push(*item).expect("receiver alive");
+        if let Some(every) = flush_every {
+            if (i + 1) % every == 0 {
+                batcher.flush().expect("receiver alive");
+            }
+        }
+    }
+    let counters = batcher.close();
+    let batches: Vec<MiniBatch> = rx.iter().collect();
+    // Counter bookkeeping must match what actually travelled.
+    assert_eq!(counters.records_in, items.len() as u64);
+    assert_eq!(counters.batches_cut, batches.len() as u64);
+    batches
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_record_is_delivered_exactly_once_in_order(
+        n in 0usize..400,
+        max_items in 1usize..50,
+    ) {
+        let items = records(n);
+        let batches = drive(&items, max_items, None);
+        let delivered: Vec<u64> = batches
+            .iter()
+            .flat_map(|b| b.items.iter())
+            .map(|it| it.id)
+            .collect();
+        // Exactly once, and in push order (which also rules out
+        // duplicates and drops).
+        prop_assert_eq!(delivered, (0..n as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn no_batch_exceeds_the_size_bound_and_only_the_tail_runs_short(
+        n in 0usize..400,
+        max_items in 1usize..50,
+    ) {
+        let items = records(n);
+        let batches = drive(&items, max_items, None);
+        for b in &batches {
+            prop_assert!(!b.items.is_empty(), "empty batch cut");
+            prop_assert!(b.items.len() <= max_items, "batch overfilled");
+        }
+        // With pure size cuts, every batch but the final flush is full.
+        for b in batches.iter().rev().skip(1) {
+            prop_assert_eq!(b.items.len(), max_items);
+            prop_assert_eq!(b.cut, CutReason::Size);
+        }
+        // Sequence numbers are dense and ordered.
+        let seqs: Vec<u64> = batches.iter().map(|b| b.seq).collect();
+        prop_assert_eq!(seqs, (0..batches.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn interleaved_flushes_still_deliver_exactly_once(
+        n in 0usize..300,
+        max_items in 1usize..40,
+        flush_every in 1usize..60,
+    ) {
+        let items = records(n);
+        let batches = drive(&items, max_items, Some(flush_every));
+        let delivered: Vec<u64> = batches
+            .iter()
+            .flat_map(|b| b.items.iter())
+            .map(|it| it.id)
+            .collect();
+        prop_assert_eq!(delivered, (0..n as u64).collect::<Vec<_>>());
+        for b in &batches {
+            prop_assert!(b.items.len() <= max_items);
+            prop_assert!(!b.items.is_empty());
+        }
+    }
+
+    #[test]
+    fn close_drains_all_residual_records(
+        n in 1usize..200,
+        max_items in 1usize..50,
+    ) {
+        // Choose n so a residual usually exists; the property must hold
+        // either way.
+        let items = records(n);
+        let batches = drive(&items, max_items, None);
+        let total: usize = batches.iter().map(|b| b.items.len()).sum();
+        prop_assert_eq!(total, n, "close lost residual records");
+        let residual = n % max_items;
+        if residual > 0 {
+            let last = batches.last().expect("n >= 1 yields a batch");
+            prop_assert_eq!(last.items.len(), residual);
+            prop_assert_eq!(last.cut, CutReason::Flush);
+        }
+    }
+}
+
+#[test]
+fn empty_stream_cuts_no_batches() {
+    let batches = drive(&[], 8, None);
+    assert!(
+        batches.is_empty(),
+        "close on an empty stream sent {batches:?}"
+    );
+    // And an explicit flush of an empty buffer is also a no-op.
+    let (mut batcher, rx) = Batcher::new(BatchPolicy::by_size(8), 2);
+    batcher.flush().unwrap();
+    assert_eq!(batcher.close().batches_cut, 0);
+    assert!(rx.iter().next().is_none());
+}
+
+#[test]
+fn single_record_arrives_alone_via_close() {
+    let items = records(1);
+    let batches = drive(&items, 100, None);
+    assert_eq!(batches.len(), 1);
+    assert_eq!(batches[0].items.len(), 1);
+    assert_eq!(batches[0].items[0].id, 0);
+    assert_eq!(batches[0].cut, CutReason::Flush);
+}
+
+#[test]
+fn single_record_at_size_one_is_a_size_cut() {
+    let items = records(1);
+    let batches = drive(&items, 1, None);
+    assert_eq!(batches.len(), 1);
+    assert_eq!(batches[0].cut, CutReason::Size);
+}

@@ -16,7 +16,7 @@
 //! | [`select`] | `reservoir-select` | distributed selection: single/multi-pivot, approximate (amsSelect), quickselect |
 //! | [`btree`] | `reservoir-btree` | augmented B+ tree: rank/select/split/join local reservoirs |
 //! | [`comm`] | `reservoir-comm` | Communicator trait, threaded runtime, collectives, α–β cost model |
-//! | [`stream`] | `reservoir-stream` | mini-batch model, workload generators |
+//! | [`stream`] | `reservoir-stream` | mini-batch model, workload generators, push-based ingestion runtime (`stream::ingest`: record sources, batchers, backpressure) |
 //! | [`rng`] | `reservoir-rng` | MT19937-64, xoshiro256++, exponential/geometric deviates |
 //!
 //! ## Quick start (sequential)
@@ -52,8 +52,41 @@
 //! });
 //! assert_eq!(samples[0].as_ref().map(Vec::len), Some(50));
 //! ```
+//!
+//! ## Quick start (push-based ingestion with backpressure)
+//!
+//! Real workloads *push* records in rather than being pulled: adapt them
+//! as a [`stream::ingest::RecordSource`], pump them through a per-PE
+//! [`stream::ingest::Batcher`] (mini-batches cut on size or deadline over
+//! a bounded channel — a slow sampler throttles the source instead of
+//! buffering without limit), and let `run_pipeline` drain, sample, and
+//! collect the Section 5 output:
+//!
+//! ```
+//! use reservoir::comm::run_threads;
+//! use reservoir::dist::threaded::DistributedSampler;
+//! use reservoir::dist::DistConfig;
+//! use reservoir::stream::ingest::{spawn_source, BatchPolicy, SyntheticRecords};
+//! use reservoir::stream::{StreamSpec, WeightGen};
+//!
+//! let spec = StreamSpec { pes: 2, batch_size: 500, weights: WeightGen::paper_uniform(), seed: 3 };
+//! let reports = run_threads(2, |comm| {
+//!     use reservoir::comm::Communicator;
+//!     let source = SyntheticRecords::new(spec.source_for(comm.rank()), 2_000);
+//!     let mut ingest = spawn_source(source, BatchPolicy::by_size(500), 4);
+//!     let rx = ingest.take_receiver();
+//!     let mut sampler = DistributedSampler::new(&comm, DistConfig::weighted(50, 3));
+//!     let report = sampler.run_pipeline(&rx); // drain → process_batch → collect_output
+//!     (report, ingest.join())
+//! });
+//! let (report, counters) = &reports[0];
+//! assert_eq!(report.sample_size(), 50);
+//! assert_eq!(counters.records_in, 2_000);
+//! ```
 
-pub use reservoir_core::{dist, metrics, sample, seq, PhaseTimes, SampleHandle, SampleItem};
+pub use reservoir_core::{
+    dist, metrics, sample, seq, PhaseTimes, PipelineReport, SampleHandle, SampleItem,
+};
 
 /// Augmented B+ tree (rank/select/split/join) — the local reservoirs.
 pub mod btree {

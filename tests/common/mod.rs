@@ -33,6 +33,23 @@ pub fn two_sample_chi_square(a: &[u64], b: &[u64]) -> (f64, usize) {
     (stat, df.saturating_sub(1))
 }
 
+/// One-sample chi-square statistic of observed counts against a single
+/// analytic expectation per item: Σ (o_i − e)² / e, df = #items − 1.
+/// Used where the inclusion law is known in closed form (uniform
+/// sampling: every item is included with probability k/n).
+#[allow(dead_code)] // not every test binary links every helper
+pub fn one_sample_chi_square(observed: &[u64], expected_per_item: f64) -> (f64, usize) {
+    assert!(expected_per_item > 0.0);
+    let stat = observed
+        .iter()
+        .map(|&o| {
+            let diff = o as f64 - expected_per_item;
+            diff * diff / expected_per_item
+        })
+        .sum();
+    (stat, observed.len().saturating_sub(1))
+}
+
 /// Normal-approximation upper quantile of χ²(df): df + z·√(2df) + z²·2/3.
 /// z = 2.33 is the 99th percentile (the "p > 0.01" acceptance bar);
 /// z = 4 keeps the false-failure probability around 3e-5.

@@ -1,0 +1,282 @@
+//! End-to-end statistical goodness of fit for the **push-based pipeline
+//! path** (`run_pipeline`): records enter through the ingestion runtime
+//! (`RecordSource` → `Batcher` → bounded channel), are drained
+//! collectively, and leave through the Section 5 output collection. The
+//! sampling law must not care which front door the records used.
+//!
+//! Checks, per backend (distributed and gather baseline):
+//!
+//! * **weighted mode** — the pipeline path's per-item inclusion counts
+//!   must match the *pull* path's (`process_batch` fed directly) under a
+//!   two-sample chi-square, and the two output paths (root funnel vs
+//!   Section 5 distributed handle) must expose the identical member set
+//!   inside every trial;
+//! * **uniform mode** — inclusion probabilities are known in closed form
+//!   (k/n), so the pipeline counts face a one-sample chi-square against
+//!   the analytic law itself.
+//!
+//! The always-on tests keep trial counts modest; the `stats_`-prefixed
+//! variants behind the `stats` feature run the same laws at CI scale
+//! (`cargo test --release --features stats -- stats_`). All seeds derive
+//! from `RESERVOIR_TEST_SEED` (printed on failure).
+
+mod common;
+
+use common::{chi_square_upper, one_sample_chi_square, skewed_weight, two_sample_chi_square};
+use reservoir::comm::{run_threads, Communicator};
+use reservoir::dist::gather::GatherSampler;
+use reservoir::dist::threaded::DistributedSampler;
+use reservoir::dist::DistConfig;
+use reservoir::rng::test_base_seed;
+use reservoir::stream::ingest::{spawn_source, BatchPolicy, ReplayRecords};
+use reservoir::stream::Item;
+
+/// Which sampler drives the pipeline.
+#[derive(Clone, Copy, PartialEq)]
+enum Backend {
+    Distributed,
+    Gather,
+}
+
+/// This PE's share of the stream: items 0..n dealt round-robin over `p`
+/// PEs; weight 1 in uniform mode, strongly skewed otherwise.
+fn my_records(rank: usize, p: usize, n: u64, uniform: bool) -> Vec<Item> {
+    (0..n)
+        .filter(|i| *i as usize % p == rank)
+        .map(|i| Item::new(i, if uniform { 1.0 } else { skewed_weight(i) }))
+        .collect()
+}
+
+/// Per-item inclusion counts over `trials` pipeline runs. Every trial
+/// pushes the records through the full ingestion runtime (producer thread,
+/// size-cut batches, bounded channel) and reads the sample back through
+/// the Section 5 handle; on the distributed backend each trial also pins
+/// the handle against the root funnel (`gather_sample`) exactly.
+#[allow(clippy::too_many_arguments)]
+fn pipeline_counts(
+    backend: Backend,
+    uniform: bool,
+    n: u64,
+    k: usize,
+    p: usize,
+    batch: usize,
+    trials: u64,
+    seed_base: u64,
+) -> Vec<u64> {
+    let mut counts = vec![0u64; n as usize];
+    for t in 0..trials {
+        let ids = run_threads(p, |comm| {
+            let seed = seed_base.wrapping_add(t);
+            let cfg = if uniform {
+                DistConfig::uniform(k, seed)
+            } else {
+                DistConfig::weighted(k, seed)
+            };
+            let records = my_records(comm.rank(), p, n, uniform);
+            let pushed = records.len() as u64;
+            let mut ingest =
+                spawn_source(ReplayRecords::new(records), BatchPolicy::by_size(batch), 2);
+            let rx = ingest.take_receiver();
+            match backend {
+                Backend::Distributed => {
+                    let mut s = DistributedSampler::new(&comm, cfg);
+                    let report = s.run_pipeline(&rx);
+                    assert_eq!(ingest.join().records_in, pushed);
+                    assert_eq!(report.records, pushed);
+                    assert_eq!(report.sample_size(), k as u64);
+                    // Both output paths must expose the same member set.
+                    let rooted = s.gather_sample();
+                    let all = report.handle.all_items(&comm);
+                    let mut a: Vec<u64> = all.iter().map(|m| m.id).collect();
+                    a.sort_unstable();
+                    if let Some(r) = rooted {
+                        let mut b: Vec<u64> = r.iter().map(|m| m.id).collect();
+                        b.sort_unstable();
+                        assert_eq!(a, b, "output paths diverged (trial {t})");
+                    }
+                    a
+                }
+                Backend::Gather => {
+                    let mut s = GatherSampler::new(&comm, cfg);
+                    let report = s.run_pipeline(&rx);
+                    assert_eq!(ingest.join().records_in, pushed);
+                    assert_eq!(report.handle.total_len(), k as u64);
+                    // The gather handle holds the whole sample at the root.
+                    report.handle.local_items().iter().map(|m| m.id).collect()
+                }
+            }
+        });
+        let root_ids = &ids[0];
+        assert_eq!(root_ids.len(), k, "trial {t} sample size");
+        for &id in root_ids {
+            counts[id as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Per-item inclusion counts of the pull path (`process_batch` fed
+/// directly), the reference law for the weighted two-sample test.
+fn direct_counts(
+    n: u64,
+    k: usize,
+    p: usize,
+    batch: usize,
+    trials: u64,
+    seed_base: u64,
+) -> Vec<u64> {
+    let mut counts = vec![0u64; n as usize];
+    for t in 0..trials {
+        let ids = run_threads(p, |comm| {
+            let mut s =
+                DistributedSampler::new(&comm, DistConfig::weighted(k, seed_base.wrapping_add(t)));
+            let mine = my_records(comm.rank(), p, n, false);
+            for chunk in mine.chunks(batch.max(1)) {
+                s.process_batch(chunk);
+            }
+            let handle = s.collect_output();
+            handle
+                .all_items(&comm)
+                .iter()
+                .map(|m| m.id)
+                .collect::<Vec<u64>>()
+        });
+        for &id in &ids[0] {
+            counts[id as usize] += 1;
+        }
+    }
+    counts
+}
+
+/// Weighted law: pipeline counts vs pull-path counts, two-sample χ².
+fn check_pipeline_matches_pull_law(
+    backend: Backend,
+    n: u64,
+    k: usize,
+    p: usize,
+    batch: usize,
+    trials: u64,
+    z: f64,
+) {
+    let base = test_base_seed();
+    let piped = pipeline_counts(
+        backend,
+        false,
+        n,
+        k,
+        p,
+        batch,
+        trials,
+        base.wrapping_add(21_000_000),
+    );
+    let pulled = direct_counts(n, k, p, batch, trials, base.wrapping_add(23_000_000));
+    assert_eq!(piped.iter().sum::<u64>(), trials * k as u64);
+    assert_eq!(pulled.iter().sum::<u64>(), trials * k as u64);
+    // The skew must show: heavy items dominate light ones.
+    assert!(piped[0] > piped[59] * 3, "{} vs {}", piped[0], piped[59]);
+    let (stat, df) = two_sample_chi_square(&piped, &pulled);
+    let limit = chi_square_upper(df, z);
+    assert!(
+        stat < limit,
+        "chi-square {stat:.1} exceeds χ²({df}) limit {limit:.1}: the push-based \
+         pipeline changes the weighted inclusion law (base seed {base}; \
+         set RESERVOIR_TEST_SEED to reproduce/vary)"
+    );
+}
+
+/// Uniform law: pipeline counts vs the analytic k/n inclusion, one-sample χ².
+fn check_pipeline_uniform_gof(
+    backend: Backend,
+    n: u64,
+    k: usize,
+    p: usize,
+    batch: usize,
+    trials: u64,
+    z: f64,
+) {
+    let base = test_base_seed();
+    let counts = pipeline_counts(
+        backend,
+        true,
+        n,
+        k,
+        p,
+        batch,
+        trials,
+        base.wrapping_add(27_000_000),
+    );
+    assert_eq!(counts.iter().sum::<u64>(), trials * k as u64);
+    let expected = trials as f64 * k as f64 / n as f64;
+    let (stat, df) = one_sample_chi_square(&counts, expected);
+    let limit = chi_square_upper(df, z);
+    assert!(
+        stat < limit,
+        "chi-square {stat:.1} exceeds χ²({df}) limit {limit:.1}: pipeline uniform \
+         inclusion deviates from k/n (base seed {base}; \
+         set RESERVOIR_TEST_SEED to reproduce/vary)"
+    );
+}
+
+#[test]
+fn pipeline_weighted_law_matches_pull_path_on_distributed_backend() {
+    // z = 2.33 is the 99th χ² percentile; deterministic under the default
+    // base seed.
+    check_pipeline_matches_pull_law(Backend::Distributed, 96, 16, 2, 24, 500, 2.33);
+}
+
+#[test]
+fn pipeline_weighted_law_matches_pull_path_on_gather_backend() {
+    check_pipeline_matches_pull_law(Backend::Gather, 96, 16, 2, 24, 500, 2.33);
+}
+
+#[test]
+fn pipeline_uniform_inclusion_is_k_over_n_on_distributed_backend() {
+    check_pipeline_uniform_gof(Backend::Distributed, 96, 16, 2, 24, 500, 2.33);
+}
+
+#[test]
+fn pipeline_uniform_inclusion_is_k_over_n_on_gather_backend() {
+    check_pipeline_uniform_gof(Backend::Gather, 96, 16, 2, 24, 500, 2.33);
+}
+
+#[test]
+fn pipeline_chi_square_detects_a_genuinely_different_law() {
+    // Positive control: pipeline at k vs pull path at 3k/2 must blow past
+    // the same limit, or the statistic has no power at these counts.
+    let base = test_base_seed();
+    let (n, p, batch, trials) = (96u64, 2usize, 24usize, 300u64);
+    let a = pipeline_counts(
+        Backend::Distributed,
+        false,
+        n,
+        16,
+        p,
+        batch,
+        trials,
+        base.wrapping_add(31_000_000),
+    );
+    let b = direct_counts(n, 24, p, batch, trials, base.wrapping_add(33_000_000));
+    let (stat, df) = two_sample_chi_square(&a, &b);
+    let limit = chi_square_upper(df, 2.33);
+    assert!(
+        stat > limit,
+        "control failed: {stat:.1} should exceed {limit:.1} for different laws \
+         (base seed {base})"
+    );
+}
+
+/// CI-scale versions (release build, `stats` feature): more items, more
+/// PEs, far more trials.
+#[cfg(feature = "stats")]
+#[test]
+fn stats_pipeline_weighted_law_matches_pull_path_at_scale() {
+    check_pipeline_matches_pull_law(Backend::Distributed, 240, 30, 3, 20, 3_000, 2.33);
+    check_pipeline_matches_pull_law(Backend::Gather, 240, 30, 3, 20, 3_000, 2.33);
+}
+
+#[cfg(feature = "stats")]
+#[test]
+fn stats_pipeline_uniform_gof_at_scale() {
+    check_pipeline_uniform_gof(Backend::Distributed, 240, 30, 3, 20, 3_000, 2.33);
+    check_pipeline_uniform_gof(Backend::Gather, 240, 30, 3, 20, 3_000, 2.33);
+}
