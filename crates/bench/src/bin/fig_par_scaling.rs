@@ -1,0 +1,159 @@
+//! Parallel local-scan scaling: real (not simulated) throughput of
+//! `reservoir_par::ParLocalReservoir` over 1..=8 scan threads against the
+//! sequential `LocalReservoir` baseline, on this machine.
+//!
+//! Emits a human-readable table on stdout and a machine-readable
+//! `BENCH_par_scan.json` (override the path with `RESERVOIR_BENCH_OUT`) —
+//! the recorded perf trajectory CI uploads as a non-gating artifact.
+//! Honours `RESERVOIR_BENCH_QUICK=1` for a reduced batch size.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use reservoir_bench::calibrate;
+use reservoir_core::dist::local::LocalReservoir;
+use reservoir_core::dist::sim::LocalCostModel;
+use reservoir_par::{ParLocalReservoir, DEFAULT_CHUNK_ITEMS};
+use reservoir_rng::{default_rng, Rng64};
+use reservoir_stream::Item;
+
+/// Steady-state-like insertion threshold: tiny, so the jump scan (not the
+/// tree merge) dominates — the paper's long-stream regime.
+const THRESHOLD: f64 = 1e-6;
+const MAX_THREADS: usize = 8;
+
+struct Sweep {
+    threads: usize,
+    items_per_s: f64,
+    speedup_vs_seq: f64,
+    steals: u64,
+    worker_imbalance: f64,
+}
+
+fn time_reps(mut f: impl FnMut(), reps: u32) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() / reps as f64
+}
+
+fn main() {
+    let quick = std::env::var_os("RESERVOIR_BENCH_QUICK").is_some();
+    let b: u64 = if quick { 500_000 } else { 4_000_000 };
+    let reps: u32 = if quick { 3 } else { 5 };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    eprintln!("calibrating local cost model (for the modeled-speedup column)...");
+    let costs = calibrate(quick);
+
+    let mut rng = default_rng(0xBA5E);
+    let items: Vec<Item> = (0..b)
+        .map(|i| Item::new(i, rng.rand_oc() * 100.0))
+        .collect();
+
+    // Sequential baseline: the classic LocalReservoir jump scan.
+    let mut seq = LocalReservoir::new(8, 32);
+    let mut seq_rng = default_rng(1);
+    let _ = seq.process_weighted(&items, Some(THRESHOLD), &mut seq_rng);
+    let seq_s = time_reps(
+        || {
+            let _ = seq.process_weighted(&items, Some(THRESHOLD), &mut seq_rng);
+        },
+        reps,
+    );
+    let baseline = b as f64 / seq_s;
+
+    let mut sweep = Vec::new();
+    for threads in 1..=MAX_THREADS {
+        let mut par = ParLocalReservoir::new(8, 32, threads, 1);
+        let _ = par.process_weighted(&items, Some(THRESHOLD));
+        let mut steals = 0u64;
+        let mut max_busy = 0.0f64;
+        let mut sum_busy = 0.0f64;
+        let per = time_reps(
+            || {
+                let stats = par.process_weighted(&items, Some(THRESHOLD));
+                steals += stats.steals;
+                max_busy += stats.max_worker_scan_s();
+                sum_busy += stats.worker_scan_s.iter().sum::<f64>();
+            },
+            reps,
+        );
+        let items_per_s = b as f64 / per;
+        sweep.push(Sweep {
+            threads,
+            items_per_s,
+            speedup_vs_seq: items_per_s / baseline,
+            steals: steals / reps as u64,
+            // max/mean worker busy time: 1.0 = perfectly balanced.
+            worker_imbalance: if sum_busy > 0.0 {
+                max_busy / (sum_busy / threads as f64)
+            } else {
+                0.0
+            },
+        });
+    }
+
+    // --- stdout table ---------------------------------------------------
+    println!("### fig_par_scaling — parallel local scan, weighted, b = {b}, t = {THRESHOLD:e}");
+    println!(
+        "host cores: {cores}; sequential baseline: {:.3e} items/s; \
+         calibrated serial fraction: {:.3}",
+        baseline, costs.par_serial_frac
+    );
+    println!("\n| threads | items/s | speedup vs seq | modeled | steals/batch | imbalance |");
+    println!("|---|---|---|---|---|---|");
+    for s in &sweep {
+        println!(
+            "| {} | {:.3e} | {:.2}x | {:.2}x | {} | {:.2} |",
+            s.threads,
+            s.items_per_s,
+            s.speedup_vs_seq,
+            costs.scan_speedup(s.threads as u64),
+            s.steals,
+            s.worker_imbalance,
+        );
+    }
+
+    // --- machine-readable trajectory ------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"par_scan\",");
+    let _ = writeln!(json, "  \"mode\": \"weighted\",");
+    let _ = writeln!(json, "  \"batch_items\": {b},");
+    let _ = writeln!(json, "  \"threshold\": {THRESHOLD:e},");
+    let _ = writeln!(json, "  \"chunk_items\": {DEFAULT_CHUNK_ITEMS},");
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"baseline_seq_items_per_s\": {:.6e},", baseline);
+    let _ = writeln!(
+        json,
+        "  \"calibrated_serial_frac\": {:.6},",
+        costs.par_serial_frac
+    );
+    let _ = writeln!(json, "  \"sweep\": [");
+    for (i, s) in sweep.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"threads\": {}, \"items_per_s\": {:.6e}, \"speedup_vs_seq\": {:.4}, \
+             \"modeled_speedup\": {:.4}, \"steals_per_batch\": {}, \"worker_imbalance\": {:.4}}}{}",
+            s.threads,
+            s.items_per_s,
+            s.speedup_vs_seq,
+            costs.scan_speedup(s.threads as u64),
+            s.steals,
+            s.worker_imbalance,
+            if i + 1 < sweep.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    let out = std::env::var("RESERVOIR_BENCH_OUT").unwrap_or_else(|_| "BENCH_par_scan.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_par_scan.json");
+    eprintln!("wrote {out}");
+}

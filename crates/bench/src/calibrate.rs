@@ -10,7 +10,8 @@ use std::time::Instant;
 
 use reservoir_btree::{BPlusTree, SampleKey};
 use reservoir_core::dist::local::LocalReservoir;
-use reservoir_core::dist::sim::LocalCostModel;
+use reservoir_core::dist::sim::{amdahl_speedup, LocalCostModel};
+use reservoir_par::ParLocalReservoir;
 use reservoir_rng::{default_rng, Rng64};
 use reservoir_select::kth_smallest;
 use reservoir_stream::Item;
@@ -29,6 +30,14 @@ pub struct MeasuredLocalCosts {
     pub quickselect_s: f64,
     /// Seconds per rank query per log₂(tree size).
     pub rank_s: f64,
+    /// Measured serial fraction of the parallel local scan (inverse-Amdahl
+    /// fit of a real `ParLocalReservoir` run against the sequential scan
+    /// on this machine; 1.0 when the host has a single core, i.e. no
+    /// speedup available).
+    pub par_serial_frac: f64,
+    /// The thread count the serial fraction was measured at (0 when the
+    /// probe was skipped on a single-core host).
+    pub par_probe_threads: u64,
 }
 
 impl MeasuredLocalCosts {
@@ -74,6 +83,10 @@ impl LocalCostModel for MeasuredLocalCosts {
 
     fn select_round_local(&self, tree_size: u64, pivots: u64) -> f64 {
         pivots.max(1) as f64 * self.rank_s * ((tree_size + 2) as f64).log2()
+    }
+
+    fn scan_speedup(&self, threads: u64) -> f64 {
+        amdahl_speedup(self.par_serial_frac, threads)
     }
 }
 
@@ -165,6 +178,47 @@ pub fn calibrate(quick: bool) -> MeasuredLocalCosts {
         .max(1e-12 * m as f64)
         / m as f64;
 
+    // --- Parallel-scan serial fraction ---------------------------------
+    // Time the real chunked scan (reservoir-par) against the sequential
+    // scan on the same batch and invert Amdahl's law:
+    //   S(t) = 1 / (s + (1-s)/t)  ⇒  s = (t/S - 1) / (t - 1).
+    // Always measure rather than consult `available_parallelism`:
+    // container CPU quotas routinely report one core while still running
+    // threads concurrently, and a genuinely serial host simply measures
+    // S ≈ 1 and records s ≈ 1.
+    let probe_threads = 4u64;
+    let (par_serial_frac, par_probe_threads) = {
+        // Big enough that the per-scope worker spawn cost (~100 µs)
+        // amortizes — the regime the knob is for; smaller batches stay on
+        // the sequential path anyway.
+        let b = if quick { 1_000_000u64 } else { 4_000_000 };
+        let items: Vec<Item> = (0..b)
+            .map(|i| Item::new(i, rng.rand_oc() * 100.0))
+            .collect();
+        let reps = if quick { 3 } else { 5 };
+        let mut seq_res = LocalReservoir::new(8, 32);
+        let mut seq_rng = default_rng(3);
+        let _ = seq_res.process_weighted(&items, Some(1e-7), &mut seq_rng);
+        let seq_s = time(
+            || {
+                let _ = seq_res.process_weighted(&items, Some(1e-7), &mut seq_rng);
+            },
+            reps,
+        );
+        let mut par_res = ParLocalReservoir::new(8, 32, probe_threads as usize, 3);
+        let _ = par_res.process_weighted(&items, Some(1e-7));
+        let par_s = time(
+            || {
+                let _ = par_res.process_weighted(&items, Some(1e-7));
+            },
+            reps,
+        );
+        let t = probe_threads as f64;
+        let speedup = (seq_s / par_s).max(1e-6);
+        let s = ((t / speedup - 1.0) / (t - 1.0)).clamp(0.0, 1.0);
+        (s, probe_threads)
+    };
+
     // --- Rank-query cost -----------------------------------------------
     let probes = 20_000u64;
     let mut acc = 0usize;
@@ -186,6 +240,8 @@ pub fn calibrate(quick: bool) -> MeasuredLocalCosts {
         keygen_s,
         quickselect_s,
         rank_s,
+        par_serial_frac,
+        par_probe_threads,
     }
 }
 
@@ -201,6 +257,11 @@ mod tests {
         assert!(c.keygen_s > 0.0);
         assert!(c.quickselect_s > 0.0);
         assert!(c.rank_s > 0.0);
+        assert!((0.0..=1.0).contains(&c.par_serial_frac));
+        // The derived speedup model is well-formed whatever the host.
+        let s4 = c.scan_speedup(4);
+        assert!((1.0..=4.0).contains(&s4), "{s4}");
+        assert_eq!(c.scan_speedup(1), 1.0);
     }
 
     #[test]
@@ -211,6 +272,8 @@ mod tests {
             keygen_s: 1e-8,
             quickselect_s: 1e-8,
             rank_s: 1e-8,
+            par_serial_frac: 0.1,
+            par_probe_threads: 4,
         };
         assert_eq!(c.scan_per_item(1_000), 1e-9);
         assert_eq!(c.scan_per_item(10_000_000), 3e-9);

@@ -76,7 +76,8 @@ pub fn run_sim_experiment<L: LocalCostModel>(
     }
 }
 
-/// Convenience constructor for the paper's weighted-sampling configs.
+/// Convenience constructor for the paper's weighted-sampling configs
+/// (single-threaded PEs; chain [`SimConfig::with_threads`] for multicore).
 pub fn sim_config(nodes: usize, k: usize, b_per_pe: u64, algo: SimAlgo, seed: u64) -> SimConfig {
     SimConfig {
         p: nodes * PES_PER_NODE,
@@ -85,6 +86,7 @@ pub fn sim_config(nodes: usize, k: usize, b_per_pe: u64, algo: SimAlgo, seed: u6
         mode: SamplingMode::Weighted,
         algo,
         seed,
+        threads_per_pe: 1,
     }
 }
 

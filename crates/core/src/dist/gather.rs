@@ -17,9 +17,9 @@ use reservoir_select::kth_smallest;
 use reservoir_stream::ingest::MiniBatch;
 use reservoir_stream::Item;
 
-use crate::dist::local::LocalReservoir;
+use crate::dist::local::PeReservoir;
 use crate::dist::output::SampleHandle;
-use crate::dist::{DistConfig, PipelineReport, SamplingMode};
+use crate::dist::{DistConfig, PipelineReport, PAR_SCAN_STREAM};
 use crate::metrics::PhaseTimes;
 use crate::sample::SampleItem;
 
@@ -33,8 +33,11 @@ const ROOT: usize = 0;
 pub struct GatherSampler<'a, C: Communicator> {
     comm: &'a C,
     cfg: DistConfig,
-    /// Per-batch candidate buffer (drained after every gather).
-    scratch: LocalReservoir,
+    /// Per-batch candidate buffer (drained after every gather); runs the
+    /// parallel chunked scan when `cfg.threads_per_pe > 1`.
+    scratch: PeReservoir,
+    /// Reused per batch to drain `scratch` without a fresh allocation.
+    drain_buf: Vec<SampleItem>,
     /// The global reservoir; non-empty only at the root.
     reservoir: Vec<(SampleKey, f64)>,
     threshold: Option<SampleKey>,
@@ -48,7 +51,13 @@ impl<'a, C: Communicator> GatherSampler<'a, C> {
         let seq = SeedSequence::new(cfg.seed);
         GatherSampler {
             comm,
-            scratch: LocalReservoir::new(cfg.k, DEFAULT_DEGREE),
+            scratch: PeReservoir::new(
+                cfg.k,
+                DEFAULT_DEGREE,
+                cfg.threads_per_pe,
+                seq.seed_for(comm.rank(), StreamKind::Custom(PAR_SCAN_STREAM)),
+            ),
+            drain_buf: Vec::new(),
             reservoir: Vec::new(),
             threshold: None,
             key_rng: seq.rng_for(comm.rank(), StreamKind::Keys),
@@ -61,16 +70,16 @@ impl<'a, C: Communicator> GatherSampler<'a, C> {
     /// candidates this PE generated (and shipped to the root).
     pub fn process_batch(&mut self, items: &[Item]) -> u64 {
         // Local candidate generation: identical scan to the distributed
-        // algorithm, but into a throwaway buffer.
+        // algorithm, but into a throwaway buffer (drained into the reused
+        // `drain_buf`, so the per-batch path performs no fresh item
+        // allocation).
         let t = self.threshold.map(|k| k.key);
-        match self.cfg.mode {
-            SamplingMode::Weighted => self.scratch.process_weighted(items, t, &mut self.key_rng),
-            SamplingMode::Uniform => self.scratch.process_uniform(items, t, &mut self.key_rng),
-        };
+        self.scratch
+            .process(self.cfg.mode, items, t, &mut self.key_rng);
+        self.scratch.drain_into(&mut self.drain_buf);
         let wire: Vec<WireItem> = self
-            .scratch
-            .drain()
-            .into_iter()
+            .drain_buf
+            .iter()
             .map(|s| (s.id, s.weight, s.key))
             .collect();
         let candidates = wire.len() as u64;

@@ -37,6 +37,12 @@ pub struct ScanStats {
     pub inserted: u64,
     /// Skip values drawn.
     pub jumps: u64,
+    /// Chunks the parallel scan split the batch into (0 on the sequential
+    /// path, which scans the batch in one piece).
+    pub chunks: u64,
+    /// Chunk tasks a pool worker took from another worker's queue
+    /// (parallel scan only; 0 on the sequential path).
+    pub steals: u64,
 }
 
 /// A PE's local reservoir over the augmented B+ tree.
@@ -79,17 +85,37 @@ impl LocalReservoir {
 
     /// Current entries as sample items.
     pub fn items(&self) -> Vec<SampleItem> {
-        self.tree
-            .iter()
-            .map(|(k, w)| SampleItem::from_entry(k, *w))
-            .collect()
+        let mut out = Vec::with_capacity(self.tree.len());
+        self.items_into(&mut out);
+        out
+    }
+
+    /// Write the current entries into `buf` (cleared first), reusing its
+    /// allocation — the counterpart of `StreamSource::next_batch_of_into`
+    /// for the finalize/output path, where the same buffer is refilled
+    /// every batch.
+    pub fn items_into(&self, buf: &mut Vec<SampleItem>) {
+        buf.clear();
+        buf.extend(self.tree.iter().map(|(k, w)| SampleItem::from_entry(k, *w)));
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.tree.clear();
     }
 
     /// Remove and return all entries.
     pub fn drain(&mut self) -> Vec<SampleItem> {
         let out = self.items();
-        self.tree.clear();
+        self.clear();
         out
+    }
+
+    /// Move all entries into `buf` (cleared first), reusing its
+    /// allocation; the reservoir is left empty.
+    pub fn drain_into(&mut self, buf: &mut Vec<SampleItem>) {
+        self.items_into(buf);
+        self.clear();
     }
 
     /// Scan a weighted mini-batch. With `threshold = Some(t)`, insert every
@@ -311,6 +337,140 @@ impl LocalReservoir {
         debug_assert!(key <= max, "replacement key must beat the local threshold");
         self.tree.insert(key, weight);
         self.tree.remove(&max);
+    }
+}
+
+/// What one [`PeReservoir::process`] call did: the scan counters plus the
+/// parallel path's timing detail.
+pub(crate) struct ScanOutcome {
+    /// The (backend-agnostic) scan counters.
+    pub stats: ScanStats,
+    /// Busiest worker's seconds inside the parallel scan region (0 on the
+    /// sequential path); accrues into [`crate::metrics::PhaseTimes::par_scan`].
+    pub par_scan_max_s: f64,
+    /// The full per-worker breakdown (parallel path only).
+    pub par: Option<reservoir_par::ParScanStats>,
+}
+
+/// A PE's local reservoir behind the `threads_per_pe` knob: the sequential
+/// [`LocalReservoir`] at one thread, `reservoir_par`'s chunked
+/// work-stealing scan above that. Both realize the identical sampling law
+/// (the paper's Section 4 regimes); only the scan schedule differs.
+pub(crate) enum PeReservoir {
+    /// `threads_per_pe == 1`: the classic sequential jump scan, drawing
+    /// from the caller's key RNG.
+    Seq(LocalReservoir),
+    /// `threads_per_pe > 1`: chunked parallel scans with per-chunk RNG
+    /// streams rooted at the PE's dedicated parallel-scan seed.
+    Par(reservoir_par::ParLocalReservoir),
+}
+
+impl PeReservoir {
+    /// Build the reservoir for `threads` workers. `par_seed` roots the
+    /// parallel path's per-chunk streams (unused sequentially).
+    pub fn new(cap: usize, degree: usize, threads: usize, par_seed: u64) -> Self {
+        if threads <= 1 {
+            PeReservoir::Seq(LocalReservoir::new(cap, degree))
+        } else {
+            PeReservoir::Par(reservoir_par::ParLocalReservoir::new(
+                cap, degree, threads, par_seed,
+            ))
+        }
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> u64 {
+        match self {
+            PeReservoir::Seq(r) => r.len(),
+            PeReservoir::Par(r) => r.len(),
+        }
+    }
+
+    /// The underlying tree (the `reservoir_select::CandidateSet` the
+    /// distributed selection runs over).
+    pub fn tree(&self) -> &BPlusTree<SampleKey, f64> {
+        match self {
+            PeReservoir::Seq(r) => r.tree(),
+            PeReservoir::Par(r) => r.tree(),
+        }
+    }
+
+    /// Drop every entry with a key strictly above `t`.
+    pub fn prune_above(&mut self, t: &SampleKey) {
+        match self {
+            PeReservoir::Seq(r) => r.prune_above(t),
+            PeReservoir::Par(r) => r.prune_above(t),
+        }
+    }
+
+    /// Current entries as sample items.
+    pub fn items(&self) -> Vec<SampleItem> {
+        let mut out = Vec::with_capacity(self.len() as usize);
+        self.items_into(&mut out);
+        out
+    }
+
+    /// Write the current entries into `buf` (cleared first), reusing its
+    /// allocation. One implementation over [`Self::tree`] serves both
+    /// arms, so the sequential and parallel extract paths cannot diverge.
+    pub fn items_into(&self, buf: &mut Vec<SampleItem>) {
+        buf.clear();
+        buf.extend(
+            self.tree()
+                .iter()
+                .map(|(k, w)| SampleItem::from_entry(k, *w)),
+        );
+    }
+
+    /// Move all entries into `buf` (cleared first), reusing its allocation.
+    pub fn drain_into(&mut self, buf: &mut Vec<SampleItem>) {
+        self.items_into(buf);
+        match self {
+            PeReservoir::Seq(r) => r.clear(),
+            PeReservoir::Par(r) => r.clear(),
+        }
+    }
+
+    /// Scan one mini-batch in the given sampling mode. The sequential path
+    /// consumes `rng`; the parallel path uses its own per-chunk streams.
+    pub fn process(
+        &mut self,
+        mode: crate::dist::SamplingMode,
+        items: &[Item],
+        threshold: Option<f64>,
+        rng: &mut impl Rng64,
+    ) -> ScanOutcome {
+        use crate::dist::SamplingMode;
+        match self {
+            PeReservoir::Seq(r) => {
+                let stats = match mode {
+                    SamplingMode::Weighted => r.process_weighted(items, threshold, rng),
+                    SamplingMode::Uniform => r.process_uniform(items, threshold, rng),
+                };
+                ScanOutcome {
+                    stats,
+                    par_scan_max_s: 0.0,
+                    par: None,
+                }
+            }
+            PeReservoir::Par(r) => {
+                let par = match mode {
+                    SamplingMode::Weighted => r.process_weighted(items, threshold),
+                    SamplingMode::Uniform => r.process_uniform(items, threshold),
+                };
+                ScanOutcome {
+                    stats: ScanStats {
+                        processed: par.processed,
+                        inserted: par.inserted,
+                        jumps: par.jumps,
+                        chunks: par.chunks,
+                        steals: par.steals,
+                    },
+                    par_scan_max_s: par.max_worker_scan_s(),
+                    par: Some(par),
+                }
+            }
+        }
     }
 }
 

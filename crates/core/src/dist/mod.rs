@@ -52,6 +52,25 @@ pub enum SamplingMode {
     Uniform,
 }
 
+/// The seed-derivation stream of the parallel scan's per-chunk RNGs, kept
+/// distinct from [`reservoir_rng::StreamKind::Keys`] so the sequential and
+/// parallel paths never share raw generator state.
+pub(crate) const PAR_SCAN_STREAM: u16 = 0x5041; // "PA"
+
+/// Worker threads per PE when the configuration does not say otherwise:
+/// the `RESERVOIR_THREADS` environment variable (≥ 1), or 1. The CI matrix
+/// sets `RESERVOIR_THREADS=4` so the whole suite also runs down the
+/// parallel scan path.
+fn default_threads() -> usize {
+    match std::env::var("RESERVOIR_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(t) if t >= 1 => t,
+            _ => panic!("RESERVOIR_THREADS must be a positive integer, got {v:?}"),
+        },
+        Err(_) => 1,
+    }
+}
+
 /// Configuration shared by the distributed samplers.
 #[derive(Clone, Copy, Debug)]
 pub struct DistConfig {
@@ -67,6 +86,11 @@ pub struct DistConfig {
     /// to `k̄` before an *approximate* selection shrinks it back into the
     /// window. `None` keeps the size exactly `k`.
     pub size_window: Option<(u64, u64)>,
+    /// Worker threads each PE's local scan runs on (`reservoir_par`'s
+    /// work-stealing pool above 1; the classic sequential scan at 1). The
+    /// sampling law is identical either way. Constructors default this to
+    /// the `RESERVOIR_THREADS` environment variable, falling back to 1.
+    pub threads_per_pe: usize,
 }
 
 impl DistConfig {
@@ -79,6 +103,7 @@ impl DistConfig {
             mode: SamplingMode::Weighted,
             pivots: 1,
             size_window: None,
+            threads_per_pe: default_threads(),
         }
     }
 
@@ -94,6 +119,14 @@ impl DistConfig {
     pub fn with_pivots(mut self, d: usize) -> Self {
         assert!(d >= 1, "at least one pivot per round");
         self.pivots = d;
+        self
+    }
+
+    /// Run every PE's local scan on `t` worker threads (overrides the
+    /// `RESERVOIR_THREADS` default). `1` selects the sequential scan.
+    pub fn with_threads(mut self, t: usize) -> Self {
+        assert!(t >= 1, "at least one scan thread per PE");
+        self.threads_per_pe = t;
         self
     }
 
@@ -134,9 +167,14 @@ pub struct BatchReport {
     pub select_rounds: u32,
     /// Items inserted into *this PE's* local reservoir during the batch.
     pub inserted: u64,
+    /// The local scan's work counters for this batch, including the
+    /// parallel path's chunk and steal counts.
+    pub scan: local::ScanStats,
     /// Wall-clock seconds this batch spent per algorithm phase on this PE
     /// (`output` and `ingest` are always 0 here; they accrue in
     /// `collect_output` and the `run_pipeline` drain respectively).
+    /// `times.par_scan` carries the busiest scan worker's seconds when
+    /// `threads_per_pe > 1`.
     pub times: crate::metrics::PhaseTimes,
 }
 
@@ -265,12 +303,21 @@ mod tests {
         assert_eq!(w.pivots, 1);
         assert_eq!(w.local_cap(), 10);
         assert_eq!(w.size_limit(), 10);
+        assert!(w.threads_per_pe >= 1, "env default must be positive");
         let u = DistConfig::uniform(10, 1).with_pivots(8);
         assert_eq!(u.mode, SamplingMode::Uniform);
         assert_eq!(u.pivots, 8);
         let v = DistConfig::weighted(10, 1).with_size_window(10, 25);
         assert_eq!(v.local_cap(), 25);
         assert_eq!(v.size_limit(), 25);
+        let t = DistConfig::weighted(10, 1).with_threads(4);
+        assert_eq!(t.threads_per_pe, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one scan thread")]
+    fn zero_threads_rejected() {
+        let _ = DistConfig::weighted(10, 1).with_threads(0);
     }
 
     #[test]

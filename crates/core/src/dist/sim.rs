@@ -38,6 +38,15 @@ const MAX_WEIGHT: f64 = 100.0;
 /// it, a bootstrap threshold with the same selection law is used instead.
 const FAITHFUL_GROWING_LIMIT: u64 = 4_000_000;
 
+/// Amdahl's-law speedup of the local scan at `threads` workers given the
+/// fraction `serial_frac` of the scan that stays sequential (the merge
+/// epilogue's bookkeeping, chunk dispatch, memory-bandwidth ceiling).
+pub fn amdahl_speedup(serial_frac: f64, threads: u64) -> f64 {
+    let s = serial_frac.clamp(0.0, 1.0);
+    let t = threads.max(1) as f64;
+    1.0 / (s + (1.0 - s) / t)
+}
+
 /// Per-operation local-work costs (seconds) charged by the simulator.
 ///
 /// Implemented by `reservoir-bench`'s measured calibration and by
@@ -62,6 +71,14 @@ pub trait LocalCostModel {
     /// One selection round's local work: pivot sampling plus rank queries
     /// on a tree of `tree_size` entries with `pivots` pivots.
     fn select_round_local(&self, tree_size: u64, pivots: u64) -> f64;
+
+    /// Modeled speedup of the scan + key-generation phase when a PE runs
+    /// its local scan on `threads` workers (`reservoir_par`); 1.0 at one
+    /// thread. The default charges Amdahl's law with a 5% serial
+    /// fraction; implementations with a calibrated fraction override it.
+    fn scan_speedup(&self, threads: u64) -> f64 {
+        amdahl_speedup(0.05, threads)
+    }
 }
 
 /// Analytic per-operation costs for a generic ~3 GHz core; useful when no
@@ -78,6 +95,9 @@ pub struct AnalyticLocalCosts {
     pub quickselect_s: f64,
     /// Seconds per rank query per log₂(tree size).
     pub rank_s: f64,
+    /// Serial fraction of the parallel local scan (Amdahl's law input for
+    /// [`LocalCostModel::scan_speedup`]).
+    pub par_serial_frac: f64,
 }
 
 impl Default for AnalyticLocalCosts {
@@ -88,6 +108,7 @@ impl Default for AnalyticLocalCosts {
             keygen_s: 1.5e-8,
             quickselect_s: 4.0e-9,
             rank_s: 3.0e-8,
+            par_serial_frac: 0.05,
         }
     }
 }
@@ -115,6 +136,10 @@ impl LocalCostModel for AnalyticLocalCosts {
 
     fn select_round_local(&self, tree_size: u64, pivots: u64) -> f64 {
         pivots.max(1) as f64 * self.rank_s * ((tree_size + 2) as f64).log2()
+    }
+
+    fn scan_speedup(&self, threads: u64) -> f64 {
+        amdahl_speedup(self.par_serial_frac, threads)
     }
 }
 
@@ -145,6 +170,21 @@ pub struct SimConfig {
     pub algo: SimAlgo,
     /// Master seed.
     pub seed: u64,
+    /// Worker threads each simulated PE's local scan runs on: the scan +
+    /// key-generation charge is divided by
+    /// [`LocalCostModel::scan_speedup`], modeling multicore PEs running
+    /// `reservoir_par`'s chunked scan. The statistical behaviour is
+    /// unchanged (the real parallel scan preserves the law exactly).
+    pub threads_per_pe: usize,
+}
+
+impl SimConfig {
+    /// Model `t` scan workers per PE.
+    pub fn with_threads(mut self, t: usize) -> Self {
+        assert!(t >= 1, "at least one scan thread per PE");
+        self.threads_per_pe = t;
+        self
+    }
 }
 
 /// What one simulated mini-batch did.
@@ -276,7 +316,7 @@ impl<L: LocalCostModel> SimCluster<L> {
     /// Build a cluster for `cfg`, charging communication to `net` and
     /// local work to `costs`.
     pub fn new(cfg: SimConfig, net: CostModel, costs: L) -> Self {
-        assert!(cfg.p >= 1 && cfg.k >= 1 && cfg.b_per_pe >= 1);
+        assert!(cfg.p >= 1 && cfg.k >= 1 && cfg.b_per_pe >= 1 && cfg.threads_per_pe >= 1);
         let seq = SeedSequence::new(cfg.seed);
         SimCluster {
             pes: (0..cfg.p).map(|_| SimPe::default()).collect(),
@@ -516,6 +556,9 @@ impl<L: LocalCostModel> SimCluster<L> {
     fn steady_insert(&mut self, t: SampleKey, times: &mut PhaseTimes) -> u64 {
         let b = self.cfg.b_per_pe;
         let lambda = b as f64 * self.q_of(t.key);
+        // Scan + keygen run inside the parallel region; the tree merge is
+        // the sequential epilogue (matching the real parallel scan).
+        let sp = self.costs.scan_speedup(self.cfg.threads_per_pe as u64);
         let mut max_cost = 0.0f64;
         let mut total_inserted = 0u64;
         for pe in 0..self.cfg.p {
@@ -538,7 +581,8 @@ impl<L: LocalCostModel> SimCluster<L> {
                 SamplingMode::Weighted => self.costs.scan_weighted(b),
                 SamplingMode::Uniform => self.costs.scan_uniform(count),
             };
-            let cost = scan + self.costs.keygen(count) + self.costs.tree_inserts(count, tree_size);
+            let cost =
+                (scan + self.costs.keygen(count)) / sp + self.costs.tree_inserts(count, tree_size);
             max_cost = max_cost.max(cost);
             total_inserted += count;
         }
@@ -555,6 +599,7 @@ impl<L: LocalCostModel> SimCluster<L> {
         let b = self.cfg.b_per_pe;
         let total_batch = self.cfg.p as u64 * b;
         let cap = self.cfg.k;
+        let sp = self.costs.scan_speedup(self.cfg.threads_per_pe as u64);
         let mut max_cost = 0.0f64;
         let mut total_inserted = 0u64;
         if total_batch <= FAITHFUL_GROWING_LIMIT {
@@ -577,8 +622,7 @@ impl<L: LocalCostModel> SimCluster<L> {
                     SamplingMode::Weighted => self.costs.scan_weighted(b),
                     SamplingMode::Uniform => self.costs.scan_uniform(kept.min(b)),
                 };
-                let cost = scan
-                    + self.costs.keygen(kept.min(b))
+                let cost = (scan + self.costs.keygen(kept.min(b))) / sp
                     + self.costs.tree_inserts(kept.min(b), tree_size);
                 max_cost = max_cost.max(cost);
                 total_inserted += kept.min(b);
@@ -611,8 +655,8 @@ impl<L: LocalCostModel> SimCluster<L> {
                     SamplingMode::Weighted => self.costs.scan_weighted(b),
                     SamplingMode::Uniform => self.costs.scan_uniform(count),
                 };
-                let cost =
-                    scan + self.costs.keygen(count) + self.costs.tree_inserts(count, tree_size);
+                let cost = (scan + self.costs.keygen(count)) / sp
+                    + self.costs.tree_inserts(count, tree_size);
                 max_cost = max_cost.max(cost);
                 total_inserted += count;
             }
@@ -681,6 +725,7 @@ mod tests {
             mode: SamplingMode::Weighted,
             algo,
             seed,
+            threads_per_pe: 1,
         }
     }
 
@@ -855,6 +900,52 @@ mod tests {
     }
 
     #[test]
+    fn amdahl_speedup_shapes() {
+        assert_eq!(amdahl_speedup(0.0, 1), 1.0);
+        assert_eq!(amdahl_speedup(0.0, 4), 4.0);
+        assert_eq!(amdahl_speedup(1.0, 8), 1.0);
+        let s = amdahl_speedup(0.05, 4);
+        assert!(s > 3.0 && s < 4.0, "{s}");
+        // Clamps out-of-range fractions.
+        assert_eq!(amdahl_speedup(-3.0, 2), 2.0);
+    }
+
+    #[test]
+    fn multicore_pes_shrink_the_insert_phase_only() {
+        let run = |threads: usize| {
+            let mut sim = SimCluster::new(
+                cfg(8, 500, 50_000, SimAlgo::Ours { pivots: 2 }, 17).with_threads(threads),
+                CostModel::infiniband_edr(),
+                AnalyticLocalCosts::default(),
+            );
+            let mut times = PhaseTimes::default();
+            for _ in 0..3 {
+                times.accumulate(&sim.process_batch().times);
+            }
+            (times, sim.threshold().expect("established"))
+        };
+        let (t1, thr1) = run(1);
+        let (t4, thr4) = run(4);
+        // Multicore is a pure cost-model change: identical trajectory.
+        assert_eq!(thr1, thr4, "thread count must not alter the sample law");
+        assert!(
+            t4.insert < t1.insert,
+            "4 threads should shrink insert: {} vs {}",
+            t4.insert,
+            t1.insert
+        );
+        let speedup = t1.insert / t4.insert;
+        let model = amdahl_speedup(AnalyticLocalCosts::default().par_serial_frac, 4);
+        // The scan dominates this configuration's insert phase, so the
+        // observed ratio lands near (below) the modeled scan speedup.
+        assert!(
+            speedup > 1.5 && speedup <= model + 0.3,
+            "speedup {speedup} vs model {model}"
+        );
+        assert_eq!(t1.select > 0.0, t4.select > 0.0);
+    }
+
+    #[test]
     fn uniform_mode_threshold_tracks_k_over_n() {
         let mut sim = SimCluster::new(
             SimConfig {
@@ -864,6 +955,7 @@ mod tests {
                 mode: SamplingMode::Uniform,
                 algo: SimAlgo::Ours { pivots: 4 },
                 seed: 11,
+                threads_per_pe: 1,
             },
             CostModel::infiniband_edr(),
             AnalyticLocalCosts::default(),

@@ -15,9 +15,9 @@ use reservoir_select::{select_threaded, SelectParams, TargetRank};
 use reservoir_stream::ingest::MiniBatch;
 use reservoir_stream::Item;
 
-use crate::dist::local::LocalReservoir;
+use crate::dist::local::PeReservoir;
 use crate::dist::output::SampleHandle;
-use crate::dist::{BatchReport, DistConfig, PipelineReport, SamplingMode};
+use crate::dist::{BatchReport, DistConfig, PipelineReport, PAR_SCAN_STREAM};
 use crate::metrics::PhaseTimes;
 use crate::sample::SampleItem;
 
@@ -28,16 +28,18 @@ type WireItem = (u64, f64, f64);
 pub struct DistributedSampler<'a, C: Communicator> {
     comm: &'a C,
     cfg: DistConfig,
-    local: LocalReservoir,
+    local: PeReservoir,
     threshold: Option<SampleKey>,
     key_rng: DefaultRng,
     select_rng: DefaultRng,
     phases: PhaseTimes,
+    last_par: Option<reservoir_par::ParScanStats>,
 }
 
 impl<'a, C: Communicator> DistributedSampler<'a, C> {
     /// Create this PE's endpoint. Every PE of `comm` must construct its
-    /// sampler with an identical `cfg`.
+    /// sampler with an identical `cfg` (including `threads_per_pe` — the
+    /// scan schedule is local, but reports should be comparable).
     pub fn new(comm: &'a C, cfg: DistConfig) -> Self {
         // Salt the master seed with the sample size so samplers of
         // different geometry draw independent streams even under the same
@@ -45,11 +47,17 @@ impl<'a, C: Communicator> DistributedSampler<'a, C> {
         let seq = SeedSequence::new(cfg.seed ^ (cfg.k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
         DistributedSampler {
             comm,
-            local: LocalReservoir::new(cfg.local_cap(), DEFAULT_DEGREE),
+            local: PeReservoir::new(
+                cfg.local_cap(),
+                DEFAULT_DEGREE,
+                cfg.threads_per_pe,
+                seq.seed_for(comm.rank(), StreamKind::Custom(PAR_SCAN_STREAM)),
+            ),
             threshold: None,
             key_rng: seq.rng_for(comm.rank(), StreamKind::Keys),
             select_rng: seq.rng_for(comm.rank(), StreamKind::Selection),
             phases: PhaseTimes::default(),
+            last_par: None,
             cfg,
         }
     }
@@ -61,11 +69,13 @@ impl<'a, C: Communicator> DistributedSampler<'a, C> {
         // Phase 1: local insertion below the current threshold.
         let t0 = Instant::now();
         let t = self.threshold.map(|k| k.key);
-        let stats = match self.cfg.mode {
-            SamplingMode::Weighted => self.local.process_weighted(items, t, &mut self.key_rng),
-            SamplingMode::Uniform => self.local.process_uniform(items, t, &mut self.key_rng),
-        };
+        let outcome = self
+            .local
+            .process(self.cfg.mode, items, t, &mut self.key_rng);
         times.insert += t0.elapsed().as_secs_f64();
+        times.par_scan += outcome.par_scan_max_s;
+        let stats = outcome.stats;
+        self.last_par = outcome.par;
 
         // Phase 2: agree on the union size.
         let t1 = Instant::now();
@@ -109,8 +119,15 @@ impl<'a, C: Communicator> DistributedSampler<'a, C> {
             sample_size,
             select_rounds: rounds,
             inserted: stats.inserted,
+            scan: stats,
             times,
         }
+    }
+
+    /// The parallel scan's per-worker breakdown for the most recent batch
+    /// (`None` at one thread per PE, or before the first batch).
+    pub fn last_par_scan(&self) -> Option<&reservoir_par::ParScanStats> {
+        self.last_par.as_ref()
     }
 
     /// Drive the sampler from a push-based ingestion channel (collective):
@@ -179,7 +196,8 @@ impl<'a, C: Communicator> DistributedSampler<'a, C> {
                 &mut self.select_rng,
             );
             let keep = self.local.tree().count_le(&res.threshold);
-            let mut items = self.local.items();
+            let mut items = Vec::with_capacity(keep);
+            self.local.items_into(&mut items);
             items.truncate(keep);
             (items, Some(res.threshold.key))
         } else {

@@ -27,10 +27,18 @@ pub struct PhaseTimes {
     /// Output collection (Section 5): final top-k finalization plus the
     /// prefix counts that assign every PE its slice of the global sample.
     pub output: f64,
+    /// Seconds the busiest worker spent jump-scanning inside the parallel
+    /// region of the insert phase (`threads_per_pe > 1` only; 0 on the
+    /// sequential path). This time *overlaps* `insert` wall-clock time, so
+    /// it is excluded from [`Self::total`] and [`Self::fractions`] — use
+    /// `par_scan / insert` as the parallel region's share of the insert
+    /// phase.
+    pub par_scan: f64,
 }
 
 impl PhaseTimes {
-    /// Total across phases.
+    /// Total across the disjoint wall-clock phases (`par_scan` overlaps
+    /// `insert` and is not added again).
     pub fn total(&self) -> f64 {
         self.ingest + self.insert + self.select + self.threshold + self.gather + self.output
     }
@@ -43,6 +51,7 @@ impl PhaseTimes {
         self.threshold += other.threshold;
         self.gather += other.gather;
         self.output += other.output;
+        self.par_scan += other.par_scan;
     }
 
     /// Fractions of the total per phase (ingest, insert, select,
@@ -73,6 +82,7 @@ impl PhaseTimes {
             threshold: self.threshold - earlier.threshold,
             gather: self.gather - earlier.gather,
             output: self.output - earlier.output,
+            par_scan: self.par_scan - earlier.par_scan,
         }
     }
 
@@ -85,6 +95,7 @@ impl PhaseTimes {
             threshold: self.threshold / divisor,
             gather: self.gather / divisor,
             output: self.output / divisor,
+            par_scan: self.par_scan / divisor,
         }
     }
 }
@@ -110,6 +121,8 @@ mod tests {
             threshold: 0.5,
             gather: 0.25,
             output: 0.25,
+            // Overlaps insert: must not show up in total or fractions.
+            par_scan: 1.5,
         };
         assert_eq!(t.total(), 8.0);
         let f = t.fractions();
@@ -143,12 +156,14 @@ mod tests {
         later.accumulate(&PhaseTimes {
             ingest: 0.5,
             select: 3.0,
+            par_scan: 0.25,
             ..Default::default()
         });
         let d = later.delta_since(&earlier);
         assert_eq!(d.ingest, 0.5);
         assert_eq!(d.insert, 0.0);
         assert_eq!(d.select, 3.0);
+        assert_eq!(d.par_scan, 0.25);
         assert_eq!(d.total(), 3.5);
     }
 
@@ -161,10 +176,12 @@ mod tests {
             threshold: 6.0,
             gather: 8.0,
             output: 10.0,
+            par_scan: 12.0,
         };
         let half = t.scaled(2.0);
         assert_eq!(half.insert, 1.0);
         assert_eq!(half.output, 5.0);
+        assert_eq!(half.par_scan, 6.0);
         assert_eq!(half.total(), t.total() / 2.0);
     }
 }

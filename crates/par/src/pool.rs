@@ -1,0 +1,378 @@
+//! A scoped work-stealing thread pool: the `rayon` API subset the
+//! workspace needs, vendored dev-shim-style (the build environment has no
+//! crates.io access).
+//!
+//! Design: [`Pool::scope`] collects tasks into per-worker FIFO deques
+//! (round-robin at spawn time), then runs them on `threads` workers — the
+//! calling thread plus `threads − 1` `std::thread::scope` threads, so
+//! tasks may borrow the caller's stack. A worker pops its own deque from
+//! the front and, when dry, **steals from the back** of a victim's deque;
+//! steals are counted and reported. Tasks may spawn further tasks (they
+//! receive the [`Scope`]); the scope returns only when every task has
+//! finished. A panicking task poisons the scope — the other workers bail
+//! out and the panic resumes on the caller once all workers have joined
+//! (the `std::thread::scope` contract).
+
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// A task queued inside a scope; receives the scope so it can spawn more.
+type Task<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+/// What one [`Pool::scope`] execution did.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScopeReport {
+    /// Tasks executed to completion.
+    pub tasks: u64,
+    /// Tasks a worker took from another worker's deque.
+    pub steals: u64,
+    /// Seconds each worker spent executing tasks (index = worker id; the
+    /// calling thread is worker 0). Idle spinning is not counted.
+    pub worker_busy_s: Vec<f64>,
+}
+
+impl ScopeReport {
+    /// The busiest worker's task-execution seconds (the critical path of
+    /// the parallel region).
+    pub fn max_busy_s(&self) -> f64 {
+        self.worker_busy_s.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Total task-execution seconds across all workers (CPU seconds).
+    pub fn total_busy_s(&self) -> f64 {
+        self.worker_busy_s.iter().sum()
+    }
+}
+
+/// The execution context of one [`Pool::scope`] call. Tasks registered
+/// with [`Scope::spawn`] run exactly once, on some worker of the scope.
+pub struct Scope<'scope> {
+    queues: Box<[Mutex<VecDeque<Task<'scope>>>]>,
+    /// Tasks queued or running, not yet finished.
+    pending: AtomicUsize,
+    /// Round-robin cursor for queue assignment at spawn time.
+    next: AtomicUsize,
+    steals: AtomicU64,
+    executed: AtomicU64,
+    /// Set when a task panicked: the other workers stop taking tasks.
+    panicked: AtomicBool,
+    busy_s: Box<[Mutex<f64>]>,
+}
+
+/// Decrements `pending` when a task finishes — including by panic, where
+/// it also poisons the scope so the remaining workers exit.
+struct TaskGuard<'a, 'scope> {
+    scope: &'a Scope<'scope>,
+}
+
+impl Drop for TaskGuard<'_, '_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.scope.panicked.store(true, Ordering::SeqCst);
+        }
+        self.scope.pending.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl<'scope> Scope<'scope> {
+    fn new(workers: usize) -> Self {
+        Scope {
+            queues: (0..workers)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+            pending: AtomicUsize::new(0),
+            next: AtomicUsize::new(0),
+            steals: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+            busy_s: (0..workers)
+                .map(|_| Mutex::new(0.0))
+                .collect::<Vec<_>>()
+                .into_boxed_slice(),
+        }
+    }
+
+    /// Queue a task; it will run exactly once before the scope returns
+    /// (unless another task panics first, which aborts the scope).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        let w = self.next.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        self.queues[w]
+            .lock()
+            .expect("pool queue poisoned")
+            .push_back(Box::new(f));
+    }
+
+    /// Own queue front first; then steal from the *back* of the first
+    /// non-empty victim.
+    fn pop(&self, me: usize) -> Option<Task<'scope>> {
+        if let Some(t) = self.queues[me]
+            .lock()
+            .expect("pool queue poisoned")
+            .pop_front()
+        {
+            return Some(t);
+        }
+        let n = self.queues.len();
+        for off in 1..n {
+            let victim = (me + off) % n;
+            if let Some(t) = self.queues[victim]
+                .lock()
+                .expect("pool queue poisoned")
+                .pop_back()
+            {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Worker loop: run tasks until none are pending anywhere (or the
+    /// scope was poisoned by a panic).
+    fn work(&self, me: usize) {
+        let mut busy = 0.0f64;
+        let mut idle_spins = 0u32;
+        loop {
+            if self.panicked.load(Ordering::Relaxed) {
+                break;
+            }
+            match self.pop(me) {
+                Some(task) => {
+                    idle_spins = 0;
+                    let start = Instant::now();
+                    let guard = TaskGuard { scope: self };
+                    task(self);
+                    drop(guard);
+                    busy += start.elapsed().as_secs_f64();
+                    self.executed.fetch_add(1, Ordering::Relaxed);
+                }
+                None => {
+                    // A running task elsewhere may still spawn more work;
+                    // only an all-idle scope with nothing pending is done.
+                    if self.pending.load(Ordering::SeqCst) == 0 {
+                        break;
+                    }
+                    idle_spins += 1;
+                    if idle_spins > 64 {
+                        std::thread::sleep(Duration::from_micros(20));
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            }
+        }
+        *self.busy_s[me].lock().expect("busy slot poisoned") += busy;
+    }
+
+    fn report(&self) -> ScopeReport {
+        ScopeReport {
+            tasks: self.executed.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            worker_busy_s: self
+                .busy_s
+                .iter()
+                .map(|m| *m.lock().expect("busy slot poisoned"))
+                .collect(),
+        }
+    }
+}
+
+/// A fixed-width scoped thread pool. Cheap to construct (workers are
+/// spawned per [`Pool::scope`] call through `std::thread::scope`, so tasks
+/// may borrow the caller's stack); `threads == 1` runs everything on the
+/// calling thread with no spawning at all.
+#[derive(Clone, Debug)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool of `threads` workers (the calling thread counts as one).
+    pub fn new(threads: usize) -> Self {
+        assert!(threads >= 1, "a pool needs at least one worker");
+        Pool { threads }
+    }
+
+    /// Worker count, including the calling thread.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` to register tasks, then execute every task (including tasks
+    /// spawned by tasks) on this pool's workers, returning `f`'s result
+    /// and the execution report once **all** tasks have finished.
+    ///
+    /// Unlike `rayon::scope`, the registering closure runs to completion
+    /// on the calling thread *before* workers start — the registration
+    /// order is the FIFO order of each worker's initial deque.
+    ///
+    /// A panic in any task propagates out of this call after every worker
+    /// has stopped; tasks not yet started are dropped unexecuted.
+    pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'env>) -> R) -> (R, ScopeReport) {
+        let scope = Scope::new(self.threads);
+        let result = f(&scope);
+        if self.threads == 1 {
+            scope.work(0);
+        } else {
+            std::thread::scope(|s| {
+                let sr = &scope;
+                for w in 1..self.threads {
+                    s.spawn(move || sr.work(w));
+                }
+                sr.work(0);
+            });
+        }
+        (result, scope.report())
+    }
+
+    /// Run `body(chunk_index, chunk_range)` over the `chunk`-sized chunks
+    /// of `0..len` (the last chunk may be short), one task per chunk.
+    pub fn par_for_chunks<F>(&self, len: usize, chunk: usize, body: F) -> ScopeReport
+    where
+        F: Fn(usize, Range<usize>) + Sync,
+    {
+        let body = &body;
+        let (_, report) = self.scope(|s| {
+            for (i, r) in chunk_ranges(len, chunk).enumerate() {
+                s.spawn(move |_| body(i, r));
+            }
+        });
+        report
+    }
+}
+
+/// Run two closures, `b` on a scoped thread and `a` on the caller, and
+/// return both results (`rayon::join`'s shape). A panic in either side
+/// propagates.
+pub fn join<RA, RB>(a: impl FnOnce() -> RA + Send, b: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        let rb = hb.join().unwrap_or_else(|p| std::panic::resume_unwind(p));
+        (ra, rb)
+    })
+}
+
+/// The `chunk`-sized chunk ranges of `0..len`, in order; the partition the
+/// parallel scan distributes over workers. `len == 0` yields no chunks.
+pub fn chunk_ranges(len: usize, chunk: usize) -> impl Iterator<Item = Range<usize>> {
+    assert!(chunk >= 1, "chunk size must be at least 1");
+    (0..len.div_ceil(chunk)).map(move |i| (i * chunk)..((i + 1) * chunk).min(len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn every_task_runs_and_scope_joins() {
+        let pool = Pool::new(4);
+        let counter = AtomicU32::new(0);
+        let (_, report) = pool.scope(|s| {
+            for _ in 0..100 {
+                let c = &counter;
+                s.spawn(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+        assert_eq!(report.tasks, 100);
+        assert_eq!(report.worker_busy_s.len(), 4);
+    }
+
+    #[test]
+    fn tasks_can_spawn_tasks() {
+        let pool = Pool::new(3);
+        let counter = AtomicU32::new(0);
+        let (_, report) = pool.scope(|s| {
+            let c = &counter;
+            for _ in 0..5 {
+                s.spawn(move |inner| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                    inner.spawn(move |_| {
+                        c.fetch_add(10, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 55);
+        assert_eq!(report.tasks, 10);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_inline() {
+        let pool = Pool::new(1);
+        let mut hits = 0u32;
+        {
+            let hits_ref = Mutex::new(&mut hits);
+            let (_, report) = pool.scope(|s| {
+                for _ in 0..7 {
+                    let h = &hits_ref;
+                    s.spawn(move |_| {
+                        **h.lock().unwrap() += 1;
+                    });
+                }
+            });
+            assert_eq!(report.steals, 0, "one worker cannot steal");
+        }
+        assert_eq!(hits, 7);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok".len());
+        assert_eq!((a, b), (4, 2));
+    }
+
+    #[test]
+    fn panics_propagate_out_of_scope() {
+        let pool = Pool::new(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|_| panic!("task boom"));
+            });
+        }));
+        assert!(caught.is_err(), "task panic must reach the caller");
+        // The pool stays usable afterwards.
+        let (_, report) = pool.scope(|s| {
+            s.spawn(|_| {});
+        });
+        assert_eq!(report.tasks, 1);
+    }
+
+    #[test]
+    fn chunk_ranges_partition_exactly() {
+        let ranges: Vec<_> = chunk_ranges(10, 4).collect();
+        assert_eq!(ranges, vec![0..4, 4..8, 8..10]);
+        assert_eq!(chunk_ranges(0, 4).count(), 0);
+        assert_eq!(chunk_ranges(4, 4).collect::<Vec<_>>(), vec![0..4]);
+    }
+
+    #[test]
+    fn par_for_chunks_covers_every_index_once() {
+        let pool = Pool::new(4);
+        let len = 1000;
+        let marks: Vec<AtomicU32> = (0..len).map(|_| AtomicU32::new(0)).collect();
+        let report = pool.par_for_chunks(len, 64, |_, range| {
+            for i in range {
+                marks[i].fetch_add(1, Ordering::SeqCst);
+            }
+        });
+        assert!(marks.iter().all(|m| m.load(Ordering::SeqCst) == 1));
+        assert_eq!(report.tasks as usize, len.div_ceil(64));
+    }
+}

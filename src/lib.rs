@@ -17,6 +17,7 @@
 //! | [`btree`] | `reservoir-btree` | augmented B+ tree: rank/select/split/join local reservoirs |
 //! | [`comm`] | `reservoir-comm` | Communicator trait, threaded runtime, collectives, α–β cost model |
 //! | [`stream`] | `reservoir-stream` | mini-batch model, workload generators, push-based ingestion runtime (`stream::ingest`: record sources, batchers, backpressure) |
+//! | [`par`] | `reservoir-par` | scoped work-stealing thread pool, parallel per-PE local scan (`ParLocalReservoir`) |
 //! | [`rng`] | `reservoir-rng` | MT19937-64, xoshiro256++, exponential/geometric deviates |
 //!
 //! ## Quick start (sequential)
@@ -83,6 +84,42 @@
 //! assert_eq!(report.sample_size(), 50);
 //! assert_eq!(counters.records_in, 2_000);
 //! ```
+//!
+//! ## Multicore PEs: the `threads_per_pe` knob
+//!
+//! Each PE's local jump scan — the per-batch hot path once the ingestion
+//! runtime pushes batches faster than one core can scan them — can run on
+//! a work-stealing pool ([`par`]) instead of a single thread. Chain
+//! `.with_threads(t)` onto any `DistConfig` (or set the
+//! `RESERVOIR_THREADS` environment variable to switch a whole run): the
+//! batch is split into fixed-size chunks scanned with independent
+//! per-chunk RNG streams and merged in a short sequential epilogue. The
+//! sampling law is identical to the sequential scan (pinned by the
+//! `par_chi_square` acceptance tests), and for a fixed seed the parallel
+//! path draws the *same sample at every thread count* — chunk streams,
+//! not worker streams, carry the randomness:
+//!
+//! ```
+//! use reservoir::comm::run_threads;
+//! use reservoir::dist::threaded::DistributedSampler;
+//! use reservoir::dist::DistConfig;
+//! use reservoir::stream::{StreamSpec, WeightGen};
+//!
+//! let spec = StreamSpec { pes: 2, batch_size: 800, weights: WeightGen::paper_uniform(), seed: 9 };
+//! let run = |threads: usize| run_threads(2, move |comm| {
+//!     use reservoir::comm::Communicator;
+//!     let cfg = DistConfig::weighted(40, 9).with_threads(threads);
+//!     let mut sampler = DistributedSampler::new(&comm, cfg);
+//!     let mut source = spec.source_for(comm.rank());
+//!     for _ in 0..3 {
+//!         sampler.process_batch(&source.next_batch());
+//!     }
+//!     let mut ids: Vec<u64> = sampler.local_sample().iter().map(|m| m.id).collect();
+//!     ids.sort_unstable();
+//!     ids
+//! });
+//! assert_eq!(run(4), run(2)); // same seed ⇒ same sample on any parallel width
+//! ```
 
 pub use reservoir_core::{
     dist, metrics, sample, seq, PhaseTimes, PipelineReport, SampleHandle, SampleItem,
@@ -101,6 +138,11 @@ pub mod comm {
 /// Random number generation: MT19937-64, xoshiro256++, deviates.
 pub mod rng {
     pub use reservoir_rng::*;
+}
+
+/// Intra-PE parallelism: work-stealing pool + parallel local scan.
+pub mod par {
+    pub use reservoir_par::*;
 }
 
 /// Distributed selection algorithms.

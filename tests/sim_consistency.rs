@@ -17,6 +17,7 @@ fn sim(p: usize, k: usize, b: u64, batches: usize, seed: u64) -> (f64, f64) {
         mode: SamplingMode::Weighted,
         algo: SimAlgo::Ours { pivots: 1 },
         seed,
+        threads_per_pe: 1,
     };
     let mut cluster = SimCluster::new(
         cfg,
@@ -125,6 +126,7 @@ fn simulated_threshold_matches_theory() {
         mode: SamplingMode::Weighted,
         algo: SimAlgo::Ours { pivots: 8 },
         seed: 11,
+        threads_per_pe: 1,
     };
     let mut cluster = SimCluster::new(
         cfg,
@@ -157,6 +159,7 @@ fn sim_algorithms_share_workload_law() {
         mode: SamplingMode::Weighted,
         algo,
         seed: 777,
+        threads_per_pe: 1,
     };
     let mut ours = SimCluster::new(
         mk(SimAlgo::Ours { pivots: 1 }),

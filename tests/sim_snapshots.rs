@@ -23,10 +23,13 @@ use reservoir::comm::CostModel;
 use reservoir::dist::sim::{AnalyticLocalCosts, OutputPath, SimAlgo, SimCluster, SimConfig};
 use reservoir::dist::SamplingMode;
 
-/// PE counts (nodes × 20 as in the paper's grid) and sample sizes pinned
-/// by the snapshot.
+/// PE counts (nodes × 20 as in the paper's grid), sample sizes, and scan
+/// threads per PE pinned by the snapshot. The thread dimension models
+/// multicore PEs running `reservoir_par`'s chunked scan (the cost model
+/// divides the scan + keygen charge by the Amdahl speedup).
 const P_GRID: [usize; 3] = [20, 320, 5120];
 const K_GRID: [usize; 3] = [1_000, 10_000, 100_000];
+const T_GRID: [usize; 2] = [1, 4];
 const SNAPSHOT_SEED: u64 = 0xC0FFEE;
 const BATCHES: usize = 3;
 
@@ -41,6 +44,8 @@ const ROUNDS_TOL: i64 = 4;
 struct Row {
     p: usize,
     k: usize,
+    /// Scan threads per PE.
+    t: usize,
     /// Mean modeled seconds per mini-batch, Algorithm 1 (8 pivots).
     ours_batch_s: f64,
     /// Mean modeled seconds per mini-batch, gather baseline.
@@ -55,43 +60,47 @@ struct Row {
     gather_out_words: u64,
 }
 
-const COLUMNS: &str = "p\tk\tours_batch_s\tgather_batch_s\tdist_out_s\tdist_out_words\tdist_rounds\tgather_out_s\tgather_out_words";
+const COLUMNS: &str = "p\tk\tt\tours_batch_s\tgather_batch_s\tdist_out_s\tdist_out_words\tdist_rounds\tgather_out_s\tgather_out_words";
 
 fn compute_table() -> Vec<Row> {
     let mut rows = Vec::new();
     for &p in &P_GRID {
         for &k in &K_GRID {
-            let mk = |algo| SimConfig {
-                p,
-                k,
-                b_per_pe: k as u64,
-                mode: SamplingMode::Weighted,
-                algo,
-                seed: SNAPSHOT_SEED ^ ((p as u64) << 32) ^ k as u64,
-            };
-            let net = CostModel::infiniband_edr();
-            let costs = AnalyticLocalCosts::default();
-            let mut ours = SimCluster::new(mk(SimAlgo::Ours { pivots: 8 }), net, costs);
-            let mut gather = SimCluster::new(mk(SimAlgo::Gather), net, costs);
-            let mut ours_s = 0.0;
-            let mut gather_s = 0.0;
-            for _ in 0..BATCHES {
-                ours_s += ours.process_batch().times.total();
-                gather_s += gather.process_batch().times.total();
+            for &t in &T_GRID {
+                let mk = |algo| SimConfig {
+                    p,
+                    k,
+                    b_per_pe: k as u64,
+                    mode: SamplingMode::Weighted,
+                    algo,
+                    seed: SNAPSHOT_SEED ^ ((p as u64) << 32) ^ k as u64,
+                    threads_per_pe: t,
+                };
+                let net = CostModel::infiniband_edr();
+                let costs = AnalyticLocalCosts::default();
+                let mut ours = SimCluster::new(mk(SimAlgo::Ours { pivots: 8 }), net, costs);
+                let mut gather = SimCluster::new(mk(SimAlgo::Gather), net, costs);
+                let mut ours_s = 0.0;
+                let mut gather_s = 0.0;
+                for _ in 0..BATCHES {
+                    ours_s += ours.process_batch().times.total();
+                    gather_s += gather.process_batch().times.total();
+                }
+                let dist_out = ours.collect_output(OutputPath::Distributed);
+                let gather_out = ours.collect_output(OutputPath::Gather);
+                rows.push(Row {
+                    p,
+                    k,
+                    t,
+                    ours_batch_s: ours_s / BATCHES as f64,
+                    gather_batch_s: gather_s / BATCHES as f64,
+                    dist_out_s: dist_out.times.total(),
+                    dist_out_words: dist_out.bottleneck_words,
+                    dist_rounds: dist_out.rounds,
+                    gather_out_s: gather_out.times.total(),
+                    gather_out_words: gather_out.bottleneck_words,
+                });
             }
-            let dist_out = ours.collect_output(OutputPath::Distributed);
-            let gather_out = ours.collect_output(OutputPath::Gather);
-            rows.push(Row {
-                p,
-                k,
-                ours_batch_s: ours_s / BATCHES as f64,
-                gather_batch_s: gather_s / BATCHES as f64,
-                dist_out_s: dist_out.times.total(),
-                dist_out_words: dist_out.bottleneck_words,
-                dist_rounds: dist_out.rounds,
-                gather_out_s: gather_out.times.total(),
-                gather_out_words: gather_out.bottleneck_words,
-            });
         }
     }
     rows
@@ -109,9 +118,10 @@ fn format_table(rows: &[Row]) -> String {
     for r in rows {
         let _ = writeln!(
             out,
-            "{}\t{}\t{:.6e}\t{:.6e}\t{:.6e}\t{}\t{}\t{:.6e}\t{}",
+            "{}\t{}\t{}\t{:.6e}\t{:.6e}\t{:.6e}\t{}\t{}\t{:.6e}\t{}",
             r.p,
             r.k,
+            r.t,
             r.ours_batch_s,
             r.gather_batch_s,
             r.dist_out_s,
@@ -129,17 +139,18 @@ fn parse_table(text: &str) -> Vec<Row> {
         .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
         .map(|l| {
             let f: Vec<&str> = l.split('\t').collect();
-            assert_eq!(f.len(), 9, "malformed golden row: {l:?}");
+            assert_eq!(f.len(), 10, "malformed golden row: {l:?}");
             Row {
                 p: f[0].parse().expect("p"),
                 k: f[1].parse().expect("k"),
-                ours_batch_s: f[2].parse().expect("ours_batch_s"),
-                gather_batch_s: f[3].parse().expect("gather_batch_s"),
-                dist_out_s: f[4].parse().expect("dist_out_s"),
-                dist_out_words: f[5].parse().expect("dist_out_words"),
-                dist_rounds: f[6].parse().expect("dist_rounds"),
-                gather_out_s: f[7].parse().expect("gather_out_s"),
-                gather_out_words: f[8].parse().expect("gather_out_words"),
+                t: f[2].parse().expect("t"),
+                ours_batch_s: f[3].parse().expect("ours_batch_s"),
+                gather_batch_s: f[4].parse().expect("gather_batch_s"),
+                dist_out_s: f[5].parse().expect("dist_out_s"),
+                dist_out_words: f[6].parse().expect("dist_out_words"),
+                dist_rounds: f[7].parse().expect("dist_rounds"),
+                gather_out_s: f[8].parse().expect("gather_out_s"),
+                gather_out_words: f[9].parse().expect("gather_out_words"),
             }
         })
         .collect()
@@ -173,14 +184,19 @@ fn sim_cost_tables_match_golden_snapshot() {
 
     let mut diffs = String::new();
     for (g, a) in golden.iter().zip(&rows) {
-        assert_eq!((g.p, g.k), (a.p, a.k), "grid order changed; re-baseline");
+        assert_eq!(
+            (g.p, g.k, g.t),
+            (a.p, a.k, a.t),
+            "grid order changed; re-baseline"
+        );
         let mut cell = |name: &str, gv: f64, av: f64| {
             if !rel_close(gv, av) {
                 let _ = writeln!(
                     diffs,
-                    "p={} k={} {name}: golden {gv:.6e} vs actual {av:.6e} ({:+.1}%)",
+                    "p={} k={} t={} {name}: golden {gv:.6e} vs actual {av:.6e} ({:+.1}%)",
                     g.p,
                     g.k,
+                    g.t,
                     100.0 * (av - gv) / gv.abs().max(1e-300)
                 );
             }
@@ -202,8 +218,8 @@ fn sim_cost_tables_match_golden_snapshot() {
         if (g.dist_rounds as i64 - a.dist_rounds as i64).abs() > ROUNDS_TOL {
             let _ = writeln!(
                 diffs,
-                "p={} k={} dist_rounds: golden {} vs actual {}",
-                g.p, g.k, g.dist_rounds, a.dist_rounds
+                "p={} k={} t={} dist_rounds: golden {} vs actual {}",
+                g.p, g.k, g.t, g.dist_rounds, a.dist_rounds
             );
         }
     }
@@ -226,10 +242,31 @@ fn sim_cost_tables_match_golden_snapshot() {
 /// distributed output beats the root funnel — in bottleneck words
 /// everywhere the sample is non-trivial, and in modeled time on large
 /// machines.
+/// Multicore PEs (t = 4) must batch at least as fast as single-threaded
+/// ones in the modeled grid — the thread dimension only divides the
+/// scan + keygen charge, everything else is equal.
+#[test]
+fn sim_multicore_rows_are_no_slower() {
+    let rows = parse_table(&fs::read_to_string(golden_path()).expect("golden table present"));
+    for pair in rows.chunks(T_GRID.len()) {
+        let (one, four) = (&pair[0], &pair[1]);
+        assert_eq!((one.p, one.k, one.t), (four.p, four.k, 1));
+        assert_eq!(four.t, 4);
+        assert!(
+            four.ours_batch_s <= one.ours_batch_s * 1.0001,
+            "p={} k={}: 4-thread batch {:.3e}s slower than 1-thread {:.3e}s",
+            one.p,
+            one.k,
+            four.ours_batch_s,
+            one.ours_batch_s
+        );
+    }
+}
+
 #[test]
 fn sim_distributed_output_beats_gather_for_large_p() {
     let rows = parse_table(&fs::read_to_string(golden_path()).expect("golden table present"));
-    assert_eq!(rows.len(), P_GRID.len() * K_GRID.len());
+    assert_eq!(rows.len(), P_GRID.len() * K_GRID.len() * T_GRID.len());
     for r in &rows {
         assert!(
             r.dist_out_words < r.gather_out_words,
