@@ -1,32 +1,48 @@
-//! Parallel local-scan scaling: real (not simulated) throughput of
-//! `reservoir_par::ParLocalReservoir` over 1..=8 scan threads against the
-//! sequential `LocalReservoir` baseline, on this machine.
+//! Parallel local-scan scaling through the **engine API**: real (not
+//! simulated) throughput of a single-PE `ReservoirProtocol<CommBackend>`
+//! batch step over 1..=8 scan threads, against the sequential
+//! `LocalReservoir` jump-scan baseline, on this machine — the path every
+//! production batch takes, not a bare reservoir micro-loop. Each width is
+//! swept twice: with the default per-scope worker pool and with the
+//! persistent crew (`DistConfig::with_persistent_pool`), whose per-batch
+//! spawn count drops to zero.
 //!
 //! Emits a human-readable table on stdout and a machine-readable
 //! `BENCH_par_scan.json` (override the path with `RESERVOIR_BENCH_OUT`) —
-//! the recorded perf trajectory CI uploads as a non-gating artifact.
-//! Honours `RESERVOIR_BENCH_QUICK=1` for a reduced batch size.
+//! the recorded perf trajectory CI uploads as a non-gating artifact. The
+//! schema keeps every pre-engine field (`items_per_s`, `speedup_vs_seq`,
+//! `modeled_speedup`, `steals_per_batch`, `worker_imbalance`) so the
+//! trajectory stays comparable, and adds `spawns_per_batch` plus the
+//! `persistent` flag. Honours `RESERVOIR_BENCH_QUICK=1` for a reduced
+//! batch size.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use reservoir_bench::calibrate;
+use reservoir_core::dist::engine::ReservoirProtocol;
 use reservoir_core::dist::local::LocalReservoir;
 use reservoir_core::dist::sim::LocalCostModel;
-use reservoir_par::{ParLocalReservoir, DEFAULT_CHUNK_ITEMS};
+use reservoir_core::dist::threaded::CommBackend;
+use reservoir_core::dist::DistConfig;
+use reservoir_par::DEFAULT_CHUNK_ITEMS;
 use reservoir_rng::{default_rng, Rng64};
 use reservoir_stream::Item;
 
-/// Steady-state-like insertion threshold: tiny, so the jump scan (not the
-/// tree merge) dominates — the paper's long-stream regime.
-const THRESHOLD: f64 = 1e-6;
+/// A tiny sample size keeps the engine's per-batch collectives (count +
+/// occasional selection on one PE) negligible against the jump scan —
+/// the paper's long-stream regime, now measured through the real step
+/// sequence.
+const K: usize = 8;
 const MAX_THREADS: usize = 8;
 
 struct Sweep {
     threads: usize,
+    persistent: bool,
     items_per_s: f64,
     speedup_vs_seq: f64,
     steals: u64,
+    spawns: u64,
     worker_imbalance: f64,
 }
 
@@ -54,13 +70,14 @@ fn main() {
         .map(|i| Item::new(i, rng.rand_oc() * 100.0))
         .collect();
 
-    // Sequential baseline: the classic LocalReservoir jump scan.
-    let mut seq = LocalReservoir::new(8, 32);
+    // Sequential baseline: the classic LocalReservoir jump scan (kept
+    // identical across bench generations so speedups stay comparable).
+    let mut seq = LocalReservoir::new(K, 32);
     let mut seq_rng = default_rng(1);
-    let _ = seq.process_weighted(&items, Some(THRESHOLD), &mut seq_rng);
+    let _ = seq.process_weighted(&items, Some(1e-6), &mut seq_rng);
     let seq_s = time_reps(
         || {
-            let _ = seq.process_weighted(&items, Some(THRESHOLD), &mut seq_rng);
+            let _ = seq.process_weighted(&items, Some(1e-6), &mut seq_rng);
         },
         reps,
     );
@@ -68,52 +85,80 @@ fn main() {
 
     let mut sweep = Vec::new();
     for threads in 1..=MAX_THREADS {
-        let mut par = ParLocalReservoir::new(8, 32, threads, 1);
-        let _ = par.process_weighted(&items, Some(THRESHOLD));
-        let mut steals = 0u64;
-        let mut max_busy = 0.0f64;
-        let mut sum_busy = 0.0f64;
-        let per = time_reps(
-            || {
-                let stats = par.process_weighted(&items, Some(THRESHOLD));
-                steals += stats.steals;
-                max_busy += stats.max_worker_scan_s();
-                sum_busy += stats.worker_scan_s.iter().sum::<f64>();
-            },
-            reps,
-        );
-        let items_per_s = b as f64 / per;
-        sweep.push(Sweep {
-            threads,
-            items_per_s,
-            speedup_vs_seq: items_per_s / baseline,
-            steals: steals / reps as u64,
-            // max/mean worker busy time: 1.0 = perfectly balanced.
-            worker_imbalance: if sum_busy > 0.0 {
-                max_busy / (sum_busy / threads as f64)
-            } else {
-                0.0
-            },
-        });
+        for persistent in [false, true] {
+            if threads == 1 && persistent {
+                continue; // one worker has no helpers to keep alive
+            }
+            // One PE over the engine: every measured batch runs the full
+            // insert_scan → count → select_prune step.
+            let items_ref = &items;
+            let result = reservoir_comm::run_threads(1, move |comm| {
+                let cfg = DistConfig::weighted(K, 1)
+                    .with_threads(threads)
+                    .with_persistent_pool(persistent);
+                let mut engine = ReservoirProtocol::new(CommBackend::new(&comm, &cfg), cfg);
+                // Warm up: establishes the threshold and the crew.
+                let _ = engine.step(items_ref);
+                let mut steals = 0u64;
+                let mut spawns = 0u64;
+                let mut max_busy = 0.0f64;
+                let mut sum_busy = 0.0f64;
+                let per = time_reps(
+                    || {
+                        let report = engine.step(items_ref);
+                        steals += report.scan.steals;
+                        spawns += report.scan.spawns;
+                        if let Some(par) = engine.backend().last_par_scan() {
+                            max_busy += par.max_worker_scan_s();
+                            sum_busy += par.worker_scan_s.iter().sum::<f64>();
+                        }
+                    },
+                    reps,
+                );
+                (per, steals, spawns, max_busy, sum_busy)
+            });
+            let (per, steals, spawns, max_busy, sum_busy) = result[0];
+            let items_per_s = b as f64 / per;
+            sweep.push(Sweep {
+                threads,
+                persistent,
+                items_per_s,
+                speedup_vs_seq: items_per_s / baseline,
+                steals: steals / reps as u64,
+                spawns: spawns / reps as u64,
+                // max/mean worker busy time: 1.0 = perfectly balanced.
+                // One worker (the sequential path, which reports no
+                // per-worker breakdown) is trivially balanced.
+                worker_imbalance: if threads == 1 || sum_busy <= 0.0 {
+                    1.0
+                } else {
+                    max_busy / (sum_busy / threads as f64)
+                },
+            });
+        }
     }
 
     // --- stdout table ---------------------------------------------------
-    println!("### fig_par_scaling — parallel local scan, weighted, b = {b}, t = {THRESHOLD:e}");
+    println!("### fig_par_scaling — engine batch step, weighted, b = {b}, k = {K}");
     println!(
         "host cores: {cores}; sequential baseline: {:.3e} items/s; \
          calibrated serial fraction: {:.3}",
         baseline, costs.par_serial_frac
     );
-    println!("\n| threads | items/s | speedup vs seq | modeled | steals/batch | imbalance |");
-    println!("|---|---|---|---|---|---|");
+    println!(
+        "\n| threads | pool | items/s | speedup vs seq | modeled | steals/batch | spawns/batch | imbalance |"
+    );
+    println!("|---|---|---|---|---|---|---|---|");
     for s in &sweep {
         println!(
-            "| {} | {:.3e} | {:.2}x | {:.2}x | {} | {:.2} |",
+            "| {} | {} | {:.3e} | {:.2}x | {:.2}x | {} | {} | {:.2} |",
             s.threads,
+            if s.persistent { "crew" } else { "scope" },
             s.items_per_s,
             s.speedup_vs_seq,
             costs.scan_speedup(s.threads as u64),
             s.steals,
+            s.spawns,
             s.worker_imbalance,
         );
     }
@@ -122,9 +167,10 @@ fn main() {
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"bench\": \"par_scan\",");
+    let _ = writeln!(json, "  \"driver\": \"engine\",");
     let _ = writeln!(json, "  \"mode\": \"weighted\",");
     let _ = writeln!(json, "  \"batch_items\": {b},");
-    let _ = writeln!(json, "  \"threshold\": {THRESHOLD:e},");
+    let _ = writeln!(json, "  \"sample_k\": {K},");
     let _ = writeln!(json, "  \"chunk_items\": {DEFAULT_CHUNK_ITEMS},");
     let _ = writeln!(json, "  \"host_cores\": {cores},");
     let _ = writeln!(json, "  \"reps\": {reps},");
@@ -139,13 +185,17 @@ fn main() {
     for (i, s) in sweep.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"threads\": {}, \"items_per_s\": {:.6e}, \"speedup_vs_seq\": {:.4}, \
-             \"modeled_speedup\": {:.4}, \"steals_per_batch\": {}, \"worker_imbalance\": {:.4}}}{}",
+            "    {{\"threads\": {}, \"persistent\": {}, \"items_per_s\": {:.6e}, \
+             \"speedup_vs_seq\": {:.4}, \"modeled_speedup\": {:.4}, \
+             \"steals_per_batch\": {}, \"spawns_per_batch\": {}, \
+             \"worker_imbalance\": {:.4}}}{}",
             s.threads,
+            s.persistent,
             s.items_per_s,
             s.speedup_vs_seq,
             costs.scan_speedup(s.threads as u64),
             s.steals,
+            s.spawns,
             s.worker_imbalance,
             if i + 1 < sweep.len() { "," } else { "" },
         );

@@ -77,17 +77,17 @@ pub fn run_sim_experiment<L: LocalCostModel>(
 }
 
 /// Convenience constructor for the paper's weighted-sampling configs
-/// (single-threaded PEs; chain [`SimConfig::with_threads`] for multicore).
+/// (single-threaded PEs; chain [`SimConfig::with_threads`] for multicore
+/// or [`SimConfig::with_size_window`] for the variable-size variant).
 pub fn sim_config(nodes: usize, k: usize, b_per_pe: u64, algo: SimAlgo, seed: u64) -> SimConfig {
-    SimConfig {
-        p: nodes * PES_PER_NODE,
+    SimConfig::new(
+        nodes * PES_PER_NODE,
         k,
         b_per_pe,
-        mode: SamplingMode::Weighted,
+        SamplingMode::Weighted,
         algo,
         seed,
-        threads_per_pe: 1,
-    }
+    )
 }
 
 /// Human-readable algorithm label matching the paper's legends.

@@ -1,25 +1,34 @@
-//! The centralized gathering baseline (paper Section 4.5).
+//! The centralized gathering baseline (paper Section 4.5) as a **backend
+//! policy** of the shared engine — not a parallel protocol copy.
 //!
 //! Every PE scans its batch exactly like the distributed algorithm —
-//! jump-scanning below the current threshold — but instead of running
-//! distributed selection, all candidates are **gathered at a root PE**,
-//! which merges them into the one true reservoir, re-computes the
-//! threshold with a sequential quickselect, and broadcasts it. The root's
-//! downlink carries Θ(candidates) words per batch (Θ(p·k) in the worst
-//! case), which is the bottleneck the paper's algorithm removes.
+//! jump-scanning below the current threshold — but [`GatherBackend`]
+//! realizes the engine's steps through a root funnel: **insert** ships
+//! every candidate to a root PE that merges them into the one true
+//! reservoir, **count** broadcasts the root's reservoir size, **select**
+//! re-computes the threshold with a sequential quickselect at the root and
+//! broadcasts it, and **prune** is a no-op (the root pruned inside its
+//! selection; the other PEs hold no reservoir). The root's downlink
+//! carries Θ(candidates) words per batch (Θ(p·k) in the worst case), which
+//! is the bottleneck the paper's algorithm removes.
+//!
+//! [`GatherSampler`] is the thin stable-API wrapper over
+//! `ReservoirProtocol<GatherBackend>`.
 
 use std::sync::mpsc::Receiver;
+use std::time::Instant;
 
-use reservoir_btree::{SampleKey, DEFAULT_DEGREE};
+use reservoir_btree::SampleKey;
 use reservoir_comm::{Collectives, Communicator};
 use reservoir_rng::{DefaultRng, SeedSequence, StreamKind};
-use reservoir_select::kth_smallest;
+use reservoir_select::{kth_smallest, SelectResult, TargetRank};
 use reservoir_stream::ingest::MiniBatch;
 use reservoir_stream::Item;
 
+use crate::dist::engine::{Charge, InsertOutcome, Placement, ReservoirProtocol, SamplerBackend};
 use crate::dist::local::PeReservoir;
 use crate::dist::output::SampleHandle;
-use crate::dist::{DistConfig, PipelineReport, PAR_SCAN_STREAM};
+use crate::dist::{BatchReport, DistConfig, PipelineReport, SamplingMode, PAR_SCAN_STREAM};
 use crate::metrics::PhaseTimes;
 use crate::sample::SampleItem;
 
@@ -29,120 +38,43 @@ type WireItem = (u64, f64, f64);
 /// The root PE holding the global reservoir.
 const ROOT: usize = 0;
 
-/// One PE's endpoint of the centralized gathering sampler.
-pub struct GatherSampler<'a, C: Communicator> {
+/// The engine's substrate under the Section 4.5 root-funnel policy.
+pub struct GatherBackend<'a, C: Communicator> {
     comm: &'a C,
-    cfg: DistConfig,
     /// Per-batch candidate buffer (drained after every gather); runs the
-    /// parallel chunked scan when `cfg.threads_per_pe > 1`.
+    /// parallel chunked scan when `threads_per_pe > 1`.
     scratch: PeReservoir,
     /// Reused per batch to drain `scratch` without a fresh allocation.
     drain_buf: Vec<SampleItem>,
     /// The global reservoir; non-empty only at the root.
     reservoir: Vec<(SampleKey, f64)>,
-    threshold: Option<SampleKey>,
     key_rng: DefaultRng,
     select_rng: DefaultRng,
+    k: usize,
 }
 
-impl<'a, C: Communicator> GatherSampler<'a, C> {
-    /// Create this PE's endpoint. Every PE must pass an identical `cfg`.
-    pub fn new(comm: &'a C, cfg: DistConfig) -> Self {
+impl<'a, C: Communicator> GatherBackend<'a, C> {
+    /// Build this PE's backend for `cfg` (the unsalted seed derivation
+    /// [`GatherSampler`] has always used).
+    pub fn new(comm: &'a C, cfg: &DistConfig) -> Self {
+        assert!(
+            cfg.size_window.is_none(),
+            "the gather baseline has no variable-size mode (GatherSampler::new strips it)"
+        );
         let seq = SeedSequence::new(cfg.seed);
-        GatherSampler {
-            comm,
-            scratch: PeReservoir::new(
+        GatherBackend {
+            scratch: PeReservoir::for_config(
+                cfg,
                 cfg.k,
-                DEFAULT_DEGREE,
-                cfg.threads_per_pe,
                 seq.seed_for(comm.rank(), StreamKind::Custom(PAR_SCAN_STREAM)),
             ),
             drain_buf: Vec::new(),
             reservoir: Vec::new(),
-            threshold: None,
             key_rng: seq.rng_for(comm.rank(), StreamKind::Keys),
             select_rng: seq.rng_for(comm.rank(), StreamKind::Selection),
-            cfg,
+            k: cfg.k,
+            comm,
         }
-    }
-
-    /// Process one mini-batch (collective). Returns the number of
-    /// candidates this PE generated (and shipped to the root).
-    pub fn process_batch(&mut self, items: &[Item]) -> u64 {
-        // Local candidate generation: identical scan to the distributed
-        // algorithm, but into a throwaway buffer (drained into the reused
-        // `drain_buf`, so the per-batch path performs no fresh item
-        // allocation).
-        let t = self.threshold.map(|k| k.key);
-        self.scratch
-            .process(self.cfg.mode, items, t, &mut self.key_rng);
-        self.scratch.drain_into(&mut self.drain_buf);
-        let wire: Vec<WireItem> = self
-            .drain_buf
-            .iter()
-            .map(|s| (s.id, s.weight, s.key))
-            .collect();
-        let candidates = wire.len() as u64;
-
-        // Ship every candidate to the root.
-        let gathered = self.comm.gather(ROOT, wire);
-
-        // Root: merge, select the k-th smallest key, prune, broadcast.
-        let announced = gathered.map(|parts| {
-            for (id, weight, key) in parts.into_iter().flatten() {
-                self.reservoir.push((SampleKey::new(key, id), weight));
-            }
-            let k = self.cfg.k;
-            if self.reservoir.len() > k {
-                let mut keys: Vec<SampleKey> = self.reservoir.iter().map(|(k, _)| *k).collect();
-                let cut = kth_smallest(&mut keys, k - 1, &mut self.select_rng);
-                self.reservoir.retain(|(key, _)| *key <= cut);
-                debug_assert_eq!(self.reservoir.len(), k);
-            }
-            let t = (self.reservoir.len() >= k)
-                .then(|| self.reservoir.iter().map(|(k, _)| *k).max())
-                .flatten();
-            t.map(|k| (k.key, k.id))
-        });
-        let wire_t: Option<(f64, u64)> = self.comm.broadcast(ROOT, announced);
-        self.threshold = wire_t.map(|(key, id)| SampleKey::new(key, id));
-        candidates
-    }
-
-    /// Drive the baseline from a push-based ingestion channel
-    /// (collective): the same drain protocol as
-    /// [`crate::dist::threaded::DistributedSampler::run_pipeline`] — one
-    /// 1-word all-reduce per round keeps `process_batch` collective across
-    /// unequal stream lengths, and a final collective
-    /// [`Self::collect_output`] yields the handle (the whole sample at the
-    /// root, empty slices elsewhere). The baseline instruments only the
-    /// ingest wait (`report.times.ingest`); its other phases are not
-    /// timed.
-    pub fn run_pipeline(&mut self, batches: &Receiver<MiniBatch>) -> PipelineReport {
-        let comm = self.comm;
-        let mut candidates = 0u64;
-        let stats = crate::dist::drain_collective(comm, batches, |items| {
-            candidates += self.process_batch(items);
-        });
-        let handle = self.collect_output();
-        PipelineReport {
-            batches: stats.batches,
-            rounds: stats.rounds,
-            records: stats.records,
-            inserted: candidates,
-            select_rounds: 0,
-            ingest_wait_s: stats.ingest_wait_s,
-            times: PhaseTimes {
-                ingest: stats.ingest_wait_s,
-                ..Default::default()
-            },
-            handle,
-        }
-    }
-
-    /// The current insertion threshold, once the reservoir filled.
-    pub fn threshold(&self) -> Option<f64> {
-        self.threshold.map(|k| k.key)
     }
 
     /// The sample: the full reservoir at the root, empty elsewhere.
@@ -152,23 +84,232 @@ impl<'a, C: Communicator> GatherSampler<'a, C> {
             .map(|(k, w)| SampleItem::from_entry(k, *w))
             .collect()
     }
+}
 
-    /// Number of sample members held by this PE (root: the whole sample).
-    pub fn local_len(&self) -> u64 {
+impl<C: Communicator> SamplerBackend for GatherBackend<'_, C> {
+    /// Local candidate generation — identical scan to the distributed
+    /// algorithm, into a throwaway buffer — followed by the policy's
+    /// defining move: every candidate ships to the root, which merges
+    /// them into the global reservoir. Bills the scan to `insert` and the
+    /// funnel to `gather`.
+    fn insert(
+        &mut self,
+        mode: SamplingMode,
+        items: &[Item],
+        threshold: Option<SampleKey>,
+        times: &mut PhaseTimes,
+    ) -> InsertOutcome {
+        let t0 = Instant::now();
+        let outcome =
+            self.scratch
+                .process(mode, items, threshold.map(|k| k.key), &mut self.key_rng);
+        self.scratch.drain_into(&mut self.drain_buf);
+        // The policy's contribution count is what ships to the root, not
+        // the scan's gross insertion count (growing-phase evictions never
+        // leave the scratch buffer).
+        let mut stats = outcome.stats;
+        stats.inserted = self.drain_buf.len() as u64;
+        times.insert += t0.elapsed().as_secs_f64();
+        times.par_scan += outcome.par_scan_max_s;
+        let t1 = Instant::now();
+        let wire: Vec<WireItem> = self
+            .drain_buf
+            .iter()
+            .map(|s| (s.id, s.weight, s.key))
+            .collect();
+        if let Some(parts) = self.comm.gather(ROOT, wire) {
+            for (id, weight, key) in parts.into_iter().flatten() {
+                self.reservoir.push((SampleKey::new(key, id), weight));
+            }
+        }
+        times.gather += t1.elapsed().as_secs_f64();
+        InsertOutcome { stats }
+    }
+
+    /// The union size is whatever the root's reservoir holds: one
+    /// broadcast instead of an all-reduce.
+    fn count(&mut self, times: &mut PhaseTimes, charge: Charge) -> u64 {
+        let t0 = Instant::now();
+        let announced = (self.comm.rank() == ROOT).then_some(self.reservoir.len() as u64);
+        let union = self.comm.broadcast(ROOT, announced);
+        *charge.slot(times) += t0.elapsed().as_secs_f64();
+        union
+    }
+
+    /// Sequential selection at the root: quickselect the k-th smallest
+    /// key when the reservoir overflowed (prune to it in place), take the
+    /// maximum when it just filled, broadcast the result. Always reports
+    /// 0 distributed rounds — that is the baseline's point.
+    fn select(
+        &mut self,
+        target: TargetRank,
+        union: u64,
+        _pivots: usize,
+        times: &mut PhaseTimes,
+        charge: Charge,
+    ) -> SelectResult {
+        let t0 = Instant::now();
+        let k = self.k;
+        debug_assert_eq!(
+            (target.lo, target.hi),
+            (k as u64, k as u64),
+            "the root funnel only performs exact-k selection"
+        );
+        let announced = (self.comm.rank() == ROOT).then(|| {
+            if union > k as u64 {
+                let mut keys: Vec<SampleKey> = self.reservoir.iter().map(|(k, _)| *k).collect();
+                let cut = kth_smallest(&mut keys, k - 1, &mut self.select_rng);
+                self.reservoir.retain(|(key, _)| *key <= cut);
+                debug_assert_eq!(self.reservoir.len(), k);
+            }
+            let t = self
+                .reservoir
+                .iter()
+                .map(|(key, _)| *key)
+                .max()
+                .expect("selection only runs once the reservoir filled");
+            (t.key, t.id)
+        });
+        let (key, id) = self.comm.broadcast(ROOT, announced);
+        *charge.slot(times) += t0.elapsed().as_secs_f64();
+        SelectResult {
+            threshold: SampleKey::new(key, id),
+            rank: k as u64,
+            rounds: 0,
+        }
+    }
+
+    /// The root already pruned inside its selection; non-roots hold no
+    /// reservoir.
+    fn prune(&mut self, _t: &SampleKey, _times: &mut PhaseTimes, _charge: Charge) {}
+
+    fn place(&mut self, local: u64, times: &mut PhaseTimes) -> Placement {
+        crate::dist::engine::place_over_collectives(self.comm, local, times)
+    }
+
+    fn local_len(&self) -> u64 {
         self.reservoir.len() as u64
     }
 
+    fn local_count_le(&self, t: &SampleKey) -> u64 {
+        self.reservoir.iter().filter(|(k, _)| k <= t).count() as u64
+    }
+
+    fn local_items_le(
+        &self,
+        t: Option<&SampleKey>,
+        buf: &mut Vec<SampleItem>,
+        times: &mut PhaseTimes,
+    ) {
+        let t0 = Instant::now();
+        buf.clear();
+        let mut members: Vec<&(SampleKey, f64)> = self
+            .reservoir
+            .iter()
+            .filter(|(k, _)| t.is_none_or(|t| *k <= *t))
+            .collect();
+        members.sort_unstable_by_key(|(k, _)| *k);
+        buf.extend(
+            members
+                .into_iter()
+                .map(|(k, w)| SampleItem::from_entry(k, *w)),
+        );
+        times.output += t0.elapsed().as_secs_f64();
+    }
+
+    fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    fn vote(&mut self, active: u64) -> u64 {
+        crate::dist::engine::vote_over_collectives(self.comm, active)
+    }
+}
+
+/// One PE's endpoint of the centralized gathering sampler: the stable API
+/// over `ReservoirProtocol<GatherBackend>`.
+pub struct GatherSampler<'a, C: Communicator> {
+    engine: ReservoirProtocol<GatherBackend<'a, C>>,
+}
+
+impl<'a, C: Communicator> GatherSampler<'a, C> {
+    /// Create this PE's endpoint. Every PE must pass an identical `cfg`.
+    /// The baseline has no variable-size mode: any `size_window` is
+    /// ignored (the root always prunes to exactly `k`), as it always was.
+    pub fn new(comm: &'a C, cfg: DistConfig) -> Self {
+        let cfg = DistConfig {
+            size_window: None,
+            ..cfg
+        };
+        GatherSampler {
+            engine: ReservoirProtocol::new(GatherBackend::new(comm, &cfg), cfg),
+        }
+    }
+
+    /// Process one mini-batch (collective). Returns the number of
+    /// candidates this PE generated (and shipped to the root).
+    pub fn process_batch(&mut self, items: &[Item]) -> u64 {
+        self.engine.step(items).inserted
+    }
+
+    /// Like [`Self::process_batch`], with the engine's full per-batch
+    /// report (sample size, scan counters, measured phase times).
+    pub fn process_batch_report(&mut self, items: &[Item]) -> BatchReport {
+        self.engine.step(items)
+    }
+
+    /// Drive the baseline from a push-based ingestion channel
+    /// (collective): the same unified engine driver as
+    /// [`crate::dist::threaded::DistributedSampler::run_pipeline`] — one
+    /// 1-word vote per round keeps the drain collective across unequal
+    /// stream lengths, and a final collective [`Self::collect_output`]
+    /// yields the handle (the whole sample at the root, empty slices
+    /// elsewhere). `report.inserted` counts the candidates this PE
+    /// shipped; `report.times` now carries the full measured phase
+    /// decomposition, including the root funnel under `gather`.
+    pub fn run_pipeline(&mut self, batches: &Receiver<MiniBatch>) -> PipelineReport {
+        self.engine.run_pipeline(batches)
+    }
+
+    /// The current insertion threshold, once the reservoir filled.
+    pub fn threshold(&self) -> Option<f64> {
+        self.engine.threshold()
+    }
+
+    /// The sample: the full reservoir at the root, empty elsewhere.
+    pub fn sample(&self) -> Vec<SampleItem> {
+        self.engine.backend().sample()
+    }
+
+    /// Number of sample members held by this PE (root: the whole sample).
+    pub fn local_len(&self) -> u64 {
+        self.engine.backend().local_len()
+    }
+
+    /// Accumulated wall-clock seconds per algorithm phase (the funnel's
+    /// candidate shipping accrues under `gather`).
+    pub fn phase_totals(&self) -> PhaseTimes {
+        self.engine.phase_totals()
+    }
+
     /// Output collection for the centralized baseline (collective): the
+    /// engine's finalize + place steps over the root-funnel backend. The
     /// root already holds the whole reservoir, so the returned
     /// [`SampleHandle`] simply places the root's slice at offset 0 and
     /// gives every other PE an empty slice. This is the comparison point
     /// for the Section 5 distributed output — here all Θ(β·k) words
     /// already moved through the root's downlink during the batches.
-    pub fn collect_output(&self) -> SampleHandle {
-        let mut items: Vec<SampleItem> = self.sample();
-        items
-            .sort_unstable_by(|a, b| SampleKey::new(a.key, a.id).cmp(&SampleKey::new(b.key, b.id)));
-        SampleHandle::assemble(self.comm, items, self.threshold())
+    pub fn collect_output(&mut self) -> SampleHandle {
+        self.engine.collect_output().0
+    }
+
+    /// The protocol engine underneath.
+    pub fn engine(&mut self) -> &mut ReservoirProtocol<GatherBackend<'a, C>> {
+        &mut self.engine
     }
 }
 
@@ -244,6 +385,8 @@ mod tests {
             let report = s.run_pipeline(&rx);
             let counters = ingest.join();
             assert_eq!(counters.records_in, (comm.rank() as u64 + 1) * 50);
+            // The unified driver instruments the funnel's phases too.
+            assert!(report.times.ingest > 0.0 && report.times.gather > 0.0);
             (report.rounds, report.records, report.handle)
         });
         for (rank, (rounds, records, handle)) in results.iter().enumerate() {

@@ -43,6 +43,11 @@ pub struct ScanStats {
     /// Chunk tasks a pool worker took from another worker's queue
     /// (parallel scan only; 0 on the sequential path).
     pub steals: u64,
+    /// OS threads spawned for this scan: `threads − 1` per batch on the
+    /// default per-scope pool, 0 on the sequential path *and* on a
+    /// persistent crew (`DistConfig::with_persistent_pool`), which is
+    /// exactly the saving the persistent option buys.
+    pub spawns: u64,
 }
 
 /// A PE's local reservoir over the augmented B+ tree.
@@ -367,15 +372,31 @@ pub(crate) enum PeReservoir {
 
 impl PeReservoir {
     /// Build the reservoir for `threads` workers. `par_seed` roots the
-    /// parallel path's per-chunk streams (unused sequentially).
-    pub fn new(cap: usize, degree: usize, threads: usize, par_seed: u64) -> Self {
+    /// parallel path's per-chunk streams (unused sequentially);
+    /// `persistent` keeps one worker crew alive across batches instead of
+    /// spawning helpers per scan (`reservoir_par::Pool::persistent`).
+    pub fn new(cap: usize, degree: usize, threads: usize, par_seed: u64, persistent: bool) -> Self {
         if threads <= 1 {
             PeReservoir::Seq(LocalReservoir::new(cap, degree))
         } else {
-            PeReservoir::Par(reservoir_par::ParLocalReservoir::new(
-                cap, degree, threads, par_seed,
-            ))
+            let mut par = reservoir_par::ParLocalReservoir::new(cap, degree, threads, par_seed);
+            if persistent {
+                par = par.with_pool(reservoir_par::Pool::persistent(threads));
+            }
+            PeReservoir::Par(par)
         }
+    }
+
+    /// Build from a [`DistConfig`]'s scan knobs (`threads_per_pe`,
+    /// `persistent_pool`) with capacity `cap`.
+    pub fn for_config(cfg: &crate::dist::DistConfig, cap: usize, par_seed: u64) -> Self {
+        Self::new(
+            cap,
+            reservoir_btree::DEFAULT_DEGREE,
+            cfg.threads_per_pe,
+            par_seed,
+            cfg.persistent_pool,
+        )
     }
 
     /// Number of entries currently held.
@@ -465,6 +486,7 @@ impl PeReservoir {
                         jumps: par.jumps,
                         chunks: par.chunks,
                         steals: par.steals,
+                        spawns: par.spawns,
                     },
                     par_scan_max_s: par.max_worker_scan_s(),
                     par: Some(par),

@@ -18,12 +18,15 @@
 //! logarithmic number of selection rounds — independent of the batch size,
 //! which is the paper's headline claim.
 //!
-//! Two backends execute this identically: [`threaded`] on real threads over
-//! real collectives, and [`sim`] — a statistical cluster simulator that
-//! reproduces the algorithm's observable behaviour (sample law, threshold
-//! law, selection round counts) for thousands of PEs in one process while
-//! charging communication to an α–β cost model. [`gather`] is the
-//! centralized baseline of Section 4.5.
+//! The step sequence itself — and the Section 5 finalize/place sequence —
+//! is implemented exactly once, in [`engine::ReservoirProtocol`], over the
+//! [`engine::SamplerBackend`] substrate trait. Three backends drive it:
+//! [`threaded`] on real threads over real collectives, [`gather`] — the
+//! same collectives under the centralized root-funnel *policy* of Section
+//! 4.5 — and [`sim`], a statistical cluster simulator that reproduces the
+//! algorithm's observable behaviour (sample law, threshold law, selection
+//! round counts) for thousands of PEs in one process while charging the
+//! very steps the engine executes to an α–β cost model.
 //!
 //! The sample itself stays distributed: [`output`] implements the Section 5
 //! output collection, which finalizes the sample to exactly `k` members and
@@ -37,6 +40,7 @@
 //! contributions keep lagging PEs in step), processes every batch, and
 //! finishes with one `collect_output` — see [`PipelineReport`].
 
+pub mod engine;
 pub mod gather;
 pub mod local;
 pub mod output;
@@ -91,6 +95,12 @@ pub struct DistConfig {
     /// sampling law is identical either way. Constructors default this to
     /// the `RESERVOIR_THREADS` environment variable, falling back to 1.
     pub threads_per_pe: usize,
+    /// Reuse one persistent worker crew (`reservoir_par::Pool::persistent`)
+    /// across every batch scan instead of spawning helpers per scope —
+    /// worthwhile when mini-batches are too small to amortize the ~100 µs
+    /// per-helper spawn cost. No effect at `threads_per_pe == 1`; the
+    /// sample is identical either way (see `ScanStats::spawns`).
+    pub persistent_pool: bool,
 }
 
 impl DistConfig {
@@ -104,6 +114,7 @@ impl DistConfig {
             pivots: 1,
             size_window: None,
             threads_per_pe: default_threads(),
+            persistent_pool: false,
         }
     }
 
@@ -127,6 +138,13 @@ impl DistConfig {
     pub fn with_threads(mut self, t: usize) -> Self {
         assert!(t >= 1, "at least one scan thread per PE");
         self.threads_per_pe = t;
+        self
+    }
+
+    /// Keep one persistent scan-worker crew alive across batches instead
+    /// of spawning helper threads per batch (`threads_per_pe > 1` only).
+    pub fn with_persistent_pool(mut self, persistent: bool) -> Self {
+        self.persistent_pool = persistent;
         self
     }
 
@@ -203,10 +221,11 @@ pub struct PipelineReport {
     /// Seconds this PE spent blocked on the ingestion channel plus in the
     /// drain's own continue/stop agreement (equals `times.ingest`).
     pub ingest_wait_s: f64,
-    /// Phase times of this drain on this PE, including the ingest wait.
-    /// The distributed backend fills every phase (the same accounting as
+    /// Phase times of this drain on this PE, including the ingest wait —
+    /// the engine's unified pipeline driver fills every phase on both
+    /// backend policies (the same accounting as
     /// [`threaded::DistributedSampler::phase_totals`], restricted to this
-    /// drain); the gather baseline instruments only `ingest`.
+    /// drain).
     pub times: crate::metrics::PhaseTimes,
     /// The Section 5 output handle over the final sample.
     pub handle: SampleHandle,
@@ -219,74 +238,7 @@ impl PipelineReport {
     }
 }
 
-/// What the shared collective drain loop observed on this PE.
-pub(crate) struct DrainStats {
-    /// Mini-batches actually drained from this PE's channel.
-    pub batches: u64,
-    /// Collective rounds executed (identical on every PE).
-    pub rounds: u64,
-    /// Records delivered to `process` on this PE.
-    pub records: u64,
-    /// Seconds spent in `recv` plus the continue/stop all-reduce.
-    pub ingest_wait_s: f64,
-}
-
-/// The collective drain protocol shared by both backends' `run_pipeline`
-/// drivers: per round, receive this PE's next batch (or notice the
-/// channel is closed and drained), agree with one 1-word all-reduce
-/// whether *any* PE produced a batch, and — while any did — call
-/// `process` with this PE's items (empty when its channel ran dry). This
-/// keeps `process_batch`'s same-number-of-calls-on-every-PE contract
-/// intact across unequal stream lengths; the loop ends only when every
-/// channel is exhausted, so every PE leaves after the same round.
-pub(crate) fn drain_collective<C, F>(
-    comm: &C,
-    batches: &std::sync::mpsc::Receiver<reservoir_stream::ingest::MiniBatch>,
-    mut process: F,
-) -> DrainStats
-where
-    C: reservoir_comm::Communicator,
-    F: FnMut(&[reservoir_stream::Item]),
-{
-    use reservoir_comm::Collectives;
-    let mut stats = DrainStats {
-        batches: 0,
-        rounds: 0,
-        records: 0,
-        ingest_wait_s: 0.0,
-    };
-    let mut open = true;
-    loop {
-        let t0 = std::time::Instant::now();
-        // `recv` blocks until the producer cuts the next batch or closes;
-        // after a close the channel stays empty forever, so skip straight
-        // to empty contributions.
-        let next = if open {
-            match batches.recv() {
-                Ok(batch) => Some(batch),
-                Err(_) => {
-                    open = false;
-                    None
-                }
-            }
-        } else {
-            None
-        };
-        let active = comm.sum_u64(next.is_some() as u64);
-        stats.ingest_wait_s += t0.elapsed().as_secs_f64();
-        if active == 0 {
-            return stats;
-        }
-        let items = next.map(|b| {
-            stats.batches += 1;
-            stats.records += b.items.len() as u64;
-            b.items
-        });
-        process(items.as_deref().unwrap_or(&[]));
-        stats.rounds += 1;
-    }
-}
-
+pub use engine::{ReservoirProtocol, SamplerBackend};
 pub use gather::GatherSampler;
 pub use local::LocalReservoir;
 pub use output::SampleHandle;
@@ -312,6 +264,9 @@ mod tests {
         assert_eq!(v.size_limit(), 25);
         let t = DistConfig::weighted(10, 1).with_threads(4);
         assert_eq!(t.threads_per_pe, 4);
+        assert!(!t.persistent_pool);
+        let p = t.with_persistent_pool(true);
+        assert!(p.persistent_pool);
     }
 
     #[test]

@@ -63,22 +63,40 @@ pub struct SampleHandle {
 
 impl SampleHandle {
     /// Assemble the handle collectively: agree on the global size and this
-    /// PE's offset for its (key-sorted) `items`. Two 1-word collectives.
+    /// PE's offset for its (key-sorted) `items`. Two 1-word collectives —
+    /// the reference implementation of the engine's place step (which the
+    /// production path runs through [`Self::from_parts`]).
+    #[cfg(test)]
     pub(crate) fn assemble<C: Communicator>(
         comm: &C,
         items: Vec<SampleItem>,
         threshold: Option<f64>,
     ) -> SampleHandle {
         let local = items.len() as u64;
-        let offset = comm.exscan_sum_u64(local);
-        let total = comm.sum_u64(local);
-        debug_assert!(offset + local <= total);
+        let placement = crate::dist::engine::Placement {
+            offset: comm.exscan_sum_u64(local),
+            total: comm.sum_u64(local),
+        };
+        Self::from_parts(items, placement, comm.rank(), comm.size(), threshold)
+    }
+
+    /// Build the handle from an already-agreed [`Placement`] — the
+    /// engine's place step ran the collectives (or charged them, on the
+    /// simulated backend).
+    pub(crate) fn from_parts(
+        items: Vec<SampleItem>,
+        placement: crate::dist::engine::Placement,
+        pe: usize,
+        pes: usize,
+        threshold: Option<f64>,
+    ) -> SampleHandle {
+        debug_assert!(placement.offset + items.len() as u64 <= placement.total);
         SampleHandle {
             items,
-            offset,
-            total,
-            pe: comm.rank(),
-            pes: comm.size(),
+            offset: placement.offset,
+            total: placement.total,
+            pe,
+            pes,
             threshold,
         }
     }

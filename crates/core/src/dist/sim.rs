@@ -1,21 +1,27 @@
 //! The cluster simulator: Algorithm 1's observable behaviour for thousands
-//! of PEs inside one process.
+//! of PEs inside one process — as a **backend of the shared engine**.
 //!
-//! The simulator reproduces everything *statistical* about the algorithm —
-//! the sample law, the threshold law, the selection round counts — while
-//! **charging** time instead of measuring it: local work goes through a
-//! [`LocalCostModel`] (calibrated on the benchmark machine or analytic),
-//! communication through the α–β [`CostModel`] of `reservoir-comm` (the
-//! substitution documented in `DESIGN.md`).
+//! [`SimBackend`] implements [`SamplerBackend`] as a whole-cluster
+//! conductor: the engine's step sequence (the *same* code the threaded
+//! backends execute) drives it, and each step **charges** time instead of
+//! measuring it — local work through a [`LocalCostModel`] (calibrated on
+//! the benchmark machine or analytic), communication through the α–β
+//! [`CostModel`] of `reservoir-comm` (the substitution documented in
+//! `DESIGN.md`). Because the costs are charged by the steps the real
+//! protocol actually executes, a protocol change made in the engine is
+//! automatically reflected in the simulated costs — there is no hand-ported
+//! statistical re-implementation to keep in sync, and window-mode
+//! finalization rounds fall out of the shared finalize step.
 //!
-//! Why this is sound: with threshold `T`, a PE's batch contributes each
-//! item independently with probability `q(T) = P(key < T)`, so the number
-//! of reservoir insertions is Binomial(b, q(T)) (Poissonized here) and the
-//! inserted keys are i.i.d. draws from the conditional key distribution
-//! given `key < T`. The simulator draws exactly that — per PE — and then
-//! runs the *identical* selection state machine as the real backend
-//! through [`reservoir_select::select_conductor`], so pivot choices, round
-//! counts and the final threshold have the protocol's true distribution.
+//! Why the statistical insertion is sound: with threshold `T`, a PE's
+//! batch contributes each item independently with probability
+//! `q(T) = P(key < T)`, so the number of reservoir insertions is
+//! Binomial(b, q(T)) (Poissonized here) and the inserted keys are i.i.d.
+//! draws from the conditional key distribution given `key < T`. The
+//! backend draws exactly that — per PE — and then the engine runs the
+//! *identical* selection state machine as the real backend through
+//! [`reservoir_select::select_conductor`], so pivot choices, round counts
+//! and the final threshold have the protocol's true distribution.
 //!
 //! The simulated workload is the paper's: weights uniform on `(0, 100]`
 //! (Section 6.1) for [`SamplingMode::Weighted`], unit weights for
@@ -24,9 +30,11 @@
 use reservoir_btree::SampleKey;
 use reservoir_comm::CostModel;
 use reservoir_rng::{DefaultRng, Rng64, SeedSequence, StreamKind};
-use reservoir_select::{select_conductor, CandidateSet, SelectParams, TargetRank};
+use reservoir_select::{select_conductor, CandidateSet, SelectParams, SelectResult, TargetRank};
 
-use crate::dist::SamplingMode;
+use crate::dist::engine::{Charge, InsertOutcome, Placement, ReservoirProtocol, SamplerBackend};
+use crate::dist::local::ScanStats;
+use crate::dist::{DistConfig, SamplingMode};
 use crate::metrics::PhaseTimes;
 use crate::sample::SampleItem;
 
@@ -176,14 +184,73 @@ pub struct SimConfig {
     /// `reservoir_par`'s chunked scan. The statistical behaviour is
     /// unchanged (the real parallel scan preserves the law exactly).
     pub threads_per_pe: usize,
+    /// Variable-size window `(k, k̄)` of Section 4.4: the sample may grow
+    /// to `k̄` before an *approximate* selection shrinks it back into the
+    /// window, and output collection pays a finalization selection to
+    /// exact rank `k`. `None` keeps the size exactly `k`. Only
+    /// [`SimAlgo::Ours`] supports it (as on the real backends).
+    pub size_window: Option<(u64, u64)>,
 }
 
 impl SimConfig {
+    /// An exact-size configuration (the historical constructor shape).
+    pub fn new(
+        p: usize,
+        k: usize,
+        b_per_pe: u64,
+        mode: SamplingMode,
+        algo: SimAlgo,
+        seed: u64,
+    ) -> Self {
+        SimConfig {
+            p,
+            k,
+            b_per_pe,
+            mode,
+            algo,
+            seed,
+            threads_per_pe: 1,
+            size_window: None,
+        }
+    }
+
     /// Model `t` scan workers per PE.
     pub fn with_threads(mut self, t: usize) -> Self {
         assert!(t >= 1, "at least one scan thread per PE");
         self.threads_per_pe = t;
         self
+    }
+
+    /// Tolerate any sample size in `lo..=hi` (Section 4.4).
+    pub fn with_size_window(mut self, lo: u64, hi: u64) -> Self {
+        assert!(1 <= lo && lo <= hi, "invalid size window {lo}..{hi}");
+        self.size_window = Some((lo, hi));
+        self
+    }
+
+    /// The engine configuration this cluster's protocol endpoint runs
+    /// with: the same `DistConfig` shape the real backends take.
+    fn engine_config(&self) -> DistConfig {
+        DistConfig {
+            k: self.k,
+            seed: self.seed,
+            mode: self.mode,
+            pivots: match self.algo {
+                SimAlgo::Ours { pivots } => pivots,
+                SimAlgo::Gather => 1,
+            },
+            size_window: self.size_window,
+            threads_per_pe: self.threads_per_pe,
+            persistent_pool: false,
+        }
+    }
+
+    /// The size the local reservoirs must retain during the growing phase.
+    fn local_cap(&self) -> usize {
+        match self.size_window {
+            Some((_, hi)) => (hi as usize).max(self.k),
+            None => self.k,
+        }
     }
 }
 
@@ -299,26 +366,38 @@ impl CandidateSet for SimPe {
     }
 }
 
-/// The simulated cluster: statistical per-PE state plus cost accounting.
-pub struct SimCluster<L: LocalCostModel> {
+/// The engine's substrate for the cluster simulator: statistical per-PE
+/// state plus cost accounting, conducted for all `p` PEs inside one
+/// process. Every [`SamplerBackend`] step charges exactly what the real
+/// protocol would pay for it.
+pub struct SimBackend<L: LocalCostModel> {
     cfg: SimConfig,
     net: CostModel,
     costs: L,
     pes: Vec<SimPe>,
     work_rngs: Vec<DefaultRng>,
     select_rngs: Vec<DefaultRng>,
-    threshold: Option<SampleKey>,
     items_seen: u64,
     next_local_id: Vec<u64>,
+    /// Candidates the last insert step produced (the gather policy's
+    /// shipping payload).
+    last_inserted: u64,
+    /// Words through the busiest endpoint, accumulated by Output-charged
+    /// steps; reset per output collection.
+    output_words: u64,
 }
 
-impl<L: LocalCostModel> SimCluster<L> {
-    /// Build a cluster for `cfg`, charging communication to `net` and
+impl<L: LocalCostModel> SimBackend<L> {
+    /// Build the conductor for `cfg`, charging communication to `net` and
     /// local work to `costs`.
     pub fn new(cfg: SimConfig, net: CostModel, costs: L) -> Self {
         assert!(cfg.p >= 1 && cfg.k >= 1 && cfg.b_per_pe >= 1 && cfg.threads_per_pe >= 1);
+        assert!(
+            cfg.size_window.is_none() || matches!(cfg.algo, SimAlgo::Ours { .. }),
+            "the gather baseline has no variable-size mode"
+        );
         let seq = SeedSequence::new(cfg.seed);
-        SimCluster {
+        SimBackend {
             pes: (0..cfg.p).map(|_| SimPe::default()).collect(),
             work_rngs: (0..cfg.p)
                 .map(|pe| seq.rng_for(pe, StreamKind::Workload))
@@ -326,132 +405,24 @@ impl<L: LocalCostModel> SimCluster<L> {
             select_rngs: (0..cfg.p)
                 .map(|pe| seq.rng_for(pe, StreamKind::Selection))
                 .collect(),
-            threshold: None,
             items_seen: 0,
             next_local_id: vec![0; cfg.p],
+            last_inserted: 0,
+            output_words: 0,
             cfg,
             net,
             costs,
         }
     }
 
-    /// Simulate one mini-batch on every PE.
-    pub fn process_batch(&mut self) -> SimBatchReport {
-        let mut times = PhaseTimes::default();
-
-        // Phase 1: local insertion.
-        let inserted = match self.threshold {
-            Some(t) => self.steady_insert(t, &mut times),
-            None => self.growing_insert(&mut times),
-        };
-        self.items_seen += self.cfg.p as u64 * self.cfg.b_per_pe;
-
-        // Phase 2: the union-size all-reduce.
-        times.threshold += self.net.allreduce(self.cfg.p, 1).seconds();
-
-        // Phase 3: selection and pruning.
-        let union: u64 = self.pes.iter().map(|pe| pe.total()).sum();
-        let mut rounds = 0u32;
-        let select_now =
-            union > self.cfg.k as u64 || (self.threshold.is_none() && union == self.cfg.k as u64);
-        if select_now {
-            rounds = match self.cfg.algo {
-                SimAlgo::Ours { pivots } => self.select_distributed(union, pivots, &mut times),
-                SimAlgo::Gather => {
-                    self.select_gather(union, inserted, &mut times);
-                    0
-                }
-            };
-        }
-        SimBatchReport { rounds, times }
-    }
-
-    /// Model one output collection (paper Section 5 vs the root funnel)
-    /// over the current sample, without disturbing the cluster state —
-    /// like the threaded backend's `collect_output`, this is a snapshot:
-    /// streaming can continue afterwards.
-    ///
-    /// The distributed path charges a finalization selection to exact rank
-    /// `k` (only when the union currently exceeds `k` — variable-size mode
-    /// or a mid-window cut), one 1-word all-reduce and one 1-word exscan.
-    /// The gather path charges shipping every surviving member (3 words
-    /// each) through the root's downlink plus a sequential final
-    /// quickselect there. `bottleneck_words` reports the busiest
-    /// endpoint's traffic for the same two designs.
-    pub fn collect_output(&mut self, path: OutputPath) -> SimOutputReport {
-        let p = self.cfg.p;
-        let k = self.cfg.k as u64;
-        let union: u64 = self.pes.iter().map(|pe| pe.total()).sum();
-        let total = union.min(k);
-        let mut times = PhaseTimes::default();
-        let mut rounds = 0u32;
-        let tree = CostModel::tree_rounds(p) as u64;
-        // Both paths agree on the union size first (1-word all-reduce).
-        times.output += self.net.allreduce(p, 1).seconds();
-        let mut bottleneck_words = 2 * tree;
-        match path {
-            OutputPath::Distributed => {
-                if union > k {
-                    let d = self.pivots();
-                    let refs: Vec<&SimPe> = self.pes.iter().collect();
-                    let report = select_conductor(
-                        &refs,
-                        TargetRank::exact(k),
-                        SelectParams::with_pivots(d),
-                        &mut self.select_rngs,
-                    );
-                    let max_tree = self.pes.iter().map(|pe| pe.total()).max().unwrap_or(0);
-                    for &words in &report.round_payload_words {
-                        times.output += self.net.allreduce(p, words).seconds()
-                            + self.costs.select_round_local(max_tree, d as u64);
-                        // Busiest endpoint: forwards the combined payload
-                        // once per broadcast tree level.
-                        bottleneck_words += words * (1 + tree);
-                    }
-                    rounds = report.result.rounds;
-                }
-                // The exclusive prefix sum that places every PE's slice.
-                times.output += self.net.exscan(p, 1).seconds();
-                bottleneck_words += tree;
-            }
-            OutputPath::Gather => {
-                // Every surviving member moves: 3 words each, plus one
-                // count word per PE, through the root's downlink.
-                let payload = 3 * union + p as u64;
-                times.output += self.net.gather(p, payload).seconds();
-                if union > k {
-                    times.output += self.costs.quickselect(union);
-                }
-                // Announce the finalized threshold back.
-                times.output += self.net.tree_collective(p, 3).seconds();
-                bottleneck_words += payload + 3 * tree;
-            }
-        }
-        SimOutputReport {
-            times,
-            rounds,
-            total,
-            bottleneck_words,
-        }
-    }
-
-    /// The pivot count the cluster's selections use (1 for the gather
-    /// algorithm, whose threshold selection is sequential at the root).
-    fn pivots(&self) -> usize {
-        match self.cfg.algo {
-            SimAlgo::Ours { pivots } => pivots,
-            SimAlgo::Gather => 1,
-        }
-    }
-
-    /// The current global threshold, once established.
-    pub fn threshold(&self) -> Option<f64> {
-        self.threshold.map(|k| k.key)
-    }
-
     /// Total items the simulated stream has produced.
     pub fn items_seen(&self) -> u64 {
         self.items_seen
+    }
+
+    /// The configuration under simulation.
+    pub fn sim_config(&self) -> &SimConfig {
+        &self.cfg
     }
 
     /// The current global sample (union of the per-PE reservoirs).
@@ -463,12 +434,15 @@ impl<L: LocalCostModel> SimCluster<L> {
             .collect()
     }
 
-    /// The configuration under simulation.
-    pub fn config(&self) -> &SimConfig {
-        &self.cfg
+    fn union(&self) -> u64 {
+        self.pes.iter().map(|pe| pe.total()).sum()
     }
 
-    // --- insertion ------------------------------------------------------
+    fn charge(times: &mut PhaseTimes, charge: Charge, seconds: f64) {
+        *charge.slot(times) += seconds;
+    }
+
+    // --- workload -------------------------------------------------------
 
     /// Inclusion probability `q(t) = P(key < t)` under the workload.
     fn q_of(&self, t: f64) -> f64 {
@@ -553,7 +527,7 @@ impl<L: LocalCostModel> SimCluster<L> {
 
     /// Steady state: per PE, Poissonized candidate counts and conditional
     /// keys below the agreed threshold `t`.
-    fn steady_insert(&mut self, t: SampleKey, times: &mut PhaseTimes) -> u64 {
+    fn steady_insert(&mut self, mode: SamplingMode, t: SampleKey, times: &mut PhaseTimes) -> u64 {
         let b = self.cfg.b_per_pe;
         let lambda = b as f64 * self.q_of(t.key);
         // Scan + keygen run inside the parallel region; the tree merge is
@@ -570,14 +544,14 @@ impl<L: LocalCostModel> SimCluster<L> {
             for _ in 0..count {
                 let (key, w) = {
                     let rng = &mut self.work_rngs[pe];
-                    Self::conditional_key(self.cfg.mode, t.key, rng)
+                    Self::conditional_key(mode, t.key, rng)
                 };
                 let id = self.make_id(pe);
                 new.push((SampleKey::new(key, id), w));
             }
             let tree_size = self.pes[pe].total();
             self.pes[pe].merge_sorted(new);
-            let scan = match self.cfg.mode {
+            let scan = match mode {
                 SamplingMode::Weighted => self.costs.scan_weighted(b),
                 SamplingMode::Uniform => self.costs.scan_uniform(count),
             };
@@ -595,10 +569,10 @@ impl<L: LocalCostModel> SimCluster<L> {
     /// the keys below a bootstrap threshold whose inclusion count is
     /// comfortably above `k` — the k smallest keys, and hence the
     /// selection input and the threshold law, are unaffected.
-    fn growing_insert(&mut self, times: &mut PhaseTimes) -> u64 {
+    fn growing_insert(&mut self, mode: SamplingMode, times: &mut PhaseTimes) -> u64 {
         let b = self.cfg.b_per_pe;
         let total_batch = self.cfg.p as u64 * b;
-        let cap = self.cfg.k;
+        let cap = self.cfg.local_cap();
         let sp = self.costs.scan_speedup(self.cfg.threads_per_pe as u64);
         let mut max_cost = 0.0f64;
         let mut total_inserted = 0u64;
@@ -608,7 +582,7 @@ impl<L: LocalCostModel> SimCluster<L> {
                 for _ in 0..b {
                     let (key, w) = {
                         let rng = &mut self.work_rngs[pe];
-                        Self::fresh_key(self.cfg.mode, rng)
+                        Self::fresh_key(mode, rng)
                     };
                     let id = self.make_id(pe);
                     new.push((SampleKey::new(key, id), w));
@@ -618,7 +592,7 @@ impl<L: LocalCostModel> SimCluster<L> {
                 // Local reservoirs never need more than the cap smallest.
                 self.pes[pe].truncate_to(cap);
                 let kept = self.pes[pe].total();
-                let scan = match self.cfg.mode {
+                let scan = match mode {
                     SamplingMode::Weighted => self.costs.scan_weighted(b),
                     SamplingMode::Uniform => self.costs.scan_uniform(kept.min(b)),
                 };
@@ -628,7 +602,7 @@ impl<L: LocalCostModel> SimCluster<L> {
                 total_inserted += kept.min(b);
             }
         } else {
-            // Bootstrap threshold: expected candidates ≈ 3k + 6√k over
+            // Bootstrap threshold: expected candidates ≈ 3·cap + 6√cap over
             // the whole stream seen after this batch.
             let n_after = self.items_seen + total_batch;
             let want = 3.0 * cap as f64 + 6.0 * (cap as f64).sqrt() + 16.0;
@@ -643,7 +617,7 @@ impl<L: LocalCostModel> SimCluster<L> {
                 for _ in 0..count {
                     let (key, w) = {
                         let rng = &mut self.work_rngs[pe];
-                        Self::conditional_key(self.cfg.mode, t0, rng)
+                        Self::conditional_key(mode, t0, rng)
                     };
                     let id = self.make_id(pe);
                     new.push((SampleKey::new(key, id), w));
@@ -651,7 +625,7 @@ impl<L: LocalCostModel> SimCluster<L> {
                 let tree_size = self.pes[pe].total();
                 self.pes[pe].merge_sorted(new);
                 self.pes[pe].truncate_to(cap);
-                let scan = match self.cfg.mode {
+                let scan = match mode {
                     SamplingMode::Weighted => self.costs.scan_weighted(b),
                     SamplingMode::Uniform => self.costs.scan_uniform(count),
                 };
@@ -664,52 +638,265 @@ impl<L: LocalCostModel> SimCluster<L> {
         times.insert += max_cost;
         total_inserted
     }
+}
 
-    // --- selection ------------------------------------------------------
-
-    /// Run the real selection protocol through the conductor and charge
-    /// its rounds. Returns the round count.
-    fn select_distributed(&mut self, union: u64, pivots: usize, times: &mut PhaseTimes) -> u32 {
-        let refs: Vec<&SimPe> = self.pes.iter().collect();
-        let report = select_conductor(
-            &refs,
-            TargetRank::exact(self.cfg.k as u64),
-            SelectParams::with_pivots(pivots),
-            &mut self.select_rngs,
-        );
-        debug_assert_eq!(union, refs.iter().map(|s| s.total()).sum::<u64>());
-        let max_tree = self.pes.iter().map(|pe| pe.total()).max().unwrap_or(0);
-        for &words in &report.round_payload_words {
-            times.select += self.net.allreduce(self.cfg.p, words).seconds()
-                + self.costs.select_round_local(max_tree, pivots as u64);
+impl<L: LocalCostModel> SamplerBackend for SimBackend<L> {
+    /// Statistical insertion for every simulated PE; `items` is ignored —
+    /// the workload is the configured `b_per_pe` draw per PE.
+    fn insert(
+        &mut self,
+        mode: SamplingMode,
+        _items: &[reservoir_stream::Item],
+        threshold: Option<SampleKey>,
+        times: &mut PhaseTimes,
+    ) -> InsertOutcome {
+        let inserted = match threshold {
+            Some(t) => self.steady_insert(mode, t, times),
+            None => self.growing_insert(mode, times),
+        };
+        self.items_seen += self.cfg.p as u64 * self.cfg.b_per_pe;
+        self.last_inserted = inserted;
+        InsertOutcome {
+            stats: ScanStats {
+                processed: self.cfg.p as u64 * self.cfg.b_per_pe,
+                inserted,
+                ..ScanStats::default()
+            },
         }
-        let t = report.result.threshold;
-        self.threshold = Some(t);
-        for pe in &mut self.pes {
-            pe.prune_above(&t);
-        }
-        report.result.rounds
     }
 
-    /// Gather baseline: candidates move to the root, which quickselects
-    /// and broadcasts the new threshold.
-    fn select_gather(&mut self, union: u64, inserted: u64, times: &mut PhaseTimes) {
-        // Candidate payload: 3 words per item moved this batch.
-        times.gather += self
-            .net
-            .gather(self.cfg.p, 3 * inserted + self.cfg.p as u64)
-            .seconds();
-        times.select += self.costs.quickselect(union);
-        times.threshold += self.net.tree_collective(self.cfg.p, 3).seconds();
-        // The exact k-th smallest of the union.
-        let mut keys: Vec<SampleKey> = self.pes.iter().flat_map(|pe| pe.keys().copied()).collect();
-        let k = self.cfg.k;
-        let (_, cut, _) = keys.select_nth_unstable(k - 1);
-        let t = *cut;
-        self.threshold = Some(t);
-        for pe in &mut self.pes {
-            pe.prune_above(&t);
+    fn count(&mut self, times: &mut PhaseTimes, charge: Charge) -> u64 {
+        Self::charge(times, charge, self.net.allreduce(self.cfg.p, 1).seconds());
+        if charge == Charge::Output {
+            self.output_words += 2 * CostModel::tree_rounds(self.cfg.p) as u64;
         }
+        self.union()
+    }
+
+    /// Selection under the configured algorithm: [`SimAlgo::Ours`] runs
+    /// the real protocol through the conductor and charges its rounds;
+    /// [`SimAlgo::Gather`] charges the root funnel (candidate shipping,
+    /// sequential quickselect, threshold broadcast) and computes the
+    /// exact k-th smallest directly, as the root would.
+    fn select(
+        &mut self,
+        target: TargetRank,
+        union: u64,
+        pivots: usize,
+        times: &mut PhaseTimes,
+        charge: Charge,
+    ) -> SelectResult {
+        match (self.cfg.algo, charge) {
+            // The batch-step selection of the gather baseline is the
+            // funnel; output-collection finalization always runs the
+            // distributed protocol (the paper compares output designs
+            // independently of the batch algorithm).
+            (SimAlgo::Gather, Charge::Select) => {
+                times.gather += self
+                    .net
+                    .gather(self.cfg.p, 3 * self.last_inserted + self.cfg.p as u64)
+                    .seconds();
+                times.select += self.costs.quickselect(union);
+                times.threshold += self.net.tree_collective(self.cfg.p, 3).seconds();
+                // The exact k-th smallest of the union.
+                let mut keys: Vec<SampleKey> =
+                    self.pes.iter().flat_map(|pe| pe.keys().copied()).collect();
+                let k = self.cfg.k;
+                let (_, cut, _) = keys.select_nth_unstable(k - 1);
+                SelectResult {
+                    threshold: *cut,
+                    rank: k as u64,
+                    rounds: 0,
+                }
+            }
+            _ => {
+                let refs: Vec<&SimPe> = self.pes.iter().collect();
+                let report = select_conductor(
+                    &refs,
+                    target,
+                    SelectParams::with_pivots(pivots),
+                    &mut self.select_rngs,
+                );
+                debug_assert_eq!(union, refs.iter().map(|s| s.total()).sum::<u64>());
+                let max_tree = self.pes.iter().map(|pe| pe.total()).max().unwrap_or(0);
+                let tree = CostModel::tree_rounds(self.cfg.p) as u64;
+                for &words in &report.round_payload_words {
+                    Self::charge(
+                        times,
+                        charge,
+                        self.net.allreduce(self.cfg.p, words).seconds()
+                            + self.costs.select_round_local(max_tree, pivots as u64),
+                    );
+                    if charge == Charge::Output {
+                        // Busiest endpoint: forwards the combined payload
+                        // once per broadcast tree level.
+                        self.output_words += words * (1 + tree);
+                    }
+                }
+                report.result
+            }
+        }
+    }
+
+    /// Pruning is local bookkeeping; the model charges nothing for it (as
+    /// it never has).
+    fn prune(&mut self, t: &SampleKey, _times: &mut PhaseTimes, _charge: Charge) {
+        for pe in &mut self.pes {
+            pe.prune_above(t);
+        }
+    }
+
+    /// The exclusive prefix sum that places every PE's slice. The
+    /// conductor owns all slices, so the placement itself is trivial —
+    /// only the cost is interesting.
+    fn place(&mut self, local: u64, times: &mut PhaseTimes) -> Placement {
+        times.output += self.net.exscan(self.cfg.p, 1).seconds();
+        self.output_words += CostModel::tree_rounds(self.cfg.p) as u64;
+        Placement {
+            offset: 0,
+            total: local,
+        }
+    }
+
+    fn local_len(&self) -> u64 {
+        self.union()
+    }
+
+    fn local_count_le(&self, t: &SampleKey) -> u64 {
+        self.pes.iter().map(|pe| pe.count_le(t)).sum()
+    }
+
+    fn local_items_le(
+        &self,
+        t: Option<&SampleKey>,
+        buf: &mut Vec<SampleItem>,
+        _times: &mut PhaseTimes,
+    ) {
+        buf.clear();
+        for pe in &self.pes {
+            let take = match t {
+                Some(t) => pe.count_le(t) as usize,
+                None => pe.entries.len(),
+            };
+            buf.extend(
+                pe.entries[..take]
+                    .iter()
+                    .map(|(k, w)| SampleItem::from_entry(k, *w)),
+            );
+        }
+    }
+
+    fn rank(&self) -> usize {
+        0
+    }
+
+    fn size(&self) -> usize {
+        self.cfg.p
+    }
+}
+
+/// The simulated cluster: the shared engine over a [`SimBackend`].
+pub struct SimCluster<L: LocalCostModel> {
+    engine: ReservoirProtocol<SimBackend<L>>,
+}
+
+impl<L: LocalCostModel> SimCluster<L> {
+    /// Build a cluster for `cfg`, charging communication to `net` and
+    /// local work to `costs`.
+    pub fn new(cfg: SimConfig, net: CostModel, costs: L) -> Self {
+        let ecfg = cfg.engine_config();
+        SimCluster {
+            engine: ReservoirProtocol::new(SimBackend::new(cfg, net, costs), ecfg),
+        }
+    }
+
+    /// Simulate one mini-batch on every PE (one engine step).
+    pub fn process_batch(&mut self) -> SimBatchReport {
+        let r = self.engine.step(&[]);
+        SimBatchReport {
+            rounds: r.select_rounds,
+            times: r.times,
+        }
+    }
+
+    /// Model one output collection (paper Section 5 vs the root funnel)
+    /// over the current sample, without disturbing the cluster state —
+    /// like the threaded backend's `collect_output`, this is a snapshot:
+    /// streaming can continue afterwards.
+    ///
+    /// The distributed path drives the engine's *actual* finalize + place
+    /// steps (a finalization selection to exact rank `k` only when the
+    /// union currently exceeds `k` — variable-size mode or a mid-window
+    /// cut — then one 1-word all-reduce and one 1-word exscan), so its
+    /// charges follow the protocol by construction. The gather path
+    /// charges shipping every surviving member (3 words each) through the
+    /// root's downlink plus a sequential final quickselect there.
+    /// `bottleneck_words` reports the busiest endpoint's traffic for the
+    /// same two designs.
+    pub fn collect_output(&mut self, path: OutputPath) -> SimOutputReport {
+        match path {
+            OutputPath::Distributed => {
+                self.engine.backend_mut().output_words = 0;
+                let (handle, times, rounds) = self.engine.collect_output();
+                SimOutputReport {
+                    times,
+                    rounds,
+                    total: handle.total_len(),
+                    bottleneck_words: self.engine.backend().output_words,
+                }
+            }
+            OutputPath::Gather => {
+                let backend = self.engine.backend_mut();
+                let p = backend.cfg.p;
+                let k = backend.cfg.k as u64;
+                let union = backend.union();
+                let tree = CostModel::tree_rounds(p) as u64;
+                let mut times = PhaseTimes::default();
+                // Agree on the union size first (1-word all-reduce), then
+                // move every surviving member: 3 words each, plus one
+                // count word per PE, through the root's downlink.
+                times.output += backend.net.allreduce(p, 1).seconds();
+                let payload = 3 * union + p as u64;
+                times.output += backend.net.gather(p, payload).seconds();
+                if union > k {
+                    times.output += backend.costs.quickselect(union);
+                }
+                // Announce the finalized threshold back.
+                times.output += backend.net.tree_collective(p, 3).seconds();
+                SimOutputReport {
+                    times,
+                    rounds: 0,
+                    total: union.min(k),
+                    bottleneck_words: 2 * tree + payload + 3 * tree,
+                }
+            }
+        }
+    }
+
+    /// The current global threshold, once established.
+    pub fn threshold(&self) -> Option<f64> {
+        self.engine.threshold()
+    }
+
+    /// Total items the simulated stream has produced.
+    pub fn items_seen(&self) -> u64 {
+        self.engine.backend().items_seen()
+    }
+
+    /// The current global sample (union of the per-PE reservoirs).
+    pub fn sample(&self) -> Vec<SampleItem> {
+        self.engine.backend().sample()
+    }
+
+    /// The configuration under simulation.
+    pub fn config(&self) -> &SimConfig {
+        self.engine.backend().sim_config()
+    }
+
+    /// The protocol engine underneath (the same type the real backends
+    /// drive — the point of the exercise).
+    pub fn engine(&mut self) -> &mut ReservoirProtocol<SimBackend<L>> {
+        &mut self.engine
     }
 }
 
@@ -718,15 +905,7 @@ mod tests {
     use super::*;
 
     fn cfg(p: usize, k: usize, b: u64, algo: SimAlgo, seed: u64) -> SimConfig {
-        SimConfig {
-            p,
-            k,
-            b_per_pe: b,
-            mode: SamplingMode::Weighted,
-            algo,
-            seed,
-            threads_per_pe: 1,
-        }
+        SimConfig::new(p, k, b, SamplingMode::Weighted, algo, seed)
     }
 
     #[test]
@@ -900,6 +1079,68 @@ mod tests {
     }
 
     #[test]
+    fn window_mode_selects_into_window_and_finalizes_to_k() {
+        // The engine's window support carries straight over to the
+        // simulated backend: batch selections target the whole window,
+        // and output collection pays a real finalization selection.
+        let (k, hi) = (500u64, 1_000u64);
+        let mut sim = SimCluster::new(
+            cfg(8, k as usize, 2_000, SimAlgo::Ours { pivots: 2 }, 13).with_size_window(k, hi),
+            CostModel::infiniband_edr(),
+            AnalyticLocalCosts::default(),
+        );
+        let mut sizes = Vec::new();
+        for _ in 0..4 {
+            sim.process_batch();
+            sizes.push(sim.sample().len() as u64);
+        }
+        // After the first selection the size stays within the window.
+        assert!(
+            sizes.iter().skip(1).all(|s| (k..=hi).contains(s)),
+            "sizes {sizes:?} left the window"
+        );
+        let held = sim.sample().len();
+        let out = sim.collect_output(OutputPath::Distributed);
+        assert_eq!(out.total, k, "finalization must cut the window back to k");
+        assert!(
+            out.rounds >= 1,
+            "a mid-window output must pay finalization selection rounds"
+        );
+        assert_eq!(sim.sample().len(), held, "output must stay a snapshot");
+        // The window needs *fewer* batch selections than exact mode: the
+        // approximate target window gives every selection slack.
+        assert!(sim.threshold().is_some());
+    }
+
+    #[test]
+    fn window_mode_charges_more_output_than_exact_mode() {
+        let mk = |window: bool| {
+            let mut c = cfg(64, 1_000, 5_000, SimAlgo::Ours { pivots: 2 }, 21);
+            if window {
+                c = c.with_size_window(1_000, 2_000);
+            }
+            let mut sim = SimCluster::new(
+                c,
+                CostModel::infiniband_edr(),
+                AnalyticLocalCosts::default(),
+            );
+            for _ in 0..3 {
+                sim.process_batch();
+            }
+            sim.collect_output(OutputPath::Distributed)
+        };
+        let exact = mk(false);
+        let window = mk(true);
+        assert_eq!(exact.rounds, 0, "exact mode is already finalized");
+        assert!(window.rounds >= 1);
+        assert!(
+            window.times.output > exact.times.output,
+            "finalization rounds must show up in the modeled output cost"
+        );
+        assert_eq!(window.total, exact.total);
+    }
+
+    #[test]
     fn amdahl_speedup_shapes() {
         assert_eq!(amdahl_speedup(0.0, 1), 1.0);
         assert_eq!(amdahl_speedup(0.0, 4), 4.0);
@@ -948,15 +1189,14 @@ mod tests {
     #[test]
     fn uniform_mode_threshold_tracks_k_over_n() {
         let mut sim = SimCluster::new(
-            SimConfig {
-                p: 8,
-                k: 500,
-                b_per_pe: 5_000,
-                mode: SamplingMode::Uniform,
-                algo: SimAlgo::Ours { pivots: 4 },
-                seed: 11,
-                threads_per_pe: 1,
-            },
+            SimConfig::new(
+                8,
+                500,
+                5_000,
+                SamplingMode::Uniform,
+                SimAlgo::Ours { pivots: 4 },
+                11,
+            ),
             CostModel::infiniband_edr(),
             AnalyticLocalCosts::default(),
         );
@@ -967,5 +1207,15 @@ mod tests {
         let t = sim.threshold().expect("established");
         let expect = 500.0 / n;
         assert!((t - expect).abs() < 0.2 * expect, "{t:.3e} vs {expect:.3e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "no variable-size mode")]
+    fn gather_algo_rejects_windows() {
+        let _ = SimCluster::new(
+            cfg(4, 100, 1_000, SimAlgo::Gather, 1).with_size_window(100, 200),
+            CostModel::infiniband_edr(),
+            AnalyticLocalCosts::default(),
+        );
     }
 }

@@ -1,127 +1,72 @@
-//! Algorithm 1 on the real message-passing backend: every PE runs one
+//! Algorithm 1 on the real message-passing substrate: every PE runs one
 //! [`DistributedSampler`] over a shared [`Communicator`].
+//!
+//! The protocol body lives in [`crate::dist::engine`]; this module
+//! supplies the substrate — [`CommBackend`], which scans a real
+//! [`PeReservoir`] and runs each engine step over the wire (`sum_u64`,
+//! `select_threaded`, `exscan`), measuring wall-clock into the phase slot
+//! the engine names — and keeps `DistributedSampler` as the thin
+//! stable-API wrapper over `ReservoirProtocol<CommBackend>`.
 //!
 //! `process_batch` must be called collectively (same number of calls on
 //! every PE, empty slices allowed); all other methods are local except
-//! [`DistributedSampler::gather_sample`], which is also collective.
+//! [`DistributedSampler::gather_sample`] and
+//! [`DistributedSampler::collect_output`], which are also collective.
 
 use std::sync::mpsc::Receiver;
 use std::time::Instant;
 
-use reservoir_btree::{SampleKey, DEFAULT_DEGREE};
+use reservoir_btree::SampleKey;
 use reservoir_comm::{Collectives, Communicator};
 use reservoir_rng::{DefaultRng, SeedSequence, StreamKind};
-use reservoir_select::{select_threaded, SelectParams, TargetRank};
+use reservoir_select::{select_threaded, SelectParams, SelectResult, TargetRank};
 use reservoir_stream::ingest::MiniBatch;
 use reservoir_stream::Item;
 
+use crate::dist::engine::{Charge, InsertOutcome, Placement, ReservoirProtocol, SamplerBackend};
 use crate::dist::local::PeReservoir;
 use crate::dist::output::SampleHandle;
-use crate::dist::{BatchReport, DistConfig, PipelineReport, PAR_SCAN_STREAM};
+use crate::dist::{BatchReport, DistConfig, PipelineReport, SamplingMode, PAR_SCAN_STREAM};
 use crate::metrics::PhaseTimes;
 use crate::sample::SampleItem;
 
 /// Wire representation of one sample member: `(id, weight, key)`.
 type WireItem = (u64, f64, f64);
 
-/// One PE's endpoint of the distributed mini-batch sampler (Algorithm 1).
-pub struct DistributedSampler<'a, C: Communicator> {
+/// One PE's endpoint of the engine over real collectives: a
+/// [`PeReservoir`] fed by jump scans, distributed selection over the
+/// wire, wall-clock phase measurement.
+pub struct CommBackend<'a, C: Communicator> {
     comm: &'a C,
-    cfg: DistConfig,
     local: PeReservoir,
-    threshold: Option<SampleKey>,
     key_rng: DefaultRng,
     select_rng: DefaultRng,
-    phases: PhaseTimes,
     last_par: Option<reservoir_par::ParScanStats>,
 }
 
-impl<'a, C: Communicator> DistributedSampler<'a, C> {
-    /// Create this PE's endpoint. Every PE of `comm` must construct its
-    /// sampler with an identical `cfg` (including `threads_per_pe` — the
-    /// scan schedule is local, but reports should be comparable).
-    pub fn new(comm: &'a C, cfg: DistConfig) -> Self {
-        // Salt the master seed with the sample size so samplers of
-        // different geometry draw independent streams even under the same
-        // user seed.
+impl<'a, C: Communicator> CommBackend<'a, C> {
+    /// Build this PE's backend for `cfg`. The master seed is salted with
+    /// the sample size so samplers of different geometry draw independent
+    /// streams even under the same user seed (the derivation
+    /// [`DistributedSampler`] has always used).
+    pub fn new(comm: &'a C, cfg: &DistConfig) -> Self {
         let seq = SeedSequence::new(cfg.seed ^ (cfg.k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-        DistributedSampler {
-            comm,
-            local: PeReservoir::new(
+        CommBackend {
+            local: PeReservoir::for_config(
+                cfg,
                 cfg.local_cap(),
-                DEFAULT_DEGREE,
-                cfg.threads_per_pe,
                 seq.seed_for(comm.rank(), StreamKind::Custom(PAR_SCAN_STREAM)),
             ),
-            threshold: None,
             key_rng: seq.rng_for(comm.rank(), StreamKind::Keys),
             select_rng: seq.rng_for(comm.rank(), StreamKind::Selection),
-            phases: PhaseTimes::default(),
             last_par: None,
-            cfg,
+            comm,
         }
     }
 
-    /// Process one mini-batch (collective). Returns what happened.
-    pub fn process_batch(&mut self, items: &[Item]) -> BatchReport {
-        let mut times = PhaseTimes::default();
-
-        // Phase 1: local insertion below the current threshold.
-        let t0 = Instant::now();
-        let t = self.threshold.map(|k| k.key);
-        let outcome = self
-            .local
-            .process(self.cfg.mode, items, t, &mut self.key_rng);
-        times.insert += t0.elapsed().as_secs_f64();
-        times.par_scan += outcome.par_scan_max_s;
-        let stats = outcome.stats;
-        self.last_par = outcome.par;
-
-        // Phase 2: agree on the union size.
-        let t1 = Instant::now();
-        let union = self.comm.sum_u64(self.local.len());
-        times.threshold += t1.elapsed().as_secs_f64();
-
-        // Phase 3: if the union outgrew the limit, re-select the threshold
-        // and prune. The first selection already runs when the union
-        // *reaches* the target size — that is the moment the reservoir
-        // fills and the insertion threshold comes into existence.
-        let mut sample_size = union;
-        let mut rounds = 0u32;
-        let select_now = union > self.cfg.size_limit()
-            || (self.threshold.is_none()
-                && self.cfg.size_window.is_none()
-                && union >= self.cfg.k as u64);
-        if select_now {
-            let t2 = Instant::now();
-            let target = match self.cfg.size_window {
-                Some((lo, hi)) => TargetRank::range(lo, hi),
-                None => TargetRank::exact(self.cfg.k as u64),
-            };
-            let res = select_threaded(
-                self.comm,
-                self.local.tree(),
-                target,
-                union,
-                SelectParams::with_pivots(self.cfg.pivots),
-                &mut self.select_rng,
-            );
-            times.select += t2.elapsed().as_secs_f64();
-            let t3 = Instant::now();
-            self.threshold = Some(res.threshold);
-            self.local.prune_above(&res.threshold);
-            sample_size = res.rank;
-            rounds = res.rounds;
-            times.threshold += t3.elapsed().as_secs_f64();
-        }
-        self.phases.accumulate(&times);
-        BatchReport {
-            sample_size,
-            select_rounds: rounds,
-            inserted: stats.inserted,
-            scan: stats,
-            times,
-        }
+    /// The communicator this endpoint runs over.
+    pub fn comm(&self) -> &'a C {
+        self.comm
     }
 
     /// The parallel scan's per-worker breakdown for the most recent batch
@@ -130,109 +75,182 @@ impl<'a, C: Communicator> DistributedSampler<'a, C> {
         self.last_par.as_ref()
     }
 
-    /// Drive the sampler from a push-based ingestion channel (collective):
-    /// drain mini-batches cut by a `reservoir_stream::ingest::Batcher`,
-    /// [`Self::process_batch`] each, and finish with one collective
-    /// [`Self::collect_output`].
-    ///
-    /// The drain itself is made collective by a 1-word all-reduce per
-    /// round: a PE whose channel is closed and drained contributes an
-    /// empty batch as long as any other PE still has input, and the loop
-    /// ends only when every channel is exhausted — so `process_batch`'s
-    /// "same number of calls on every PE" contract holds even when
-    /// streams have unequal lengths. Time blocked on the channel (the
-    /// producer being slower than the sampler) and in the continue/stop
-    /// agreement accrues in [`PhaseTimes::ingest`]; the report's `times`
-    /// carries this drain's full phase decomposition.
-    pub fn run_pipeline(&mut self, batches: &Receiver<MiniBatch>) -> PipelineReport {
-        let comm = self.comm;
-        let before = self.phases;
-        let mut inserted = 0u64;
-        let mut select_rounds = 0u64;
-        let stats = crate::dist::drain_collective(comm, batches, |items| {
-            let report = self.process_batch(items);
-            inserted += report.inserted;
-            select_rounds += report.select_rounds as u64;
-        });
-        self.phases.ingest += stats.ingest_wait_s;
-        let handle = self.collect_output();
-        PipelineReport {
-            batches: stats.batches,
-            rounds: stats.rounds,
-            records: stats.records,
-            inserted,
-            select_rounds,
-            ingest_wait_s: stats.ingest_wait_s,
-            times: self.phases.delta_since(&before),
-            handle,
+    /// This PE's sample members.
+    pub fn local_items(&self) -> Vec<SampleItem> {
+        self.local.items()
+    }
+}
+
+impl<C: Communicator> SamplerBackend for CommBackend<'_, C> {
+    fn insert(
+        &mut self,
+        mode: SamplingMode,
+        items: &[Item],
+        threshold: Option<SampleKey>,
+        times: &mut PhaseTimes,
+    ) -> InsertOutcome {
+        let t0 = Instant::now();
+        let outcome = self
+            .local
+            .process(mode, items, threshold.map(|k| k.key), &mut self.key_rng);
+        times.insert += t0.elapsed().as_secs_f64();
+        times.par_scan += outcome.par_scan_max_s;
+        self.last_par = outcome.par;
+        InsertOutcome {
+            stats: outcome.stats,
         }
     }
 
-    /// Fully distributed output collection (collective; paper Section 5).
-    ///
-    /// Finalizes the sample to exactly `min(k, items seen)` members — in
-    /// variable-size mode (or after a mid-window stream cut) one
-    /// distributed selection for rank `k` fixes the final threshold; no
-    /// items move — and assigns every PE the global output positions of its
-    /// slice via an exclusive prefix count. O(d · rounds + 1) words per PE
-    /// at O(α log p) latency, independent of `k` and the stream length.
+    fn count(&mut self, times: &mut PhaseTimes, charge: Charge) -> u64 {
+        let t0 = Instant::now();
+        let union = self.comm.sum_u64(self.local.len());
+        *charge.slot(times) += t0.elapsed().as_secs_f64();
+        union
+    }
+
+    fn select(
+        &mut self,
+        target: TargetRank,
+        union: u64,
+        pivots: usize,
+        times: &mut PhaseTimes,
+        charge: Charge,
+    ) -> SelectResult {
+        let t0 = Instant::now();
+        let res = select_threaded(
+            self.comm,
+            self.local.tree(),
+            target,
+            union,
+            SelectParams::with_pivots(pivots),
+            &mut self.select_rng,
+        );
+        *charge.slot(times) += t0.elapsed().as_secs_f64();
+        res
+    }
+
+    fn prune(&mut self, t: &SampleKey, times: &mut PhaseTimes, charge: Charge) {
+        let t0 = Instant::now();
+        self.local.prune_above(t);
+        *charge.slot(times) += t0.elapsed().as_secs_f64();
+    }
+
+    fn place(&mut self, local: u64, times: &mut PhaseTimes) -> Placement {
+        crate::dist::engine::place_over_collectives(self.comm, local, times)
+    }
+
+    fn local_len(&self) -> u64 {
+        self.local.len()
+    }
+
+    fn local_count_le(&self, t: &SampleKey) -> u64 {
+        self.local.tree().count_le(t) as u64
+    }
+
+    fn local_items_le(
+        &self,
+        t: Option<&SampleKey>,
+        buf: &mut Vec<SampleItem>,
+        times: &mut PhaseTimes,
+    ) {
+        let t0 = Instant::now();
+        self.local.items_into(buf);
+        if let Some(t) = t {
+            buf.truncate(self.local.tree().count_le(t));
+        }
+        times.output += t0.elapsed().as_secs_f64();
+    }
+
+    fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    fn size(&self) -> usize {
+        self.comm.size()
+    }
+
+    fn vote(&mut self, active: u64) -> u64 {
+        crate::dist::engine::vote_over_collectives(self.comm, active)
+    }
+}
+
+/// One PE's endpoint of the distributed mini-batch sampler (Algorithm 1):
+/// the stable API over `ReservoirProtocol<CommBackend>`.
+pub struct DistributedSampler<'a, C: Communicator> {
+    engine: ReservoirProtocol<CommBackend<'a, C>>,
+}
+
+impl<'a, C: Communicator> DistributedSampler<'a, C> {
+    /// Create this PE's endpoint. Every PE of `comm` must construct its
+    /// sampler with an identical `cfg` (including `threads_per_pe` — the
+    /// scan schedule is local, but reports should be comparable).
+    pub fn new(comm: &'a C, cfg: DistConfig) -> Self {
+        DistributedSampler {
+            engine: ReservoirProtocol::new(CommBackend::new(comm, &cfg), cfg),
+        }
+    }
+
+    /// Process one mini-batch (collective). Returns what happened.
+    pub fn process_batch(&mut self, items: &[Item]) -> BatchReport {
+        self.engine.step(items)
+    }
+
+    /// The parallel scan's per-worker breakdown for the most recent batch
+    /// (`None` at one thread per PE, or before the first batch).
+    pub fn last_par_scan(&self) -> Option<&reservoir_par::ParScanStats> {
+        self.engine.backend().last_par_scan()
+    }
+
+    /// Drive the sampler from a push-based ingestion channel (collective):
+    /// the engine's unified pipeline driver drains mini-batches cut by a
+    /// `reservoir_stream::ingest::Batcher`, [`Self::process_batch`]s each,
+    /// and finishes with one collective [`Self::collect_output`]. See
+    /// [`ReservoirProtocol::run_pipeline`] for the drain protocol.
+    pub fn run_pipeline(&mut self, batches: &Receiver<MiniBatch>) -> PipelineReport {
+        self.engine.run_pipeline(batches)
+    }
+
+    /// Fully distributed output collection (collective; paper Section 5):
+    /// the engine's finalize + place steps. Finalizes the sample to
+    /// exactly `min(k, items seen)` members — in variable-size mode (or
+    /// after a mid-window stream cut) one distributed selection for rank
+    /// `k` fixes the final threshold; no items move — and assigns every
+    /// PE the global output positions of its slice via an exclusive
+    /// prefix count. O(d · rounds + 1) words per PE at O(α log p)
+    /// latency, independent of `k` and the stream length.
     ///
     /// The sampler itself is left untouched (its local reservoir keeps any
     /// members above the finalization threshold), so streaming may continue
     /// afterwards; the handle is a consistent snapshot.
     pub fn collect_output(&mut self) -> SampleHandle {
-        let t0 = Instant::now();
-        let union = self.comm.sum_u64(self.local.len());
-        let k = self.cfg.k as u64;
-        let (items, threshold) = if union > k {
-            // Variable-size mode holds up to k̄ members between selections;
-            // the output is defined as the exact-k sample (Section 4.4).
-            let res = select_threaded(
-                self.comm,
-                self.local.tree(),
-                TargetRank::exact(k),
-                union,
-                SelectParams::with_pivots(self.cfg.pivots),
-                &mut self.select_rng,
-            );
-            let keep = self.local.tree().count_le(&res.threshold);
-            let mut items = Vec::with_capacity(keep);
-            self.local.items_into(&mut items);
-            items.truncate(keep);
-            (items, Some(res.threshold.key))
-        } else {
-            (self.local.items(), self.threshold.map(|t| t.key))
-        };
-        let handle = SampleHandle::assemble(self.comm, items, threshold);
-        self.phases.output += t0.elapsed().as_secs_f64();
-        handle
+        self.engine.collect_output().0
     }
 
     /// The current global insertion threshold, once established.
     pub fn threshold(&self) -> Option<f64> {
-        self.threshold.map(|k| k.key)
+        self.engine.threshold()
     }
 
     /// Number of sample members held by this PE.
     pub fn local_len(&self) -> u64 {
-        self.local.len()
+        self.engine.backend().local_len()
     }
 
     /// This PE's sample members.
     pub fn local_sample(&self) -> Vec<SampleItem> {
-        self.local.items()
+        self.engine.backend().local_items()
     }
 
     /// Gather the full sample at PE 0 (collective): `Some(sample)` there,
     /// `None` elsewhere.
     pub fn gather_sample(&self) -> Option<Vec<SampleItem>> {
-        let wire: Vec<WireItem> = self
-            .local
-            .items()
+        let backend = self.engine.backend();
+        let wire: Vec<WireItem> = backend
+            .local_items()
             .into_iter()
             .map(|s| (s.id, s.weight, s.key))
             .collect();
-        self.comm.gather(0, wire).map(|parts| {
+        backend.comm().gather(0, wire).map(|parts| {
             parts
                 .into_iter()
                 .flatten()
@@ -243,12 +261,18 @@ impl<'a, C: Communicator> DistributedSampler<'a, C> {
 
     /// Accumulated wall-clock seconds per algorithm phase.
     pub fn phase_totals(&self) -> PhaseTimes {
-        self.phases
+        self.engine.phase_totals()
     }
 
     /// The configuration this sampler runs with.
     pub fn config(&self) -> &DistConfig {
-        &self.cfg
+        self.engine.config()
+    }
+
+    /// The protocol engine underneath (direct step access; the wrapper
+    /// adds nothing but naming).
+    pub fn engine(&mut self) -> &mut ReservoirProtocol<CommBackend<'a, C>> {
+        &mut self.engine
     }
 }
 
@@ -484,5 +508,36 @@ mod tests {
         // After the first selection the size stays within the window.
         assert!(results[0].iter().skip(1).all(|s| (lo..=hi).contains(s)));
         assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn persistent_pool_matches_per_scope_pool_bit_for_bit() {
+        // The worker strategy is invisible to the protocol: same seed ⇒
+        // same sample, only the spawn accounting changes.
+        let run = |persistent: bool| {
+            run_threads(2, move |comm| {
+                let cfg = DistConfig::weighted(30, 41)
+                    .with_threads(4)
+                    .with_persistent_pool(persistent);
+                let mut s = DistributedSampler::new(&comm, cfg);
+                let mut spawns = 0u64;
+                for b in 0..3u64 {
+                    spawns += s
+                        .process_batch(&unit_batch(comm.rank(), b, 400))
+                        .scan
+                        .spawns;
+                }
+                let mut ids: Vec<u64> = s.local_sample().iter().map(|m| m.id).collect();
+                ids.sort_unstable();
+                (ids, spawns)
+            })
+        };
+        let per_scope = run(false);
+        let crew = run(true);
+        for ((a, sa), (b, sb)) in per_scope.iter().zip(&crew) {
+            assert_eq!(a, b, "pool strategy changed the sample");
+            assert_eq!(*sa, 9, "per-scope: 3 spawns per batch × 3 batches");
+            assert_eq!(*sb, 0, "persistent crew spawns nothing per batch");
+        }
     }
 }

@@ -15,10 +15,13 @@
 //!   reservoirs in augmented B+ trees, a global insertion threshold
 //!   maintained by communication-efficient distributed selection, the
 //!   variable-size variant (Section 4.4), and the centralized gathering
-//!   baseline (Section 4.5). Two backends execute the identical per-PE
-//!   logic: [`dist::threaded`] on real threads with real collectives, and
-//!   [`dist::sim`] — a statistical cluster simulator that reproduces the
-//!   paper's scaling experiments for thousands of PEs on one machine.
+//!   baseline (Section 4.5). The protocol body lives once, in
+//!   [`dist::engine`], and three backends drive it: [`dist::threaded`] on
+//!   real threads with real collectives, [`dist::gather`] — the same
+//!   collectives under the root-funnel policy — and [`dist::sim`], a
+//!   statistical cluster simulator that reproduces the paper's scaling
+//!   experiments for thousands of PEs on one machine by charging the
+//!   engine's steps to an α–β cost model.
 //!
 //! # Quick start
 //!

@@ -4,19 +4,41 @@
 //!
 //! Design: [`Pool::scope`] collects tasks into per-worker FIFO deques
 //! (round-robin at spawn time), then runs them on `threads` workers — the
-//! calling thread plus `threads − 1` `std::thread::scope` threads, so
-//! tasks may borrow the caller's stack. A worker pops its own deque from
-//! the front and, when dry, **steals from the back** of a victim's deque;
-//! steals are counted and reported. Tasks may spawn further tasks (they
-//! receive the [`Scope`]); the scope returns only when every task has
-//! finished. A panicking task poisons the scope — the other workers bail
-//! out and the panic resumes on the caller once all workers have joined
-//! (the `std::thread::scope` contract).
+//! calling thread plus `threads − 1` helpers. A worker pops its own deque
+//! from the front and, when dry, **steals from the back** of a victim's
+//! deque; steals are counted and reported. Tasks may spawn further tasks
+//! (they receive the [`Scope`]); the scope returns only when every task
+//! has finished. A panicking task poisons the scope — the other workers
+//! bail out and the panic resumes on the caller once every worker has
+//! left the scope.
+//!
+//! Two worker strategies share the execution path:
+//!
+//! * [`Pool::new`] spawns helpers per [`Pool::scope`] call through
+//!   `std::thread::scope` — zero idle threads, but each scope pays the
+//!   OS spawn cost (~100 µs per helper), which dominates small batches.
+//! * [`Pool::persistent`] keeps a crew of parked helper threads alive for
+//!   the pool's lifetime and wakes them per scope over a condvar — the
+//!   per-scope spawn count drops to zero (reported in
+//!   [`ScopeReport::spawns`]), which is the knob the streaming samplers
+//!   use when mini-batches are too small to amortize per-scope spawning.
+//!
+//! Safety of the persistent crew: the caller publishes a type-erased
+//! pointer to the [`Scope`] under the crew mutex, helpers register
+//! themselves (`working += 1`) under that same mutex before dereferencing
+//! it, and the caller blocks until the job is retracted **and** `working`
+//! is back to zero before the scope frame is allowed to unwind — so no
+//! helper can touch the scope after it dies. Task panics are caught on
+//! whichever worker runs them and resume on the caller once the scope is
+//! quiescent, leaving crew threads alive.
 
+use std::any::Any;
 use std::collections::VecDeque;
 use std::ops::Range;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// A task queued inside a scope; receives the scope so it can spawn more.
@@ -29,6 +51,10 @@ pub struct ScopeReport {
     pub tasks: u64,
     /// Tasks a worker took from another worker's deque.
     pub steals: u64,
+    /// OS threads spawned for this scope: `threads − 1` on a per-scope
+    /// pool, 0 on a persistent crew (its helpers were spawned once at
+    /// [`Pool::persistent`] time).
+    pub spawns: u64,
     /// Seconds each worker spent executing tasks (index = worker id; the
     /// calling thread is worker 0). Idle spinning is not counted.
     pub worker_busy_s: Vec<f64>,
@@ -59,6 +85,9 @@ pub struct Scope<'scope> {
     executed: AtomicU64,
     /// Set when a task panicked: the other workers stop taking tasks.
     panicked: AtomicBool,
+    /// First caught panic payload; resumed on the caller once the scope
+    /// is quiescent.
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
     busy_s: Box<[Mutex<f64>]>,
 }
 
@@ -89,6 +118,7 @@ impl<'scope> Scope<'scope> {
             steals: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             panicked: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
             busy_s: (0..workers)
                 .map(|_| Mutex::new(0.0))
                 .collect::<Vec<_>>()
@@ -136,7 +166,10 @@ impl<'scope> Scope<'scope> {
     }
 
     /// Worker loop: run tasks until none are pending anywhere (or the
-    /// scope was poisoned by a panic).
+    /// scope was poisoned by a panic). Task panics are caught here — the
+    /// first payload is stashed for the caller to resume — so the loop
+    /// works unchanged on per-scope threads and on persistent crew
+    /// threads, which must outlive a panicking scope.
     fn work(&self, me: usize) {
         let mut busy = 0.0f64;
         let mut idle_spins = 0u32;
@@ -149,8 +182,14 @@ impl<'scope> Scope<'scope> {
                     idle_spins = 0;
                     let start = Instant::now();
                     let guard = TaskGuard { scope: self };
-                    task(self);
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(|| task(self)));
                     drop(guard);
+                    if let Err(payload) = result {
+                        self.panicked.store(true, Ordering::SeqCst);
+                        let mut slot = self.panic_payload.lock().expect("payload slot poisoned");
+                        slot.get_or_insert(payload);
+                        break;
+                    }
                     busy += start.elapsed().as_secs_f64();
                     self.executed.fetch_add(1, Ordering::Relaxed);
                 }
@@ -176,6 +215,7 @@ impl<'scope> Scope<'scope> {
         ScopeReport {
             tasks: self.executed.load(Ordering::Relaxed),
             steals: self.steals.load(Ordering::Relaxed),
+            spawns: 0,
             worker_busy_s: self
                 .busy_s
                 .iter()
@@ -185,25 +225,209 @@ impl<'scope> Scope<'scope> {
     }
 }
 
-/// A fixed-width scoped thread pool. Cheap to construct (workers are
-/// spawned per [`Pool::scope`] call through `std::thread::scope`, so tasks
-/// may borrow the caller's stack); `threads == 1` runs everything on the
-/// calling thread with no spawning at all.
-#[derive(Clone, Debug)]
+/// The job a persistent crew's helpers run: a type-erased pointer to the
+/// live [`Scope`] plus the epoch that distinguishes it from the previous
+/// scope. Helpers only dereference the pointer between job publication and
+/// retraction, both of which happen under the crew mutex.
+#[derive(Clone, Copy)]
+struct CrewJob {
+    scope: *const (),
+    epoch: u64,
+}
+
+// The pointer is only handed between threads under the crew's mutex and
+// the caller outlives every dereference (see `scope_persistent`).
+unsafe impl Send for CrewJob {}
+
+/// State shared between a persistent crew's caller and helper threads.
+struct CrewShared {
+    state: Mutex<CrewState>,
+    /// Wakes helpers when a job is published (or shutdown is requested).
+    job_cv: Condvar,
+    /// Wakes the caller when the last helper leaves the current job.
+    done_cv: Condvar,
+}
+
+thread_local! {
+    /// Crews this thread is currently executing a scope of (caller or
+    /// helper side). A nested `Pool::scope` on the same crew would
+    /// deadlock — the inner publish waits for the outer job to drain,
+    /// which waits for the nested task to finish — so `scope` consults
+    /// this stack and falls back to per-scope helpers for reentrant
+    /// calls, matching `Pool::new` semantics.
+    static ACTIVE_CREWS: std::cell::RefCell<Vec<*const CrewShared>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Marks `shared` active on this thread for the guard's lifetime.
+struct CrewActivation(*const CrewShared);
+
+impl CrewActivation {
+    fn enter(shared: &CrewShared) -> CrewActivation {
+        let p = shared as *const CrewShared;
+        ACTIVE_CREWS.with(|v| v.borrow_mut().push(p));
+        CrewActivation(p)
+    }
+
+    fn is_active(shared: &CrewShared) -> bool {
+        let p = shared as *const CrewShared;
+        ACTIVE_CREWS.with(|v| v.borrow().contains(&p))
+    }
+}
+
+impl Drop for CrewActivation {
+    fn drop(&mut self) {
+        ACTIVE_CREWS.with(|v| {
+            let popped = v.borrow_mut().pop();
+            debug_assert_eq!(popped, Some(self.0), "crew activations must nest");
+        });
+    }
+}
+
+struct CrewState {
+    job: Option<CrewJob>,
+    /// Helpers currently inside the published scope.
+    working: usize,
+    shutdown: bool,
+}
+
+/// The long-lived helper threads of a [`Pool::persistent`] pool. Dropping
+/// the last `Pool` clone shuts the crew down and joins every helper.
+struct PersistentCrew {
+    shared: Arc<CrewShared>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl PersistentCrew {
+    /// Spawn `threads − 1` helpers (worker ids `1..threads`).
+    fn spawn(threads: usize) -> PersistentCrew {
+        let shared = Arc::new(CrewShared {
+            state: Mutex::new(CrewState {
+                job: None,
+                working: 0,
+                shutdown: false,
+            }),
+            job_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+        });
+        let handles = (1..threads)
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || helper_loop(&shared, w))
+            })
+            .collect();
+        PersistentCrew { shared, handles }
+    }
+}
+
+impl Drop for PersistentCrew {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("crew state poisoned");
+            st.shutdown = true;
+        }
+        self.shared.job_cv.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// A persistent helper: park on the condvar, register into each published
+/// job under the lock, run the scope's worker loop, sign off.
+fn helper_loop(shared: &CrewShared, me: usize) {
+    let mut last_epoch = 0u64;
+    loop {
+        let job = {
+            let mut st = shared.state.lock().expect("crew state poisoned");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                match st.job {
+                    Some(job) if job.epoch != last_epoch => {
+                        st.working += 1;
+                        break job;
+                    }
+                    _ => st = shared.job_cv.wait(st).expect("crew state poisoned"),
+                }
+            }
+        };
+        last_epoch = job.epoch;
+        // SAFETY: `working` was incremented under the lock while the job
+        // was still published, and the caller cannot leave its scope frame
+        // until `working` drops back to zero — the Scope outlives this
+        // dereference. The 'static lifetime is a lie confined to this
+        // call: `Scope::work` never stores the reference.
+        let scope = unsafe { &*(job.scope as *const Scope<'static>) };
+        let _active = CrewActivation::enter(shared);
+        scope.work(me);
+        drop(_active);
+        let mut st = shared.state.lock().expect("crew state poisoned");
+        st.working -= 1;
+        if st.working == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}
+
+/// A fixed-width scoped thread pool over two worker strategies: per-scope
+/// helpers ([`Pool::new`] — spawned through `std::thread::scope` on every
+/// [`Pool::scope`] call) or a persistent crew ([`Pool::persistent`] —
+/// spawned once, woken per scope, amortizing the spawn cost across
+/// batches). `threads == 1` runs everything on the calling thread with no
+/// helper threads at all. Cloning a persistent pool shares its crew.
+#[derive(Clone)]
 pub struct Pool {
     threads: usize,
+    crew: Option<Arc<PersistentCrew>>,
+    /// Monotone epoch source for crew jobs (shared by clones).
+    epoch: Arc<AtomicU64>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads)
+            .field("persistent", &self.is_persistent())
+            .finish()
+    }
 }
 
 impl Pool {
-    /// A pool of `threads` workers (the calling thread counts as one).
+    /// A pool of `threads` workers (the calling thread counts as one),
+    /// spawning helpers per [`Pool::scope`] call.
     pub fn new(threads: usize) -> Self {
         assert!(threads >= 1, "a pool needs at least one worker");
-        Pool { threads }
+        Pool {
+            threads,
+            crew: None,
+            epoch: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A pool of `threads` workers whose `threads − 1` helpers are spawned
+    /// now and reused by every [`Pool::scope`] call — the per-scope spawn
+    /// count ([`ScopeReport::spawns`]) drops to zero. Prefer this when
+    /// scopes are small and frequent (streaming mini-batches); the helpers
+    /// sleep on a condvar between scopes.
+    pub fn persistent(threads: usize) -> Self {
+        assert!(threads >= 1, "a pool needs at least one worker");
+        Pool {
+            crew: (threads > 1).then(|| Arc::new(PersistentCrew::spawn(threads))),
+            threads,
+            epoch: Arc::new(AtomicU64::new(0)),
+        }
     }
 
     /// Worker count, including the calling thread.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Whether this pool reuses a persistent helper crew across scopes.
+    pub fn is_persistent(&self) -> bool {
+        self.crew.is_some()
     }
 
     /// Run `f` to register tasks, then execute every task (including tasks
@@ -215,13 +439,26 @@ impl Pool {
     /// order is the FIFO order of each worker's initial deque.
     ///
     /// A panic in any task propagates out of this call after every worker
-    /// has stopped; tasks not yet started are dropped unexecuted.
+    /// has stopped; tasks not yet started are dropped unexecuted. On a
+    /// persistent pool the crew survives the panic and serves later
+    /// scopes.
     pub fn scope<'env, R>(&self, f: impl FnOnce(&Scope<'env>) -> R) -> (R, ScopeReport) {
         let scope = Scope::new(self.threads);
         let result = f(&scope);
+        let mut spawns = 0u64;
+        // A scope nested inside a task already running on this crew would
+        // deadlock the publish/retract protocol; serve reentrant calls
+        // with per-scope helpers instead (same semantics as Pool::new).
+        let crew = self
+            .crew
+            .as_ref()
+            .filter(|c| !CrewActivation::is_active(&c.shared));
         if self.threads == 1 {
             scope.work(0);
+        } else if let Some(crew) = crew {
+            self.run_on_crew(crew, &scope);
         } else {
+            spawns = (self.threads - 1) as u64;
             std::thread::scope(|s| {
                 let sr = &scope;
                 for w in 1..self.threads {
@@ -230,7 +467,51 @@ impl Pool {
                 sr.work(0);
             });
         }
-        (result, scope.report())
+        if let Some(payload) = scope
+            .panic_payload
+            .lock()
+            .expect("payload slot poisoned")
+            .take()
+        {
+            std::panic::resume_unwind(payload);
+        }
+        let mut report = scope.report();
+        report.spawns = spawns;
+        (result, report)
+    }
+
+    /// Publish `scope` to the persistent crew, work it from the calling
+    /// thread too, then retract the job and wait until every helper has
+    /// signed off — only then may the scope die.
+    fn run_on_crew<'env>(&self, crew: &PersistentCrew, scope: &Scope<'env>) {
+        let shared = &crew.shared;
+        let _active = CrewActivation::enter(shared);
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        {
+            let mut st = shared.state.lock().expect("crew state poisoned");
+            // Pool clones share the crew; serialize scopes so one job's
+            // pointer can never clobber another's.
+            while st.job.is_some() || st.working > 0 {
+                st = shared.done_cv.wait(st).expect("crew state poisoned");
+            }
+            st.job = Some(CrewJob {
+                scope: scope as *const Scope<'env> as *const (),
+                epoch,
+            });
+        }
+        shared.job_cv.notify_all();
+        scope.work(0);
+        // The caller's worker loop only returns once no tasks are pending,
+        // but helpers may still be inside (or just entering) the scope:
+        // retract the job so late wakers skip it, then wait them out.
+        let mut st = shared.state.lock().expect("crew state poisoned");
+        st.job = None;
+        while st.working > 0 {
+            st = shared.done_cv.wait(st).expect("crew state poisoned");
+        }
+        drop(st);
+        // A sibling clone may be parked in the pre-publish wait above.
+        shared.done_cv.notify_all();
     }
 
     /// Run `body(chunk_index, chunk_range)` over the `chunk`-sized chunks
@@ -374,5 +655,116 @@ mod tests {
         });
         assert!(marks.iter().all(|m| m.load(Ordering::SeqCst) == 1));
         assert_eq!(report.tasks as usize, len.div_ceil(64));
+    }
+
+    #[test]
+    fn per_scope_pool_reports_spawns_persistent_reports_none() {
+        let per_scope = Pool::new(3);
+        let (_, r) = per_scope.scope(|s| s.spawn(|_| {}));
+        assert_eq!(r.spawns, 2, "per-scope pool spawns threads − 1 helpers");
+        let persistent = Pool::persistent(3);
+        assert!(persistent.is_persistent());
+        for _ in 0..4 {
+            let (_, r) = persistent.scope(|s| s.spawn(|_| {}));
+            assert_eq!(r.spawns, 0, "crew helpers are reused, never respawned");
+        }
+        let single = Pool::new(1);
+        let (_, r) = single.scope(|s| s.spawn(|_| {}));
+        assert_eq!(r.spawns, 0);
+    }
+
+    #[test]
+    fn persistent_crew_runs_every_task_across_many_scopes() {
+        // Tasks must borrow the caller's stack exactly like the per-scope
+        // pool — the unsafe pointer hand-off may not lose or repeat work.
+        let pool = Pool::persistent(4);
+        for round in 0..50u32 {
+            let counter = AtomicU32::new(0);
+            let tasks = 1 + (round % 13);
+            let (_, report) = pool.scope(|s| {
+                for _ in 0..tasks {
+                    let c = &counter;
+                    s.spawn(move |_| {
+                        c.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+            assert_eq!(counter.load(Ordering::SeqCst), tasks);
+            assert_eq!(report.tasks, tasks as u64);
+            assert_eq!(report.worker_busy_s.len(), 4);
+        }
+    }
+
+    #[test]
+    fn persistent_crew_survives_task_panics() {
+        let pool = Pool::persistent(2);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|_| panic!("crew task boom"));
+            });
+        }));
+        assert!(caught.is_err(), "task panic must reach the caller");
+        // The crew threads are still alive and serving.
+        let counter = AtomicU32::new(0);
+        let (_, report) = pool.scope(|s| {
+            for _ in 0..10 {
+                let c = &counter;
+                s.spawn(move |_| {
+                    c.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+        assert_eq!(report.tasks, 10);
+    }
+
+    #[test]
+    fn reentrant_scope_on_a_persistent_pool_falls_back_instead_of_deadlocking() {
+        // A task that opens another scope on (a clone of) its own crew
+        // must be served by per-scope helpers, not wedge the crew.
+        let pool = Pool::persistent(2);
+        let inner_pool = pool.clone();
+        let hits = AtomicU32::new(0);
+        let (_, outer) = pool.scope(|s| {
+            let h = &hits;
+            let q = &inner_pool;
+            s.spawn(move |_| {
+                let (_, inner) = q.scope(|inner_s| {
+                    for _ in 0..5 {
+                        inner_s.spawn(move |_| {
+                            h.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                });
+                assert_eq!(inner.tasks, 5);
+                assert_eq!(inner.spawns, 1, "reentrant scope uses per-scope helpers");
+                h.fetch_add(100, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 105);
+        assert_eq!(outer.tasks, 1);
+        // The crew still serves non-reentrant scopes afterwards.
+        let (_, after) = pool.scope(|s| s.spawn(|_| {}));
+        assert_eq!(after.spawns, 0);
+    }
+
+    #[test]
+    fn cloned_persistent_pools_share_one_crew() {
+        let a = Pool::persistent(3);
+        let b = a.clone();
+        let hits = AtomicU32::new(0);
+        let ha = &hits;
+        // Serialized scopes from two clones must both run fine.
+        a.scope(|s| {
+            s.spawn(move |_| {
+                ha.fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        b.scope(|s| {
+            s.spawn(move |_| {
+                ha.fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
     }
 }

@@ -72,6 +72,10 @@ pub struct ParScanStats {
     /// Chunk tasks executed by a worker other than the one they were
     /// queued on.
     pub steals: u64,
+    /// OS threads spawned for this scan's scope: `threads − 1` on a
+    /// per-scope pool, 0 on a persistent crew ([`Pool::persistent`]) —
+    /// the counter that shows what the persistent pool saves per batch.
+    pub spawns: u64,
     /// Seconds each worker spent scanning (index = worker id; worker 0 is
     /// the calling thread).
     pub worker_scan_s: Vec<f64>,
@@ -130,6 +134,26 @@ impl ParLocalReservoir {
         assert!(chunk_items >= 1, "chunks must hold at least one item");
         self.chunk_items = chunk_items;
         self
+    }
+
+    /// Run the scans on `pool` instead of the default per-scope pool —
+    /// pass [`Pool::persistent`] to reuse one helper crew across every
+    /// `process_*` call, removing the per-batch thread-spawn cost. The
+    /// pool's worker count must match the reservoir's `threads` (the
+    /// per-worker stat widths are sized at construction).
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        assert_eq!(
+            pool.threads(),
+            self.pool.threads(),
+            "replacement pool must keep the worker count"
+        );
+        self.pool = pool;
+        self
+    }
+
+    /// Whether the scans reuse a persistent helper crew.
+    pub fn pool_is_persistent(&self) -> bool {
+        self.pool.is_persistent()
     }
 
     /// Worker count the scans run on.
@@ -256,6 +280,7 @@ impl ParLocalReservoir {
         stats.merge_s = t0.elapsed().as_secs_f64();
         stats.chunks = nchunks as u64;
         stats.steals = report.steals;
+        stats.spawns = report.spawns;
         stats.worker_scan_s = report.worker_busy_s;
         stats
     }
@@ -503,6 +528,32 @@ mod tests {
         assert_eq!(s1.inserted + s2.inserted + s3.inserted, 0);
         assert!(r.is_empty());
         assert_eq!(s1.chunks, 0);
+    }
+
+    #[test]
+    fn persistent_pool_same_sample_zero_spawns() {
+        // The worker strategy may not touch the sampling law: chunk RNG
+        // streams carry the randomness, so per-scope and persistent pools
+        // must produce the identical reservoir under one seed — only the
+        // spawn accounting differs.
+        let run = |persistent: bool| {
+            let mut r = ParLocalReservoir::new(50, 32, 4, 99).with_chunk_items(256);
+            if persistent {
+                r = r.with_pool(Pool::persistent(4));
+            }
+            r.process_weighted(&batch(3_000, |i| 1.0 + (i % 7) as f64), None);
+            let t = r.tree().max().unwrap().0.key;
+            let stats = r.process_weighted(&batch(5_000, |i| 1.0 + (i % 5) as f64), Some(t));
+            (ids(&r), stats.spawns)
+        };
+        let (per_scope_ids, per_scope_spawns) = run(false);
+        let (crew_ids, crew_spawns) = run(true);
+        assert_eq!(
+            per_scope_ids, crew_ids,
+            "worker strategy changed the sample"
+        );
+        assert_eq!(per_scope_spawns, 3, "per-scope pool spawns threads − 1");
+        assert_eq!(crew_spawns, 0, "persistent crew spawns nothing per batch");
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! | Layer | Crate | What it provides |
 //! |---|---|---|
 //! | [`seq`] | `reservoir-core` | sequential samplers: exponential/geometric jumps + naive references |
-//! | [`dist`] | `reservoir-core` | Algorithm 1 (threaded + simulated backends), variable-size variant, centralized gather baseline, Section 5 distributed output ([`SampleHandle`]) |
+//! | [`dist`] | `reservoir-core` | Algorithm 1 and Section 5 output as **one engine** (`dist::engine::ReservoirProtocol` over the `SamplerBackend` trait) with three backends — threaded execution, the gather baseline policy, the cost-charging simulator — plus the variable-size variant and [`SampleHandle`] |
 //! | [`select`] | `reservoir-select` | distributed selection: single/multi-pivot, approximate (amsSelect), quickselect |
 //! | [`btree`] | `reservoir-btree` | augmented B+ tree: rank/select/split/join local reservoirs |
 //! | [`comm`] | `reservoir-comm` | Communicator trait, threaded runtime, collectives, α–β cost model |
@@ -85,6 +85,20 @@
 //! assert_eq!(counters.records_in, 2_000);
 //! ```
 //!
+//! ## One protocol, many backends: the engine layer
+//!
+//! `DistributedSampler`, `GatherSampler` (Section 4.5 baseline) and
+//! `SimCluster` (the α–β cost simulator) are thin wrappers over a single
+//! [`dist::engine::ReservoirProtocol`], which owns the Algorithm 1 step
+//! sequence (insert_scan → count → select_prune) and the Section 5
+//! output sequence (finalize → place). What varies per backend —
+//! executing a collective versus charging its modeled cost, scanning a
+//! real B+ tree versus drawing Poissonized candidates — lives behind the
+//! [`dist::engine::SamplerBackend`] trait, so a protocol change is made
+//! once and is automatically executed, baselined *and* priced.
+//! `tests/engine_equivalence.rs` pins the wrappers to byte-identical
+//! samples against driving the engine directly.
+//!
 //! ## Multicore PEs: the `threads_per_pe` knob
 //!
 //! Each PE's local jump scan — the per-batch hot path once the ingestion
@@ -97,7 +111,10 @@
 //! sampling law is identical to the sequential scan (pinned by the
 //! `par_chi_square` acceptance tests), and for a fixed seed the parallel
 //! path draws the *same sample at every thread count* — chunk streams,
-//! not worker streams, carry the randomness:
+//! not worker streams, carry the randomness. For small, frequent
+//! mini-batches, add `.with_persistent_pool(true)` to reuse one worker
+//! crew across batches instead of spawning helper threads per scan
+//! (`BatchReport::scan.spawns` drops to zero):
 //!
 //! ```
 //! use reservoir::comm::run_threads;

@@ -1,0 +1,268 @@
+//! Engine equivalence: the stable sampler APIs are thin wrappers over
+//! `ReservoirProtocol<Backend>`, and nothing may hide in the wrapping —
+//! driving the engine directly must reproduce the wrapper's samples **byte
+//! for byte** under a fixed seed, on both real backend policies, at both
+//! scan widths the CI matrix runs (`RESERVOIR_THREADS ∈ {1, 4}` via
+//! explicit `with_threads`), and on the simulated backend. Plus the
+//! unified pipeline driver's unequal-stream-length edge cases, which every
+//! policy now shares through the engine's single drain loop.
+
+use reservoir::comm::{run_threads, Communicator, CostModel};
+use reservoir::dist::engine::ReservoirProtocol;
+use reservoir::dist::gather::{GatherBackend, GatherSampler};
+use reservoir::dist::sim::{AnalyticLocalCosts, SimAlgo, SimBackend, SimCluster, SimConfig};
+use reservoir::dist::threaded::{CommBackend, DistributedSampler};
+use reservoir::dist::{DistConfig, SamplingMode};
+use reservoir::stream::ingest::{spawn_source, BatchPolicy, ReplayRecords};
+use reservoir::stream::Item;
+
+fn unit_batch(rank: usize, batch: u64, n: u64) -> Vec<Item> {
+    (0..n)
+        .map(|i| {
+            Item::new(
+                ((rank as u64) << 40) | (batch << 20) | i,
+                1.0 + (i % 5) as f64,
+            )
+        })
+        .collect()
+}
+
+/// Byte-exact fingerprint of a sample: sorted `(id, key bits)` pairs.
+fn fingerprint(items: impl IntoIterator<Item = (u64, f64)>) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = items
+        .into_iter()
+        .map(|(id, key)| (id, key.to_bits()))
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn distributed_wrapper_equals_engine_driven_path_at_both_widths() {
+    for &threads in &[1usize, 4] {
+        let cfg = DistConfig::weighted(40, 2024).with_threads(threads);
+        let p = 3;
+        let wrapper = run_threads(p, |comm| {
+            let mut s = DistributedSampler::new(&comm, cfg);
+            for b in 0..4u64 {
+                s.process_batch(&unit_batch(comm.rank(), b, 150));
+            }
+            let handle = s.collect_output();
+            (
+                fingerprint(handle.local_items().iter().map(|m| (m.id, m.key))),
+                s.threshold().map(f64::to_bits),
+            )
+        });
+        let engine = run_threads(p, |comm| {
+            let mut e = ReservoirProtocol::new(CommBackend::new(&comm, &cfg), cfg);
+            for b in 0..4u64 {
+                e.step(&unit_batch(comm.rank(), b, 150));
+            }
+            let (handle, _, _) = e.collect_output();
+            (
+                fingerprint(handle.local_items().iter().map(|m| (m.id, m.key))),
+                e.threshold().map(f64::to_bits),
+            )
+        });
+        assert_eq!(
+            wrapper, engine,
+            "threads={threads}: wrapper and engine-driven samples diverged"
+        );
+    }
+}
+
+#[test]
+fn gather_wrapper_equals_engine_driven_path_at_both_widths() {
+    for &threads in &[1usize, 4] {
+        let cfg = DistConfig::weighted(30, 77).with_threads(threads);
+        let p = 3;
+        let wrapper = run_threads(p, |comm| {
+            let mut s = GatherSampler::new(&comm, cfg);
+            let mut candidates = 0u64;
+            for b in 0..4u64 {
+                candidates += s.process_batch(&unit_batch(comm.rank(), b, 120));
+            }
+            let handle = s.collect_output();
+            (
+                fingerprint(handle.local_items().iter().map(|m| (m.id, m.key))),
+                s.threshold().map(f64::to_bits),
+                candidates,
+            )
+        });
+        let engine = run_threads(p, |comm| {
+            let mut e = ReservoirProtocol::new(GatherBackend::new(&comm, &cfg), cfg);
+            let mut candidates = 0u64;
+            for b in 0..4u64 {
+                candidates += e.step(&unit_batch(comm.rank(), b, 120)).inserted;
+            }
+            let (handle, _, _) = e.collect_output();
+            (
+                fingerprint(handle.local_items().iter().map(|m| (m.id, m.key))),
+                e.threshold().map(f64::to_bits),
+                candidates,
+            )
+        });
+        assert_eq!(
+            wrapper, engine,
+            "threads={threads}: gather wrapper and engine-driven samples diverged"
+        );
+    }
+}
+
+#[test]
+fn distributed_and_gather_policies_run_the_same_scan_per_pe() {
+    // Both policies share the engine's insert step over the identical
+    // PeReservoir scan; under equal seeds their *candidate generation* is
+    // driven by the same RNG streams even though the protocols differ.
+    // This pins the policy split to the collective steps only: same
+    // config, same per-batch candidate counts in the growing phase (no
+    // threshold yet ⇒ candidate sets are config-determined).
+    let p = 2;
+    let cfg = DistConfig::weighted(400, 55);
+    let dist_candidates = run_threads(p, |comm| {
+        let mut s = DistributedSampler::new(&comm, cfg);
+        s.process_batch(&unit_batch(comm.rank(), 0, 100)).inserted
+    });
+    let gather_candidates = run_threads(p, |comm| {
+        let mut s = GatherSampler::new(&comm, cfg);
+        s.process_batch(&unit_batch(comm.rank(), 0, 100))
+    });
+    // Below the fill point every item is a candidate on both policies.
+    assert_eq!(dist_candidates, vec![100, 100]);
+    assert_eq!(gather_candidates, vec![100, 100]);
+}
+
+#[test]
+fn sim_cluster_equals_engine_driven_sim_backend() {
+    let mk_cfg = || {
+        SimConfig::new(
+            6,
+            200,
+            2_000,
+            SamplingMode::Weighted,
+            SimAlgo::Ours { pivots: 2 },
+            909,
+        )
+    };
+    let net = CostModel::infiniband_edr();
+    let costs = AnalyticLocalCosts::default();
+
+    let mut cluster = SimCluster::new(mk_cfg(), net, costs);
+    let mut direct = ReservoirProtocol::new(
+        SimBackend::new(mk_cfg(), net, costs),
+        // The engine config SimCluster derives: same k/pivots/mode.
+        DistConfig::weighted(200, 909)
+            .with_pivots(2)
+            .with_threads(1),
+    );
+    let mut cluster_rounds = Vec::new();
+    let mut direct_rounds = Vec::new();
+    for _ in 0..4 {
+        cluster_rounds.push(cluster.process_batch().rounds);
+        direct_rounds.push(direct.step(&[]).select_rounds);
+    }
+    assert_eq!(cluster_rounds, direct_rounds);
+    assert_eq!(
+        cluster.threshold().map(f64::to_bits),
+        direct.threshold().map(f64::to_bits),
+        "same seed must give the identical simulated trajectory"
+    );
+    let a = fingerprint(cluster.sample().iter().map(|m| (m.id, m.key)));
+    let b = fingerprint(direct.backend().sample().iter().map(|m| (m.id, m.key)));
+    assert_eq!(a, b, "simulated samples diverged");
+}
+
+/// Unequal stream lengths through the engine's single drain loop, on both
+/// real policies: PE r gets r+1 batches; everyone must run the longest
+/// stream's rounds and agree on the final sample size.
+#[test]
+fn unified_drain_survives_unequal_streams_on_both_policies() {
+    let p = 3;
+    for policy in ["distributed", "gather"] {
+        let results = run_threads(p, |comm| {
+            use reservoir::comm::Communicator;
+            let cfg = DistConfig::uniform(25, 5);
+            let mine: Vec<Item> = (0..=comm.rank() as u64)
+                .flat_map(|batch| unit_batch(comm.rank(), batch, 60))
+                .collect();
+            let mut ingest = spawn_source(ReplayRecords::new(mine), BatchPolicy::by_size(60), 1);
+            let rx = ingest.take_receiver();
+            let report = if policy == "distributed" {
+                let mut s = DistributedSampler::new(&comm, cfg);
+                s.run_pipeline(&rx)
+            } else {
+                let mut s = GatherSampler::new(&comm, cfg);
+                s.run_pipeline(&rx)
+            };
+            ingest.join();
+            (report.batches, report.rounds, report.handle.total_len())
+        });
+        for (rank, (batches, rounds, total)) in results.iter().enumerate() {
+            assert_eq!(*batches, rank as u64 + 1, "{policy}");
+            assert_eq!(*rounds, 3, "{policy}: all PEs must run max rounds");
+            assert_eq!(*total, 25, "{policy}");
+        }
+    }
+}
+
+/// One PE's stream is completely empty: the drain must still terminate
+/// collectively and produce the right sample, on both policies.
+#[test]
+fn unified_drain_tolerates_a_completely_empty_pe() {
+    let p = 3;
+    for policy in ["distributed", "gather"] {
+        let results = run_threads(p, |comm| {
+            use reservoir::comm::Communicator;
+            let cfg = DistConfig::weighted(15, 31);
+            let mine: Vec<Item> = if comm.rank() == 1 {
+                Vec::new()
+            } else {
+                unit_batch(comm.rank(), 0, 80)
+            };
+            let mut ingest = spawn_source(ReplayRecords::new(mine), BatchPolicy::by_size(40), 1);
+            let rx = ingest.take_receiver();
+            let report = if policy == "distributed" {
+                let mut s = DistributedSampler::new(&comm, cfg);
+                s.run_pipeline(&rx)
+            } else {
+                let mut s = GatherSampler::new(&comm, cfg);
+                s.run_pipeline(&rx)
+            };
+            ingest.join();
+            (
+                comm.rank(),
+                report.batches,
+                report.rounds,
+                report.handle.total_len(),
+            )
+        });
+        for (rank, batches, rounds, total) in &results {
+            assert_eq!(*batches, if *rank == 1 { 0 } else { 2 }, "{policy}");
+            assert_eq!(*rounds, 2, "{policy}");
+            assert_eq!(*total, 15, "{policy}");
+        }
+    }
+}
+
+/// A pipeline drain mid-window must finalize its output to exactly k —
+/// the engine's finalize step is the only implementation, so the window
+/// path needs no pipeline-specific handling.
+#[test]
+fn unified_drain_finalizes_window_mode_output() {
+    let p = 2;
+    let (lo, hi) = (20u64, 50u64);
+    let results = run_threads(p, |comm| {
+        use reservoir::comm::Communicator;
+        let cfg = DistConfig::weighted(20, 67).with_size_window(lo, hi);
+        let mine: Vec<Item> = (0..3u64)
+            .flat_map(|batch| unit_batch(comm.rank(), batch, 100))
+            .collect();
+        let mut ingest = spawn_source(ReplayRecords::new(mine), BatchPolicy::by_size(100), 1);
+        let rx = ingest.take_receiver();
+        let mut s = DistributedSampler::new(&comm, cfg);
+        let report = s.run_pipeline(&rx);
+        ingest.join();
+        report.handle.total_len()
+    });
+    assert!(results.iter().all(|t| *t == lo));
+}

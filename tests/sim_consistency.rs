@@ -10,15 +10,14 @@ use reservoir::rng::test_base_seed;
 use reservoir::stream::{StreamSpec, WeightGen};
 
 fn sim(p: usize, k: usize, b: u64, batches: usize, seed: u64) -> (f64, f64) {
-    let cfg = SimConfig {
+    let cfg = SimConfig::new(
         p,
         k,
-        b_per_pe: b,
-        mode: SamplingMode::Weighted,
-        algo: SimAlgo::Ours { pivots: 1 },
+        b,
+        SamplingMode::Weighted,
+        SimAlgo::Ours { pivots: 1 },
         seed,
-        threads_per_pe: 1,
-    };
+    );
     let mut cluster = SimCluster::new(
         cfg,
         CostModel::infiniband_edr(),
@@ -119,15 +118,14 @@ fn selection_rounds_match_threaded_backend() {
 #[test]
 fn simulated_threshold_matches_theory() {
     let (p, k, b) = (16, 1_000, 20_000u64);
-    let cfg = SimConfig {
+    let cfg = SimConfig::new(
         p,
         k,
-        b_per_pe: b,
-        mode: SamplingMode::Weighted,
-        algo: SimAlgo::Ours { pivots: 8 },
-        seed: 11,
-        threads_per_pe: 1,
-    };
+        b,
+        SamplingMode::Weighted,
+        SimAlgo::Ours { pivots: 8 },
+        11,
+    );
     let mut cluster = SimCluster::new(
         cfg,
         CostModel::infiniband_edr(),
@@ -152,15 +150,7 @@ fn simulated_threshold_matches_theory() {
 /// simulator's workload RNG is algorithm-independent).
 #[test]
 fn sim_algorithms_share_workload_law() {
-    let mk = |algo| SimConfig {
-        p: 8,
-        k: 300,
-        b_per_pe: 5_000,
-        mode: SamplingMode::Weighted,
-        algo,
-        seed: 777,
-        threads_per_pe: 1,
-    };
+    let mk = |algo| SimConfig::new(8, 300, 5_000, SamplingMode::Weighted, algo, 777);
     let mut ours = SimCluster::new(
         mk(SimAlgo::Ours { pivots: 1 }),
         CostModel::infiniband_edr(),

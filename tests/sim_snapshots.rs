@@ -23,13 +23,19 @@ use reservoir::comm::CostModel;
 use reservoir::dist::sim::{AnalyticLocalCosts, OutputPath, SimAlgo, SimCluster, SimConfig};
 use reservoir::dist::SamplingMode;
 
-/// PE counts (nodes × 20 as in the paper's grid), sample sizes, and scan
-/// threads per PE pinned by the snapshot. The thread dimension models
-/// multicore PEs running `reservoir_par`'s chunked scan (the cost model
-/// divides the scan + keygen charge by the Amdahl speedup).
+/// PE counts (nodes × 20 as in the paper's grid), sample sizes, scan
+/// threads per PE, and variable-size-window factors pinned by the
+/// snapshot. The thread dimension models multicore PEs running
+/// `reservoir_par`'s chunked scan (the cost model divides the scan +
+/// keygen charge by the Amdahl speedup); the window dimension is the
+/// Section 4.4 `k̄/k` ratio — `1` is exact-size mode, `2` runs with a
+/// `(k, 2k)` window, whose mid-window output collections pay real
+/// finalization selection rounds through the engine's shared finalize
+/// step (visible in `dist_rounds` / `dist_out_s`).
 const P_GRID: [usize; 3] = [20, 320, 5120];
 const K_GRID: [usize; 3] = [1_000, 10_000, 100_000];
 const T_GRID: [usize; 2] = [1, 4];
+const W_GRID: [u64; 2] = [1, 2];
 const SNAPSHOT_SEED: u64 = 0xC0FFEE;
 const BATCHES: usize = 3;
 
@@ -46,6 +52,8 @@ struct Row {
     k: usize,
     /// Scan threads per PE.
     t: usize,
+    /// Variable-size window factor `k̄/k` (1 = exact-size mode).
+    w: u64,
     /// Mean modeled seconds per mini-batch, Algorithm 1 (8 pivots).
     ours_batch_s: f64,
     /// Mean modeled seconds per mini-batch, gather baseline.
@@ -60,46 +68,69 @@ struct Row {
     gather_out_words: u64,
 }
 
-const COLUMNS: &str = "p\tk\tt\tours_batch_s\tgather_batch_s\tdist_out_s\tdist_out_words\tdist_rounds\tgather_out_s\tgather_out_words";
+const COLUMNS: &str = "p\tk\tt\tw\tours_batch_s\tgather_batch_s\tdist_out_s\tdist_out_words\tdist_rounds\tgather_out_s\tgather_out_words";
 
 fn compute_table() -> Vec<Row> {
     let mut rows = Vec::new();
     for &p in &P_GRID {
         for &k in &K_GRID {
             for &t in &T_GRID {
-                let mk = |algo| SimConfig {
-                    p,
-                    k,
-                    b_per_pe: k as u64,
-                    mode: SamplingMode::Weighted,
-                    algo,
-                    seed: SNAPSHOT_SEED ^ ((p as u64) << 32) ^ k as u64,
-                    threads_per_pe: t,
-                };
-                let net = CostModel::infiniband_edr();
-                let costs = AnalyticLocalCosts::default();
-                let mut ours = SimCluster::new(mk(SimAlgo::Ours { pivots: 8 }), net, costs);
-                let mut gather = SimCluster::new(mk(SimAlgo::Gather), net, costs);
-                let mut ours_s = 0.0;
-                let mut gather_s = 0.0;
-                for _ in 0..BATCHES {
-                    ours_s += ours.process_batch().times.total();
-                    gather_s += gather.process_batch().times.total();
+                for &w in &W_GRID {
+                    let mk = |algo| {
+                        let mut cfg = SimConfig::new(
+                            p,
+                            k,
+                            k as u64,
+                            SamplingMode::Weighted,
+                            algo,
+                            SNAPSHOT_SEED ^ ((p as u64) << 32) ^ k as u64,
+                        )
+                        .with_threads(t);
+                        if w > 1 {
+                            cfg = cfg.with_size_window(k as u64, w * k as u64);
+                        }
+                        cfg
+                    };
+                    let net = CostModel::infiniband_edr();
+                    let costs = AnalyticLocalCosts::default();
+                    let mut ours = SimCluster::new(mk(SimAlgo::Ours { pivots: 8 }), net, costs);
+                    // The gather baseline has no variable-size mode; its
+                    // batch column stays the exact-size run on every row.
+                    let mut gather = SimCluster::new(
+                        SimConfig::new(
+                            p,
+                            k,
+                            k as u64,
+                            SamplingMode::Weighted,
+                            SimAlgo::Gather,
+                            SNAPSHOT_SEED ^ ((p as u64) << 32) ^ k as u64,
+                        )
+                        .with_threads(t),
+                        net,
+                        costs,
+                    );
+                    let mut ours_s = 0.0;
+                    let mut gather_s = 0.0;
+                    for _ in 0..BATCHES {
+                        ours_s += ours.process_batch().times.total();
+                        gather_s += gather.process_batch().times.total();
+                    }
+                    let dist_out = ours.collect_output(OutputPath::Distributed);
+                    let gather_out = ours.collect_output(OutputPath::Gather);
+                    rows.push(Row {
+                        p,
+                        k,
+                        t,
+                        w,
+                        ours_batch_s: ours_s / BATCHES as f64,
+                        gather_batch_s: gather_s / BATCHES as f64,
+                        dist_out_s: dist_out.times.total(),
+                        dist_out_words: dist_out.bottleneck_words,
+                        dist_rounds: dist_out.rounds,
+                        gather_out_s: gather_out.times.total(),
+                        gather_out_words: gather_out.bottleneck_words,
+                    });
                 }
-                let dist_out = ours.collect_output(OutputPath::Distributed);
-                let gather_out = ours.collect_output(OutputPath::Gather);
-                rows.push(Row {
-                    p,
-                    k,
-                    t,
-                    ours_batch_s: ours_s / BATCHES as f64,
-                    gather_batch_s: gather_s / BATCHES as f64,
-                    dist_out_s: dist_out.times.total(),
-                    dist_out_words: dist_out.bottleneck_words,
-                    dist_rounds: dist_out.rounds,
-                    gather_out_s: gather_out.times.total(),
-                    gather_out_words: gather_out.bottleneck_words,
-                });
             }
         }
     }
@@ -118,10 +149,11 @@ fn format_table(rows: &[Row]) -> String {
     for r in rows {
         let _ = writeln!(
             out,
-            "{}\t{}\t{}\t{:.6e}\t{:.6e}\t{:.6e}\t{}\t{}\t{:.6e}\t{}",
+            "{}\t{}\t{}\t{}\t{:.6e}\t{:.6e}\t{:.6e}\t{}\t{}\t{:.6e}\t{}",
             r.p,
             r.k,
             r.t,
+            r.w,
             r.ours_batch_s,
             r.gather_batch_s,
             r.dist_out_s,
@@ -139,18 +171,19 @@ fn parse_table(text: &str) -> Vec<Row> {
         .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
         .map(|l| {
             let f: Vec<&str> = l.split('\t').collect();
-            assert_eq!(f.len(), 10, "malformed golden row: {l:?}");
+            assert_eq!(f.len(), 11, "malformed golden row: {l:?}");
             Row {
                 p: f[0].parse().expect("p"),
                 k: f[1].parse().expect("k"),
                 t: f[2].parse().expect("t"),
-                ours_batch_s: f[3].parse().expect("ours_batch_s"),
-                gather_batch_s: f[4].parse().expect("gather_batch_s"),
-                dist_out_s: f[5].parse().expect("dist_out_s"),
-                dist_out_words: f[6].parse().expect("dist_out_words"),
-                dist_rounds: f[7].parse().expect("dist_rounds"),
-                gather_out_s: f[8].parse().expect("gather_out_s"),
-                gather_out_words: f[9].parse().expect("gather_out_words"),
+                w: f[3].parse().expect("w"),
+                ours_batch_s: f[4].parse().expect("ours_batch_s"),
+                gather_batch_s: f[5].parse().expect("gather_batch_s"),
+                dist_out_s: f[6].parse().expect("dist_out_s"),
+                dist_out_words: f[7].parse().expect("dist_out_words"),
+                dist_rounds: f[8].parse().expect("dist_rounds"),
+                gather_out_s: f[9].parse().expect("gather_out_s"),
+                gather_out_words: f[10].parse().expect("gather_out_words"),
             }
         })
         .collect()
@@ -185,18 +218,19 @@ fn sim_cost_tables_match_golden_snapshot() {
     let mut diffs = String::new();
     for (g, a) in golden.iter().zip(&rows) {
         assert_eq!(
-            (g.p, g.k, g.t),
-            (a.p, a.k, a.t),
+            (g.p, g.k, g.t, g.w),
+            (a.p, a.k, a.t, a.w),
             "grid order changed; re-baseline"
         );
         let mut cell = |name: &str, gv: f64, av: f64| {
             if !rel_close(gv, av) {
                 let _ = writeln!(
                     diffs,
-                    "p={} k={} t={} {name}: golden {gv:.6e} vs actual {av:.6e} ({:+.1}%)",
+                    "p={} k={} t={} w={} {name}: golden {gv:.6e} vs actual {av:.6e} ({:+.1}%)",
                     g.p,
                     g.k,
                     g.t,
+                    g.w,
                     100.0 * (av - gv) / gv.abs().max(1e-300)
                 );
             }
@@ -218,8 +252,8 @@ fn sim_cost_tables_match_golden_snapshot() {
         if (g.dist_rounds as i64 - a.dist_rounds as i64).abs() > ROUNDS_TOL {
             let _ = writeln!(
                 diffs,
-                "p={} k={} t={} dist_rounds: golden {} vs actual {}",
-                g.p, g.k, g.t, g.dist_rounds, a.dist_rounds
+                "p={} k={} t={} w={} dist_rounds: golden {} vs actual {}",
+                g.p, g.k, g.t, g.w, g.dist_rounds, a.dist_rounds
             );
         }
     }
@@ -248,44 +282,95 @@ fn sim_cost_tables_match_golden_snapshot() {
 #[test]
 fn sim_multicore_rows_are_no_slower() {
     let rows = parse_table(&fs::read_to_string(golden_path()).expect("golden table present"));
-    for pair in rows.chunks(T_GRID.len()) {
-        let (one, four) = (&pair[0], &pair[1]);
-        assert_eq!((one.p, one.k, one.t), (four.p, four.k, 1));
-        assert_eq!(four.t, 4);
-        assert!(
-            four.ours_batch_s <= one.ours_batch_s * 1.0001,
-            "p={} k={}: 4-thread batch {:.3e}s slower than 1-thread {:.3e}s",
-            one.p,
-            one.k,
-            four.ours_batch_s,
-            one.ours_batch_s
-        );
+    // Rows per (p, k): t × w, with w innermost — pair equal-w rows across
+    // the two thread counts.
+    for block in rows.chunks(T_GRID.len() * W_GRID.len()) {
+        for wi in 0..W_GRID.len() {
+            let (one, four) = (&block[wi], &block[W_GRID.len() + wi]);
+            assert_eq!((one.p, one.k, one.w, one.t), (four.p, four.k, four.w, 1));
+            assert_eq!(four.t, 4);
+            assert!(
+                four.ours_batch_s <= one.ours_batch_s * 1.0001,
+                "p={} k={} w={}: 4-thread batch {:.3e}s slower than 1-thread {:.3e}s",
+                one.p,
+                one.k,
+                one.w,
+                four.ours_batch_s,
+                one.ours_batch_s
+            );
+        }
     }
 }
 
 #[test]
 fn sim_distributed_output_beats_gather_for_large_p() {
     let rows = parse_table(&fs::read_to_string(golden_path()).expect("golden table present"));
-    assert_eq!(rows.len(), P_GRID.len() * K_GRID.len() * T_GRID.len());
+    assert_eq!(
+        rows.len(),
+        P_GRID.len() * K_GRID.len() * T_GRID.len() * W_GRID.len()
+    );
     for r in &rows {
         assert!(
             r.dist_out_words < r.gather_out_words,
-            "p={} k={}: distributed output moves {} bottleneck words, \
+            "p={} k={} w={}: distributed output moves {} bottleneck words, \
              gather {} — the funnel should always carry more",
             r.p,
             r.k,
+            r.w,
             r.dist_out_words,
             r.gather_out_words
         );
     }
-    for r in rows.iter().filter(|r| r.p >= 320 && r.k >= 10_000) {
+    // The paper's time crossover is about exact-size output (w = 1). A
+    // mid-window output additionally pays O(α log p) finalization rounds,
+    // so its time win over the funnel needs the bandwidth term to
+    // dominate — which it does once k is large.
+    for r in rows
+        .iter()
+        .filter(|r| (r.w == 1 && r.p >= 320 && r.k >= 10_000) || (r.w == 2 && r.k >= 100_000))
+    {
         assert!(
             r.dist_out_s < r.gather_out_s,
-            "p={} k={}: distributed output {:.3e}s should beat gather {:.3e}s",
+            "p={} k={} w={}: distributed output {:.3e}s should beat gather {:.3e}s",
             r.p,
             r.k,
+            r.w,
             r.dist_out_s,
             r.gather_out_s
+        );
+    }
+}
+
+/// The new window rows (w = 2) must show what exact-size rows cannot: a
+/// mid-window output collection pays real finalization selection rounds,
+/// charged through the engine's shared finalize step.
+#[test]
+fn sim_window_rows_pay_finalization_rounds() {
+    let rows = parse_table(&fs::read_to_string(golden_path()).expect("golden table present"));
+    for block in rows.chunks(W_GRID.len()) {
+        let (exact, window) = (&block[0], &block[1]);
+        assert_eq!((exact.w, window.w), (1, 2), "w must be the innermost dim");
+        assert_eq!(
+            exact.dist_rounds, 0,
+            "p={} k={} t={}: exact-size mode is already finalized at output",
+            exact.p, exact.k, exact.t
+        );
+        assert!(
+            window.dist_rounds >= 1,
+            "p={} k={} t={}: a (k, 2k) window must finalize at output",
+            window.p,
+            window.k,
+            window.t
+        );
+        assert!(
+            window.dist_out_s > exact.dist_out_s,
+            "p={} k={} t={}: finalization rounds must cost output time \
+             ({:.3e}s vs {:.3e}s)",
+            window.p,
+            window.k,
+            window.t,
+            window.dist_out_s,
+            exact.dist_out_s
         );
     }
 }
