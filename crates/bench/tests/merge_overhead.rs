@@ -1,0 +1,86 @@
+//! No-regression guard for the concurrent shared-tree merge: at one scan
+//! thread the only difference from the epilogue path is the merge route
+//! (DirectSink into the OLC tree vs buffered chunk output + sequential
+//! merge), so single-threaded concurrent throughput must stay within
+//! noise of the single-threaded chunked scan.
+//!
+//! The timing assertion is gated behind the `stats` feature (repo
+//! convention: timing is meaningless in debug builds) and uses best-of-N
+//! with a deliberately generous floor — it exists to catch a structural
+//! regression (an accidental O(n) tree pass per chunk, a lock left in the
+//! read path), not a few percent of drift. The always-on test pins the
+//! other half of the drop-in contract on the exact bench workload: byte
+//! identical samples.
+
+use reservoir_par::{ConcurrentReservoir, ParLocalReservoir};
+use reservoir_rng::{default_rng, Rng64};
+use reservoir_stream::Item;
+
+const K: usize = 8;
+const SEED: u64 = 0xBA5E;
+
+fn workload(n: u64) -> Vec<Item> {
+    let mut rng = default_rng(SEED);
+    (0..n)
+        .map(|i| Item::new(i, rng.rand_oc() * 100.0))
+        .collect()
+}
+
+#[test]
+fn conc_threads1_produces_the_epilogue_sample_on_the_bench_workload() {
+    let items = workload(100_000);
+    let mut epi = ParLocalReservoir::new(K, 32, 1, SEED);
+    let mut conc = ConcurrentReservoir::new(K, 1, SEED);
+    epi.process_weighted(&items, Some(1e-4));
+    conc.process_weighted(&items, Some(1e-4));
+    let mut a: Vec<(u64, u64)> = epi
+        .tree()
+        .iter()
+        .map(|(k, _)| (k.id, k.key.to_bits()))
+        .collect();
+    let mut b = Vec::new();
+    conc.tree().for_each(|k, _| b.push((k.id, k.key.to_bits())));
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "merge route changed the sample");
+}
+
+#[cfg(feature = "stats")]
+#[test]
+fn stats_conc_threads1_throughput_within_noise_of_epilogue() {
+    use std::time::Instant;
+
+    let items = workload(2_000_000);
+    let best_of = |f: &mut dyn FnMut()| -> f64 {
+        (0..7)
+            .map(|_| {
+                let start = Instant::now();
+                f();
+                start.elapsed().as_secs_f64()
+            })
+            .fold(f64::INFINITY, f64::min)
+    };
+
+    let mut epi = ParLocalReservoir::new(K, 32, 1, SEED);
+    epi.process_weighted(&items, Some(1e-6)); // warm-up / threshold regime
+    let epi_s = best_of(&mut || {
+        epi.process_weighted(&items, Some(1e-6));
+    });
+
+    let mut conc = ConcurrentReservoir::new(K, 1, SEED);
+    conc.process_weighted(&items, Some(1e-6));
+    let conc_s = best_of(&mut || {
+        conc.process_weighted(&items, Some(1e-6));
+    });
+
+    let ratio = epi_s / conc_s; // > 1 means concurrent is faster
+    println!(
+        "threads=1 merge overhead: epilogue {epi_s:.4}s, concurrent {conc_s:.4}s, \
+         conc/epi throughput ratio {ratio:.2}"
+    );
+    assert!(
+        ratio > 0.5,
+        "single-threaded concurrent merge fell to {ratio:.2}x of the epilogue \
+         scan — a structural regression, not noise"
+    );
+}

@@ -24,14 +24,25 @@
 //! `(f64 key, u64 item id)` composite key used by all the samplers, with a
 //! total order (`f64::total_cmp`, then id) so keys are unique even in the
 //! measure-zero event of equal floating-point keys.
+//!
+//! A second, **concurrent** tree lives alongside the sequential one:
+//! [`OlcTree`], a fixed-degree B+ tree over seqlock-based optimistic lock
+//! coupling ([`seqlock`], [`sched`]), lets many scan workers insert into
+//! one shared reservoir with no merge epilogue. See the [`olc`] module
+//! docs for the protocol.
 
 mod iter;
 mod key;
 mod node;
+pub mod olc;
+pub mod sched;
+pub mod seqlock;
 mod tree;
 
 pub use iter::{keys_of, Iter};
 pub use key::SampleKey;
+pub use olc::{OlcStats, OlcTree, OLC_DEGREE};
+pub use seqlock::{SeqLock, WriteGuard};
 pub use tree::BPlusTree;
 
 /// Default maximum node degree (max children of an inner node and max

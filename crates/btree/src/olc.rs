@@ -1,0 +1,989 @@
+//! A concurrent B+ tree over optimistic lock coupling: the shared-tree
+//! local reservoir that lets every scan worker insert survivors directly,
+//! with no sequential merge epilogue.
+//!
+//! ## Protocol
+//!
+//! Every node carries one [`SeqLock`] word (version + lock bit). An
+//! insert descends **optimistically**: snapshot the node's version, read
+//! the routing keys and the child pointer as relaxed atomics, then
+//! validate the version before the child pointer is trusted — classic
+//! lock coupling with versions instead of latches (the parent is
+//! re-validated right after the child's version is pinned, so a split
+//! that moved the child between the two reads is always caught). At the
+//! leaf the reader upgrades to an exclusive lock with a single
+//! compare-exchange of the observed version, which atomically validates
+//! the whole read set *and* locks the node. Any conflict — a changed
+//! version, a lost upgrade race, a writer holding a node past the bounded
+//! spin — restarts the operation from the root via the caller's
+//! `repeat`-style retry loop, bumping the [`OlcStats::retries`] counter
+//! the stress suites assert on.
+//!
+//! Full nodes are split **preemptively on the way down** (the classic
+//! top-down B-tree insertion): when the descent meets a full node it
+//! locks parent + node, splits, and restarts. The parent can never be
+//! full at that point — it was itself split preemptively one level
+//! earlier — except when a sibling's split raced in, which the
+//! under-lock re-check turns into a plain restart.
+//!
+//! ## Why this is safe Rust (almost) all the way down
+//!
+//! Node payloads are **word atomics** (`AtomicU64` arrays), so a racing
+//! optimistic reader can observe an inconsistent *set* of words but never
+//! tears a word or touches freed memory: nodes live in an append-only
+//! [`Arena`] whose chunks never move, and child pointers are indices that
+//! are only dereferenced after the version validation proved them
+//! current. The single `unsafe` block is the arena's chunk-pointer
+//! dereference.
+//!
+//! ## Division of labour with [`BPlusTree`](crate::BPlusTree)
+//!
+//! Only `insert` is concurrent — it is the one operation the parallel
+//! scan needs inside a batch. The rank/select/prune/iterate surface runs
+//! in the sampler's *sequential* protocol phases (count, select, output)
+//! where the scan scope has already joined, so those take `&self`/`&mut
+//! self` under the documented quiescence rule: no concurrent writers.
+//! Subtree sizes are not maintained during concurrent inserts (that
+//! would serialize writers on the root); [`OlcTree::refresh_sizes`]
+//! recomputes them in one O(nodes) sequential pass after each scan, and
+//! the rank/select queries debug-assert the sizes are fresh.
+
+use std::cmp::Ordering as CmpOrder;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::key::SampleKey;
+use crate::sched::{self, SchedEvent};
+use crate::seqlock::SeqLock;
+
+/// Fixed node width: max entries of a leaf, max children of an inner
+/// node. Compile-time so node payloads are plain atomic arrays.
+pub const OLC_DEGREE: usize = 16;
+
+/// Rebuilds pack nodes to 3/4 so the next few inserts do not split.
+const REBUILD_FILL: usize = (OLC_DEGREE * 3) / 4;
+
+/// First arena chunk holds 64 nodes; every next chunk doubles.
+const CHUNK_BASE: usize = 64;
+const MAX_CHUNKS: usize = 26;
+
+/// Concurrency counters of one [`OlcTree`] (monotonic since creation).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OlcStats {
+    /// Operations that restarted from the root after a version conflict,
+    /// a lost lock-upgrade race, or a bounded-spin timeout.
+    pub retries: u64,
+    /// Node splits performed (including root splits).
+    pub splits: u64,
+}
+
+/// `len` and `is_leaf` packed into one atomic word so a reader gets both
+/// in a single load.
+#[inline]
+fn pack(len: usize, is_leaf: bool) -> u64 {
+    ((len as u64) << 1) | is_leaf as u64
+}
+
+#[inline]
+fn unpack(meta: u64) -> (usize, bool) {
+    ((meta >> 1) as usize, meta & 1 == 1)
+}
+
+/// One tree node: a seqlock plus word-atomic payload arrays.
+///
+/// * leaf: `len` entries; `key_*[i]` is the i-th key, `val[i]` the f64
+///   bits of its value.
+/// * inner: `len` children in `val[0..len]` (arena indices) and `len − 1`
+///   separators in `key_*[0..len−1]`, where separator `i` is the max key
+///   of child `i`'s subtree.
+struct NodeCell {
+    lock: SeqLock,
+    meta: AtomicU64,
+    /// Subtree size; only valid after [`OlcTree::refresh_sizes`].
+    size: AtomicU64,
+    key_bits: [AtomicU64; OLC_DEGREE],
+    key_id: [AtomicU64; OLC_DEGREE],
+    val: [AtomicU64; OLC_DEGREE],
+}
+
+impl NodeCell {
+    fn new() -> Self {
+        NodeCell {
+            lock: SeqLock::new(),
+            meta: AtomicU64::new(0),
+            size: AtomicU64::new(0),
+            key_bits: std::array::from_fn(|_| AtomicU64::new(0)),
+            key_id: std::array::from_fn(|_| AtomicU64::new(0)),
+            val: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Read key `i` (relaxed; may be garbage until the node version
+    /// validates — `total_cmp` keeps even NaN garbage orderable).
+    #[inline]
+    fn key_at(&self, i: usize) -> SampleKey {
+        SampleKey {
+            key: f64::from_bits(self.key_bits[i].load(Ordering::Relaxed)),
+            id: self.key_id[i].load(Ordering::Relaxed),
+        }
+    }
+
+    #[inline]
+    fn set_key(&self, i: usize, k: &SampleKey) {
+        self.key_bits[i].store(k.key.to_bits(), Ordering::Relaxed);
+        self.key_id[i].store(k.id, Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn child(&self, i: usize) -> u32 {
+        self.val[i].load(Ordering::Relaxed) as u32
+    }
+
+    /// The child slot `key` routes to in an inner node with `len`
+    /// children: the first whose separator is `>= key`, else the last.
+    #[inline]
+    fn route(&self, key: &SampleKey, len: usize) -> usize {
+        for i in 0..len.saturating_sub(1) {
+            if *key <= self.key_at(i) {
+                return i;
+            }
+        }
+        len.saturating_sub(1)
+    }
+
+    /// The slot holding child index `c` (under the node's lock).
+    fn find_child(&self, c: u32, len: usize) -> Option<usize> {
+        (0..len).find(|&i| self.child(i) == c)
+    }
+
+    /// Insert into a non-full, exclusively locked leaf. Returns `true`
+    /// for a new entry, `false` when an equal key was overwritten.
+    fn leaf_insert(&self, key: &SampleKey, weight: f64, len: usize) -> bool {
+        debug_assert!(len < OLC_DEGREE);
+        let mut pos = len;
+        for i in 0..len {
+            match key.cmp(&self.key_at(i)) {
+                CmpOrder::Less => {
+                    pos = i;
+                    break;
+                }
+                CmpOrder::Equal => {
+                    self.val[i].store(weight.to_bits(), Ordering::Relaxed);
+                    return false;
+                }
+                CmpOrder::Greater => {}
+            }
+        }
+        for i in (pos..len).rev() {
+            self.key_bits[i + 1].store(self.key_bits[i].load(Ordering::Relaxed), Ordering::Relaxed);
+            self.key_id[i + 1].store(self.key_id[i].load(Ordering::Relaxed), Ordering::Relaxed);
+            self.val[i + 1].store(self.val[i].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.set_key(pos, key);
+        self.val[pos].store(weight.to_bits(), Ordering::Relaxed);
+        self.meta.store(pack(len + 1, true), Ordering::Relaxed);
+        true
+    }
+}
+
+/// Append-only chunked node storage: chunk `c` holds `64 << c` cells and
+/// once installed never moves or frees until the arena drops, so a node
+/// reference obtained from any published index stays valid for the
+/// arena's lifetime — torn reads can yield stale *values*, never dangling
+/// *memory*.
+struct Arena {
+    chunks: [AtomicPtr<NodeCell>; MAX_CHUNKS],
+    next: AtomicU32,
+    grow: Mutex<()>,
+}
+
+/// Chunk and offset of node index `i`.
+#[inline]
+fn locate(i: u32) -> (usize, usize) {
+    let q = i / CHUNK_BASE as u32 + 1;
+    let c = (31 - q.leading_zeros()) as usize;
+    let start = CHUNK_BASE as u32 * ((1u32 << c) - 1);
+    (c, (i - start) as usize)
+}
+
+impl Arena {
+    fn new() -> Self {
+        Arena {
+            chunks: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
+            next: AtomicU32::new(0),
+            grow: Mutex::new(()),
+        }
+    }
+
+    /// Allocate a fresh node cell, installing its chunk if needed.
+    fn alloc(&self, is_leaf: bool) -> u32 {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        let (c, _) = locate(i);
+        assert!(c < MAX_CHUNKS, "olc arena exhausted");
+        if self.chunks[c].load(Ordering::Acquire).is_null() {
+            let _g = self.grow.lock().unwrap_or_else(|e| e.into_inner());
+            if self.chunks[c].load(Ordering::Acquire).is_null() {
+                let cap = CHUNK_BASE << c;
+                let boxed: Box<[NodeCell]> = (0..cap).map(|_| NodeCell::new()).collect();
+                self.chunks[c].store(Box::into_raw(boxed) as *mut NodeCell, Ordering::Release);
+            }
+        }
+        let cell = self.node(i);
+        cell.meta.store(pack(0, is_leaf), Ordering::Relaxed);
+        i
+    }
+
+    /// The cell at a published index.
+    #[inline]
+    fn node(&self, i: u32) -> &NodeCell {
+        let (c, off) = locate(i);
+        let p = self.chunks[c].load(Ordering::Acquire);
+        debug_assert!(!p.is_null(), "unallocated olc node index {i}");
+        // SAFETY: `p` was installed (with Release) as a `Box<[NodeCell]>`
+        // of length `CHUNK_BASE << c` that is never moved or freed before
+        // the arena drops, and `off < CHUNK_BASE << c` by `locate`. The
+        // Acquire load pairs with the installing Release store (and with
+        // the version-validation fences that published `i`), so the cell
+        // is fully initialized.
+        unsafe { &*p.add(off) }
+    }
+}
+
+impl Drop for Arena {
+    fn drop(&mut self) {
+        for (c, slot) in self.chunks.iter().enumerate() {
+            let p = slot.load(Ordering::Acquire);
+            if !p.is_null() {
+                let len = CHUNK_BASE << c;
+                // SAFETY: `p` came from `Box::into_raw` of a boxed slice
+                // of exactly `len` cells; the arena owns it exclusively.
+                drop(unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(p, len)) });
+            }
+        }
+    }
+}
+
+/// Why a `try_insert` attempt gave up.
+enum Abort {
+    /// A genuine version conflict / lost race: counted as a retry.
+    Conflict,
+    /// A preemptive split succeeded; restart the descent (progress was
+    /// made, so this is not a conflict).
+    Progress,
+}
+
+/// The descending operation's latched position above the current node.
+#[derive(Clone, Copy)]
+enum Parent {
+    /// Above the root: the tree's root latch at the given version.
+    Root(u64),
+    /// An inner node (arena index) at the given version.
+    Node(u32, u64),
+}
+
+/// The concurrent shared reservoir tree: `(SampleKey, f64)` entries,
+/// lock-free-ish optimistic readers, seqlocked writers. See the module
+/// docs for the protocol and the quiescence rule on the read surface.
+pub struct OlcTree {
+    arena: Arena,
+    /// Arena index of the root node, guarded by `root_lock` exactly like
+    /// a child pointer is guarded by its parent's lock.
+    root: AtomicU32,
+    root_lock: SeqLock,
+    count: AtomicU64,
+    retries: AtomicU64,
+    splits: AtomicU64,
+    /// Set by every concurrent insert; cleared by [`Self::refresh_sizes`]
+    /// and rebuilds. Rank/select queries require it clear.
+    dirty: AtomicBool,
+}
+
+impl Default for OlcTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OlcTree {
+    /// An empty tree (one empty root leaf).
+    pub fn new() -> Self {
+        let arena = Arena::new();
+        let root = arena.alloc(true);
+        OlcTree {
+            arena,
+            root: AtomicU32::new(root),
+            root_lock: SeqLock::new(),
+            count: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            splits: AtomicU64::new(0),
+            dirty: AtomicBool::new(false),
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.count.load(Ordering::Acquire) as usize
+    }
+
+    /// Whether the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Concurrency counters since creation.
+    pub fn stats(&self) -> OlcStats {
+        OlcStats {
+            retries: self.retries.load(Ordering::Relaxed),
+            splits: self.splits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Insert an entry, overwriting the value of an equal key. Returns
+    /// `true` when the entry is new. Safe to call from many threads
+    /// concurrently; retries internally until it wins.
+    pub fn insert(&self, key: SampleKey, weight: f64) -> bool {
+        self.dirty.store(true, Ordering::Relaxed);
+        loop {
+            match self.try_insert(&key, weight) {
+                Ok(new) => {
+                    if new {
+                        self.count.fetch_add(1, Ordering::AcqRel);
+                    }
+                    return new;
+                }
+                Err(Abort::Conflict) => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    sched::hook(SchedEvent::Conflict);
+                    std::hint::spin_loop();
+                }
+                Err(Abort::Progress) => {}
+            }
+        }
+    }
+
+    /// One optimistic descent; any conflict aborts back to [`Self::insert`].
+    fn try_insert(&self, key: &SampleKey, weight: f64) -> Result<bool, Abort> {
+        let root_ver = self.root_lock.read_begin().map_err(|()| Abort::Conflict)?;
+        let mut node_idx = self.root.load(Ordering::Relaxed);
+        sched::hook(SchedEvent::Descend);
+        if !self.root_lock.validate(root_ver) {
+            return Err(Abort::Conflict);
+        }
+        let mut parent = Parent::Root(root_ver);
+        loop {
+            let node = self.arena.node(node_idx);
+            let node_ver = node.lock.read_begin().map_err(|()| Abort::Conflict)?;
+            // Lock coupling: the child's version is pinned; the parent
+            // must still have pointed here in the meantime.
+            if !self.parent_valid(parent) {
+                return Err(Abort::Conflict);
+            }
+            let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
+            if len >= OLC_DEGREE {
+                self.split_child(parent, node_idx, node_ver)?;
+                return Err(Abort::Progress);
+            }
+            if is_leaf {
+                // Upgrade: the compare-exchange succeeds only if nothing
+                // changed since `node_ver`, validating `len` too.
+                let guard = node.lock.try_lock(node_ver).ok_or(Abort::Conflict)?;
+                let new = node.leaf_insert(key, weight, len);
+                drop(guard);
+                return Ok(new);
+            }
+            let slot = node.route(key, len);
+            let child = node.child(slot);
+            sched::hook(SchedEvent::Descend);
+            // The child index is only trusted once the version proves the
+            // routing reads were consistent.
+            if !node.lock.validate(node_ver) {
+                return Err(Abort::Conflict);
+            }
+            parent = Parent::Node(node_idx, node_ver);
+            node_idx = child;
+        }
+    }
+
+    fn parent_valid(&self, parent: Parent) -> bool {
+        match parent {
+            Parent::Root(v) => self.root_lock.validate(v),
+            Parent::Node(idx, v) => self.arena.node(idx).lock.validate(v),
+        }
+    }
+
+    /// Preemptively split the full node `n_idx` under its parent. Both
+    /// are locked by upgrading the versions the descent observed, so any
+    /// intervening change turns into a conflict.
+    fn split_child(&self, parent: Parent, n_idx: u32, n_ver: u64) -> Result<(), Abort> {
+        match parent {
+            Parent::Root(root_ver) => {
+                let root_guard = self.root_lock.try_lock(root_ver).ok_or(Abort::Conflict)?;
+                let node = self.arena.node(n_idx);
+                let node_guard = node.lock.try_lock(n_ver).ok_or(Abort::Conflict)?;
+                // Grow the tree: a new root adopts the old root as its
+                // only child, then the child splits into it. The new
+                // root is unpublished until the store below, so it needs
+                // no lock of its own yet.
+                let new_root = self.arena.alloc(false);
+                let root_node = self.arena.node(new_root);
+                root_node.val[0].store(n_idx as u64, Ordering::Relaxed);
+                root_node.meta.store(pack(1, false), Ordering::Relaxed);
+                self.split_into(new_root, 0, n_idx);
+                self.root.store(new_root, Ordering::Relaxed);
+                drop(node_guard);
+                drop(root_guard); // bumps the root version: descents restart
+            }
+            Parent::Node(p_idx, p_ver) => {
+                let pnode = self.arena.node(p_idx);
+                let p_guard = pnode.lock.try_lock(p_ver).ok_or(Abort::Conflict)?;
+                let (plen, _) = unpack(pnode.meta.load(Ordering::Relaxed));
+                if plen >= OLC_DEGREE {
+                    // A sibling's split filled the parent behind us; the
+                    // restarted descent will split the parent first.
+                    return Err(Abort::Conflict);
+                }
+                let node = self.arena.node(n_idx);
+                let n_guard = node.lock.try_lock(n_ver).ok_or(Abort::Conflict)?;
+                let slot = pnode.find_child(n_idx, plen).ok_or(Abort::Conflict)?;
+                self.split_into(p_idx, slot, n_idx);
+                drop(n_guard);
+                drop(p_guard);
+            }
+        }
+        self.splits.fetch_add(1, Ordering::Relaxed);
+        sched::hook(SchedEvent::Split);
+        Ok(())
+    }
+
+    /// Split the full node `n_idx` (child `slot` of the locked, non-full
+    /// inner node `p_idx`) into itself plus a fresh right sibling.
+    fn split_into(&self, p_idx: u32, slot: usize, n_idx: u32) {
+        let parent = self.arena.node(p_idx);
+        let node = self.arena.node(n_idx);
+        let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
+        debug_assert_eq!(len, OLC_DEGREE, "only full nodes split");
+        let keep = OLC_DEGREE / 2;
+        let right_idx = self.arena.alloc(is_leaf);
+        let right = self.arena.node(right_idx);
+        for i in keep..len {
+            right.key_bits[i - keep]
+                .store(node.key_bits[i].load(Ordering::Relaxed), Ordering::Relaxed);
+            right.key_id[i - keep].store(node.key_id[i].load(Ordering::Relaxed), Ordering::Relaxed);
+            right.val[i - keep].store(node.val[i].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        right
+            .meta
+            .store(pack(len - keep, is_leaf), Ordering::Relaxed);
+        node.meta.store(pack(keep, is_leaf), Ordering::Relaxed);
+        // The promoted separator is the left half's max key: its last key
+        // in a leaf, its last separator in an inner node — index keep−1
+        // either way.
+        let sep = node.key_at(keep - 1);
+        let (plen, p_leaf) = unpack(parent.meta.load(Ordering::Relaxed));
+        debug_assert!(!p_leaf && plen < OLC_DEGREE);
+        for i in (slot + 1..plen).rev() {
+            parent.val[i + 1].store(parent.val[i].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        for i in (slot..plen.saturating_sub(1)).rev() {
+            parent.key_bits[i + 1].store(
+                parent.key_bits[i].load(Ordering::Relaxed),
+                Ordering::Relaxed,
+            );
+            parent.key_id[i + 1].store(parent.key_id[i].load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        parent.val[slot + 1].store(right_idx as u64, Ordering::Relaxed);
+        parent.set_key(slot, &sep);
+        parent.meta.store(pack(plen + 1, false), Ordering::Relaxed);
+    }
+
+    // --- quiescent read surface (no concurrent writers) -----------------
+
+    /// Visit every entry in key order.
+    pub fn for_each(&self, mut f: impl FnMut(&SampleKey, f64)) {
+        self.walk(self.root.load(Ordering::Relaxed), &mut f);
+    }
+
+    fn walk(&self, idx: u32, f: &mut impl FnMut(&SampleKey, f64)) {
+        let node = self.arena.node(idx);
+        let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
+        if is_leaf {
+            for i in 0..len {
+                f(
+                    &node.key_at(i),
+                    f64::from_bits(node.val[i].load(Ordering::Relaxed)),
+                );
+            }
+        } else {
+            for i in 0..len {
+                self.walk(node.child(i), f);
+            }
+        }
+    }
+
+    /// All entries in key order.
+    pub fn entries(&self) -> Vec<(SampleKey, f64)> {
+        let mut out = Vec::with_capacity(self.len());
+        self.for_each(|k, w| out.push((*k, w)));
+        out
+    }
+
+    /// The largest entry.
+    pub fn max(&self) -> Option<(SampleKey, f64)> {
+        let mut idx = self.root.load(Ordering::Relaxed);
+        loop {
+            let node = self.arena.node(idx);
+            let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
+            if is_leaf {
+                return len.checked_sub(1).map(|i| {
+                    (
+                        node.key_at(i),
+                        f64::from_bits(node.val[i].load(Ordering::Relaxed)),
+                    )
+                });
+            }
+            idx = node.child(len - 1);
+        }
+    }
+
+    /// The value stored under `key`, if present.
+    pub fn get(&self, key: &SampleKey) -> Option<f64> {
+        let mut idx = self.root.load(Ordering::Relaxed);
+        loop {
+            let node = self.arena.node(idx);
+            let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
+            if is_leaf {
+                return (0..len)
+                    .find(|&i| node.key_at(i) == *key)
+                    .map(|i| f64::from_bits(node.val[i].load(Ordering::Relaxed)));
+            }
+            idx = node.child(node.route(key, len));
+        }
+    }
+
+    /// Recompute every node's subtree size (one sequential O(nodes)
+    /// pass); the rank/select queries below require this after any batch
+    /// of concurrent inserts. No-op when nothing was inserted since the
+    /// last refresh.
+    pub fn refresh_sizes(&mut self) {
+        if !self.dirty.load(Ordering::Relaxed) {
+            return;
+        }
+        let total = self.refresh(self.root.load(Ordering::Relaxed));
+        debug_assert_eq!(total, self.count.load(Ordering::Relaxed));
+        self.dirty.store(false, Ordering::Relaxed);
+    }
+
+    fn refresh(&self, idx: u32) -> u64 {
+        let node = self.arena.node(idx);
+        let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
+        let size = if is_leaf {
+            len as u64
+        } else {
+            (0..len).map(|i| self.refresh(node.child(i))).sum()
+        };
+        node.size.store(size, Ordering::Relaxed);
+        size
+    }
+
+    #[inline]
+    fn assert_sizes_fresh(&self) {
+        debug_assert!(
+            !self.dirty.load(Ordering::Relaxed),
+            "rank/select on an OlcTree needs refresh_sizes() after inserts"
+        );
+    }
+
+    /// Number of keys `<= key`.
+    pub fn count_le(&self, key: &SampleKey) -> usize {
+        self.ranked(key, |k, probe| k <= probe)
+    }
+
+    /// Number of keys `< key`.
+    pub fn count_less(&self, key: &SampleKey) -> usize {
+        self.ranked(key, |k, probe| k < probe)
+    }
+
+    fn ranked(&self, key: &SampleKey, include: impl Fn(&SampleKey, &SampleKey) -> bool) -> usize {
+        self.assert_sizes_fresh();
+        let mut acc = 0u64;
+        let mut idx = self.root.load(Ordering::Relaxed);
+        loop {
+            let node = self.arena.node(idx);
+            let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
+            if is_leaf {
+                acc += (0..len).filter(|&i| include(&node.key_at(i), key)).count() as u64;
+                return acc as usize;
+            }
+            // Children left of the routing slot have max key < `key`:
+            // fully counted from their cached sizes.
+            let slot = node.route(key, len);
+            for i in 0..slot {
+                acc += self.arena.node(node.child(i)).size.load(Ordering::Relaxed);
+            }
+            idx = node.child(slot);
+        }
+    }
+
+    /// The `rank`-th smallest entry (0-based).
+    pub fn select(&self, rank: usize) -> Option<(SampleKey, f64)> {
+        self.assert_sizes_fresh();
+        if rank >= self.len() {
+            return None;
+        }
+        let mut r = rank as u64;
+        let mut idx = self.root.load(Ordering::Relaxed);
+        loop {
+            let node = self.arena.node(idx);
+            let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
+            if is_leaf {
+                let i = r as usize;
+                debug_assert!(i < len);
+                return Some((
+                    node.key_at(i),
+                    f64::from_bits(node.val[i].load(Ordering::Relaxed)),
+                ));
+            }
+            let mut next = node.child(len - 1);
+            for i in 0..len {
+                let s = self.arena.node(node.child(i)).size.load(Ordering::Relaxed);
+                if r < s {
+                    next = node.child(i);
+                    break;
+                }
+                r -= s;
+            }
+            idx = next;
+        }
+    }
+
+    // --- exclusive structural operations ---------------------------------
+
+    /// Drop every entry with a key strictly above `t`. Rebuilds the tree
+    /// (compacting the arena), so sizes come out fresh.
+    pub fn prune_above(&mut self, t: &SampleKey) {
+        let mut kept = Vec::with_capacity(self.len());
+        self.for_each(|k, w| {
+            if k <= t {
+                kept.push((*k, w));
+            }
+        });
+        self.rebuild(kept);
+    }
+
+    /// Keep only the `cap` smallest entries.
+    pub fn truncate_to(&mut self, cap: usize) {
+        if self.len() <= cap {
+            return;
+        }
+        let mut entries = self.entries();
+        entries.truncate(cap);
+        self.rebuild(entries);
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.rebuild(Vec::new());
+    }
+
+    /// Replace the whole tree with `entries` (must be key-sorted), packed
+    /// to [`REBUILD_FILL`] per node, in a fresh arena.
+    fn rebuild(&mut self, entries: Vec<(SampleKey, f64)>) {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        let arena = Arena::new();
+        self.count.store(entries.len() as u64, Ordering::Relaxed);
+        self.dirty.store(false, Ordering::Relaxed);
+        if entries.is_empty() {
+            let root = arena.alloc(true);
+            self.arena = arena;
+            self.root.store(root, Ordering::Relaxed);
+            return;
+        }
+        // Leaves: (index, subtree max, subtree size) per built node.
+        let mut level: Vec<(u32, SampleKey, u64)> = Vec::new();
+        for chunk in balanced_chunks(entries.len()) {
+            let idx = arena.alloc(true);
+            let node = arena.node(idx);
+            let slice = &entries[chunk.clone()];
+            for (i, (k, w)) in slice.iter().enumerate() {
+                node.set_key(i, k);
+                node.val[i].store(w.to_bits(), Ordering::Relaxed);
+            }
+            node.meta.store(pack(slice.len(), true), Ordering::Relaxed);
+            node.size.store(slice.len() as u64, Ordering::Relaxed);
+            level.push((
+                idx,
+                slice.last().expect("nonempty chunk").0,
+                slice.len() as u64,
+            ));
+        }
+        while level.len() > 1 {
+            let mut up = Vec::new();
+            for chunk in balanced_chunks(level.len()) {
+                let idx = arena.alloc(false);
+                let node = arena.node(idx);
+                let group = &level[chunk.clone()];
+                let mut size = 0u64;
+                for (i, (child, max, s)) in group.iter().enumerate() {
+                    node.val[i].store(*child as u64, Ordering::Relaxed);
+                    if i + 1 < group.len() {
+                        node.set_key(i, max);
+                    }
+                    size += s;
+                }
+                node.meta.store(pack(group.len(), false), Ordering::Relaxed);
+                node.size.store(size, Ordering::Relaxed);
+                up.push((idx, group.last().expect("nonempty group").1, size));
+            }
+            level = up;
+        }
+        self.root.store(level[0].0, Ordering::Relaxed);
+        self.arena = arena;
+    }
+
+    /// Structural validation for tests: key order, separator correctness,
+    /// uniform depth, node occupancy, entry/size accounting. Tolerates
+    /// stale sizes when inserts have not been followed by a refresh.
+    pub fn check_consistency(&self) -> Result<(), String> {
+        let root = self.root.load(Ordering::Relaxed);
+        let check_sizes = !self.dirty.load(Ordering::Relaxed);
+        let (count, _depth, _min, _max) = self.check_node(root, true, check_sizes)?;
+        if count != self.count.load(Ordering::Relaxed) {
+            return Err(format!(
+                "entry count {} does not match counter {}",
+                count,
+                self.count.load(Ordering::Relaxed)
+            ));
+        }
+        Ok(())
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn check_node(
+        &self,
+        idx: u32,
+        is_root: bool,
+        check_sizes: bool,
+    ) -> Result<(u64, usize, Option<SampleKey>, Option<SampleKey>), String> {
+        let node = self.arena.node(idx);
+        let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
+        if len > OLC_DEGREE {
+            return Err(format!("node {idx}: overfull ({len})"));
+        }
+        if is_leaf {
+            if len == 0 && !is_root {
+                return Err(format!("leaf {idx}: empty non-root"));
+            }
+            for i in 1..len {
+                if node.key_at(i - 1) >= node.key_at(i) {
+                    return Err(format!("leaf {idx}: keys out of order at {i}"));
+                }
+            }
+            if check_sizes && node.size.load(Ordering::Relaxed) != len as u64 {
+                return Err(format!("leaf {idx}: stale size"));
+            }
+            let min = (len > 0).then(|| node.key_at(0));
+            let max = (len > 0).then(|| node.key_at(len - 1));
+            return Ok((len as u64, 0, min, max));
+        }
+        if len < 2 {
+            return Err(format!("inner {idx}: fewer than two children"));
+        }
+        let mut count = 0u64;
+        let mut depth = None;
+        let mut prev_max: Option<SampleKey> = None;
+        let mut min = None;
+        let mut max = None;
+        for i in 0..len {
+            let (c, d, cmin, cmax) = self.check_node(node.child(i), false, check_sizes)?;
+            count += c;
+            match depth {
+                None => depth = Some(d),
+                Some(depth) if depth != d => {
+                    return Err(format!("inner {idx}: uneven depth"));
+                }
+                _ => {}
+            }
+            let (cmin, cmax) = (
+                cmin.ok_or_else(|| format!("inner {idx}: empty child"))?,
+                cmax.ok_or_else(|| format!("inner {idx}: empty child"))?,
+            );
+            if let Some(p) = prev_max {
+                if cmin <= p {
+                    return Err(format!("inner {idx}: child {i} overlaps predecessor"));
+                }
+            }
+            if i + 1 < len && node.key_at(i) != cmax {
+                return Err(format!("inner {idx}: separator {i} is not the child max"));
+            }
+            if min.is_none() {
+                min = Some(cmin);
+            }
+            max = Some(cmax);
+            prev_max = Some(cmax);
+        }
+        if check_sizes && node.size.load(Ordering::Relaxed) != count {
+            return Err(format!("inner {idx}: stale size"));
+        }
+        Ok((count, depth.unwrap_or(0) + 1, min, max))
+    }
+}
+
+/// Split `n` positions into contiguous runs of [`REBUILD_FILL`], folding
+/// a trailing singleton into its predecessor so no node ends up with a
+/// lone child.
+fn balanced_chunks(n: usize) -> Vec<std::ops::Range<usize>> {
+    let mut out = Vec::with_capacity(n.div_ceil(REBUILD_FILL));
+    let mut start = 0;
+    while start < n {
+        let mut end = (start + REBUILD_FILL).min(n);
+        if n - end == 1 {
+            end -= 1; // leave two for the final chunk
+        }
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn key(v: f64, id: u64) -> SampleKey {
+        SampleKey::new(v, id)
+    }
+
+    #[test]
+    fn sequential_inserts_match_a_model() {
+        let tree = OlcTree::new();
+        let mut model = BTreeMap::new();
+        let mut x = 0x9E37u64;
+        for i in 0..500u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let v = (x >> 11) as f64 / (1u64 << 53) as f64;
+            let new = tree.insert(key(v, i), i as f64);
+            assert!(new);
+            model.insert((v.to_bits(), i), i as f64);
+        }
+        assert_eq!(tree.len(), 500);
+        tree.check_consistency().unwrap();
+        let got: Vec<(u64, u64)> = tree
+            .entries()
+            .iter()
+            .map(|(k, _)| (k.key.to_bits(), k.id))
+            .collect();
+        let want: Vec<(u64, u64)> = model.keys().copied().collect();
+        assert_eq!(got, want, "iteration must be key-ordered and complete");
+        assert!(
+            tree.stats().splits > 0,
+            "500 inserts at degree 16 must split"
+        );
+    }
+
+    #[test]
+    fn duplicate_keys_overwrite_in_place() {
+        let tree = OlcTree::new();
+        assert!(tree.insert(key(0.5, 7), 1.0));
+        assert!(!tree.insert(key(0.5, 7), 2.0));
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.get(&key(0.5, 7)), Some(2.0));
+        assert_eq!(tree.get(&key(0.5, 8)), None);
+    }
+
+    #[test]
+    fn rank_select_and_max_after_refresh() {
+        let mut tree = OlcTree::new();
+        for i in 0..300u64 {
+            // Insert in a scrambled order.
+            let j = (i * 7919) % 300;
+            tree.insert(key(j as f64, j), j as f64);
+        }
+        tree.refresh_sizes();
+        tree.check_consistency().unwrap();
+        assert_eq!(tree.count_le(&key(99.0, 99)), 100);
+        assert_eq!(tree.count_less(&key(99.0, 99)), 99);
+        assert_eq!(tree.count_le(&key(-1.0, 0)), 0);
+        assert_eq!(tree.count_le(&key(1e9, 0)), 300);
+        for r in [0usize, 1, 150, 299] {
+            let (k, _) = tree.select(r).expect("in range");
+            assert_eq!(k.id, r as u64);
+        }
+        assert!(tree.select(300).is_none());
+        assert_eq!(tree.max().unwrap().0.id, 299);
+    }
+
+    #[test]
+    fn prune_truncate_clear_rebuild() {
+        let mut tree = OlcTree::new();
+        for i in 0..200u64 {
+            tree.insert(key(i as f64, i), 1.0);
+        }
+        tree.prune_above(&key(49.0, 49));
+        assert_eq!(tree.len(), 50);
+        tree.check_consistency().unwrap();
+        // Rebuilds leave fresh sizes: rank queries need no refresh.
+        assert_eq!(tree.count_le(&key(49.0, 49)), 50);
+        tree.truncate_to(10);
+        assert_eq!(tree.len(), 10);
+        assert_eq!(tree.max().unwrap().0.id, 9);
+        tree.check_consistency().unwrap();
+        tree.clear();
+        assert!(tree.is_empty());
+        assert!(tree.max().is_none());
+        tree.check_consistency().unwrap();
+        // The tree stays usable after a rebuild.
+        tree.insert(key(1.0, 1), 1.0);
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_land_exactly_once() {
+        let tree = OlcTree::new();
+        let threads = 4;
+        let per = 400u64;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let tree = &tree;
+                s.spawn(move || {
+                    for i in 0..per {
+                        let id = t * per + i;
+                        // interleaved key ranges across threads
+                        assert!(tree.insert(key((id % 97) as f64 + id as f64 * 1e-9, id), 1.0));
+                    }
+                });
+            }
+        });
+        assert_eq!(tree.len(), (threads * per) as usize);
+        tree.check_consistency().unwrap();
+        let ids: Vec<u64> = tree.entries().iter().map(|(k, _)| k.id).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), (threads * per) as usize, "no duplicates");
+    }
+
+    #[test]
+    fn balanced_chunks_never_leave_singletons_after_the_first() {
+        for n in 1..200 {
+            let chunks = balanced_chunks(n);
+            assert_eq!(chunks.iter().map(|c| c.len()).sum::<usize>(), n);
+            assert!(chunks.iter().all(|c| c.len() <= OLC_DEGREE));
+            if n > 1 {
+                assert!(chunks.iter().all(|c| c.len() >= 2 || n == 1));
+            }
+        }
+    }
+
+    #[test]
+    fn arena_locate_is_consistent() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u32 {
+            let (c, off) = locate(i);
+            assert!(off < CHUNK_BASE << c);
+            assert!(seen.insert((c, off)), "index {i} collided");
+        }
+    }
+}

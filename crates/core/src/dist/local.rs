@@ -48,6 +48,10 @@ pub struct ScanStats {
     /// persistent crew (`DistConfig::with_persistent_pool`), which is
     /// exactly the saving the persistent option buys.
     pub spawns: u64,
+    /// Seqlock conflicts the concurrent merge mode's shared tree retried
+    /// during this scan (`MergeMode::Concurrent` only; 0 on the
+    /// sequential and epilogue paths).
+    pub retries: u64,
 }
 
 /// A PE's local reservoir over the augmented B+ tree.
@@ -357,25 +361,48 @@ pub(crate) struct ScanOutcome {
     pub par: Option<reservoir_par::ParScanStats>,
 }
 
-/// A PE's local reservoir behind the `threads_per_pe` knob: the sequential
-/// [`LocalReservoir`] at one thread, `reservoir_par`'s chunked
-/// work-stealing scan above that. Both realize the identical sampling law
-/// (the paper's Section 4 regimes); only the scan schedule differs.
+/// A PE's local reservoir behind the `threads_per_pe` and `merge` knobs:
+/// the sequential [`LocalReservoir`] at one thread, `reservoir_par`'s
+/// chunked work-stealing scan above that, and the shared concurrent tree
+/// (`reservoir_par::ConcurrentReservoir`) when
+/// `MergeMode::Concurrent` is selected — at *any* thread count, so a
+/// single-threaded concurrent baseline exists for the no-regression
+/// guard. All three realize the identical sampling law (the paper's
+/// Section 4 regimes); only the scan/merge schedule differs.
 pub(crate) enum PeReservoir {
-    /// `threads_per_pe == 1`: the classic sequential jump scan, drawing
-    /// from the caller's key RNG.
+    /// `threads_per_pe == 1` (epilogue merge): the classic sequential jump
+    /// scan, drawing from the caller's key RNG.
     Seq(LocalReservoir),
-    /// `threads_per_pe > 1`: chunked parallel scans with per-chunk RNG
-    /// streams rooted at the PE's dedicated parallel-scan seed.
+    /// `threads_per_pe > 1` (epilogue merge): chunked parallel scans with
+    /// per-chunk RNG streams rooted at the PE's dedicated parallel-scan
+    /// seed, merged by a sequential epilogue.
     Par(reservoir_par::ParLocalReservoir),
+    /// `MergeMode::Concurrent`: the same chunked scans inserting directly
+    /// into one shared optimistic-lock-coupling tree.
+    Conc(reservoir_par::ConcurrentReservoir),
 }
 
 impl PeReservoir {
     /// Build the reservoir for `threads` workers. `par_seed` roots the
-    /// parallel path's per-chunk streams (unused sequentially);
+    /// parallel paths' per-chunk streams (unused sequentially);
     /// `persistent` keeps one worker crew alive across batches instead of
-    /// spawning helpers per scan (`reservoir_par::Pool::persistent`).
-    pub fn new(cap: usize, degree: usize, threads: usize, par_seed: u64, persistent: bool) -> Self {
+    /// spawning helpers per scan (`reservoir_par::Pool::persistent`);
+    /// `merge` selects buffered-epilogue vs shared-tree candidate merging.
+    pub fn new(
+        cap: usize,
+        degree: usize,
+        threads: usize,
+        par_seed: u64,
+        persistent: bool,
+        merge: crate::dist::MergeMode,
+    ) -> Self {
+        if merge == crate::dist::MergeMode::Concurrent {
+            let mut conc = reservoir_par::ConcurrentReservoir::new(cap, threads, par_seed);
+            if persistent {
+                conc = conc.with_pool(reservoir_par::Pool::persistent(threads));
+            }
+            return PeReservoir::Conc(conc);
+        }
         if threads <= 1 {
             PeReservoir::Seq(LocalReservoir::new(cap, degree))
         } else {
@@ -388,7 +415,7 @@ impl PeReservoir {
     }
 
     /// Build from a [`DistConfig`]'s scan knobs (`threads_per_pe`,
-    /// `persistent_pool`) with capacity `cap`.
+    /// `persistent_pool`, `merge`) with capacity `cap`.
     pub fn for_config(cfg: &crate::dist::DistConfig, cap: usize, par_seed: u64) -> Self {
         Self::new(
             cap,
@@ -396,6 +423,7 @@ impl PeReservoir {
             cfg.threads_per_pe,
             par_seed,
             cfg.persistent_pool,
+            cfg.merge,
         )
     }
 
@@ -404,16 +432,25 @@ impl PeReservoir {
         match self {
             PeReservoir::Seq(r) => r.len(),
             PeReservoir::Par(r) => r.len(),
+            PeReservoir::Conc(r) => r.len(),
         }
     }
 
-    /// The underlying tree (the `reservoir_select::CandidateSet` the
-    /// distributed selection runs over).
-    pub fn tree(&self) -> &BPlusTree<SampleKey, f64> {
+    /// The local candidate set the distributed selection runs over. The
+    /// concurrent tree's subtree sizes are refreshed at the end of every
+    /// `process` call, so its rank queries are valid in the protocol's
+    /// sequential phases — exactly where selection runs.
+    pub fn candidates(&self) -> &dyn reservoir_select::CandidateSet {
         match self {
             PeReservoir::Seq(r) => r.tree(),
             PeReservoir::Par(r) => r.tree(),
+            PeReservoir::Conc(r) => r.tree(),
         }
+    }
+
+    /// Number of keys at or below `t`.
+    pub fn count_le(&self, t: &SampleKey) -> u64 {
+        reservoir_select::CandidateSet::count_le(self.candidates(), t)
     }
 
     /// Drop every entry with a key strictly above `t`.
@@ -421,6 +458,7 @@ impl PeReservoir {
         match self {
             PeReservoir::Seq(r) => r.prune_above(t),
             PeReservoir::Par(r) => r.prune_above(t),
+            PeReservoir::Conc(r) => r.prune_above(t),
         }
     }
 
@@ -432,15 +470,22 @@ impl PeReservoir {
     }
 
     /// Write the current entries into `buf` (cleared first), reusing its
-    /// allocation. One implementation over [`Self::tree`] serves both
-    /// arms, so the sequential and parallel extract paths cannot diverge.
+    /// allocation; all arms emit in ascending key order, so the extract
+    /// paths cannot diverge.
     pub fn items_into(&self, buf: &mut Vec<SampleItem>) {
         buf.clear();
-        buf.extend(
-            self.tree()
-                .iter()
-                .map(|(k, w)| SampleItem::from_entry(k, *w)),
-        );
+        match self {
+            PeReservoir::Seq(r) => {
+                buf.extend(r.tree().iter().map(|(k, w)| SampleItem::from_entry(k, *w)));
+            }
+            PeReservoir::Par(r) => {
+                buf.extend(r.tree().iter().map(|(k, w)| SampleItem::from_entry(k, *w)));
+            }
+            PeReservoir::Conc(r) => {
+                r.tree()
+                    .for_each(|k, w| buf.push(SampleItem::from_entry(k, w)));
+            }
+        }
     }
 
     /// Move all entries into `buf` (cleared first), reusing its allocation.
@@ -449,6 +494,7 @@ impl PeReservoir {
         match self {
             PeReservoir::Seq(r) => r.clear(),
             PeReservoir::Par(r) => r.clear(),
+            PeReservoir::Conc(r) => r.clear(),
         }
     }
 
@@ -479,19 +525,31 @@ impl PeReservoir {
                     SamplingMode::Weighted => r.process_weighted(items, threshold),
                     SamplingMode::Uniform => r.process_uniform(items, threshold),
                 };
-                ScanOutcome {
-                    stats: ScanStats {
-                        processed: par.processed,
-                        inserted: par.inserted,
-                        jumps: par.jumps,
-                        chunks: par.chunks,
-                        steals: par.steals,
-                        spawns: par.spawns,
-                    },
-                    par_scan_max_s: par.max_worker_scan_s(),
-                    par: Some(par),
-                }
+                Self::par_outcome(par)
             }
+            PeReservoir::Conc(r) => {
+                let par = match mode {
+                    SamplingMode::Weighted => r.process_weighted(items, threshold),
+                    SamplingMode::Uniform => r.process_uniform(items, threshold),
+                };
+                Self::par_outcome(par)
+            }
+        }
+    }
+
+    fn par_outcome(par: reservoir_par::ParScanStats) -> ScanOutcome {
+        ScanOutcome {
+            stats: ScanStats {
+                processed: par.processed,
+                inserted: par.inserted,
+                jumps: par.jumps,
+                chunks: par.chunks,
+                steals: par.steals,
+                spawns: par.spawns,
+                retries: par.retries,
+            },
+            par_scan_max_s: par.max_worker_scan_s(),
+            par: Some(par),
         }
     }
 }

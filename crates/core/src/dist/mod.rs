@@ -75,6 +75,40 @@ fn default_threads() -> usize {
     }
 }
 
+/// How a parallel local scan's surviving candidates reach the reservoir
+/// tree. Both modes draw the identical per-`(seed, batch, chunk)` RNG
+/// streams, so the fixed-seed sample is the same either way — only the
+/// merge schedule (and its scaling behaviour) differs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MergeMode {
+    /// Buffer candidates per chunk; one sequential epilogue merges them
+    /// into the B+ tree after the scan scope joins (PR 4's scheme; the
+    /// sequential scan at `threads_per_pe == 1`).
+    #[default]
+    Epilogue,
+    /// Scan workers insert candidates directly into one shared concurrent
+    /// tree (`reservoir_par::ConcurrentReservoir` over seqlock-based
+    /// optimistic lock coupling) — no sequential merge. Selected at *any*
+    /// thread count so a single-threaded concurrent baseline exists.
+    Concurrent,
+}
+
+/// Merge mode when the configuration does not say otherwise: the
+/// `RESERVOIR_MERGE` environment variable (`epilogue` | `concurrent`), or
+/// [`MergeMode::Epilogue`]. The CI stress job sets
+/// `RESERVOIR_MERGE=concurrent` to run the whole suite down the
+/// shared-tree path.
+fn default_merge() -> MergeMode {
+    match std::env::var("RESERVOIR_MERGE") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "epilogue" => MergeMode::Epilogue,
+            "concurrent" => MergeMode::Concurrent,
+            _ => panic!("RESERVOIR_MERGE must be 'epilogue' or 'concurrent', got {v:?}"),
+        },
+        Err(_) => MergeMode::Epilogue,
+    }
+}
+
 /// Configuration shared by the distributed samplers.
 #[derive(Clone, Copy, Debug)]
 pub struct DistConfig {
@@ -101,6 +135,12 @@ pub struct DistConfig {
     /// per-helper spawn cost. No effect at `threads_per_pe == 1`; the
     /// sample is identical either way (see `ScanStats::spawns`).
     pub persistent_pool: bool,
+    /// How scan candidates are merged into the local reservoir tree:
+    /// buffered + sequential epilogue, or direct concurrent insertion into
+    /// a shared tree. Constructors default this to the `RESERVOIR_MERGE`
+    /// environment variable, falling back to [`MergeMode::Epilogue`]. The
+    /// fixed-seed sample is identical in both modes.
+    pub merge: MergeMode,
 }
 
 impl DistConfig {
@@ -115,6 +155,7 @@ impl DistConfig {
             size_window: None,
             threads_per_pe: default_threads(),
             persistent_pool: false,
+            merge: default_merge(),
         }
     }
 
@@ -145,6 +186,13 @@ impl DistConfig {
     /// of spawning helper threads per batch (`threads_per_pe > 1` only).
     pub fn with_persistent_pool(mut self, persistent: bool) -> Self {
         self.persistent_pool = persistent;
+        self
+    }
+
+    /// Merge scan candidates through the given [`MergeMode`] (overrides
+    /// the `RESERVOIR_MERGE` default).
+    pub fn with_merge(mut self, merge: MergeMode) -> Self {
+        self.merge = merge;
         self
     }
 
@@ -267,6 +315,14 @@ mod tests {
         assert!(!t.persistent_pool);
         let p = t.with_persistent_pool(true);
         assert!(p.persistent_pool);
+        let c = p.with_merge(MergeMode::Concurrent);
+        assert_eq!(c.merge, MergeMode::Concurrent);
+        assert_eq!(
+            DistConfig::weighted(10, 1)
+                .with_merge(MergeMode::Epilogue)
+                .merge,
+            MergeMode::Epilogue
+        );
     }
 
     #[test]

@@ -242,6 +242,9 @@ impl SimConfig {
             size_window: self.size_window,
             threads_per_pe: self.threads_per_pe,
             persistent_pool: false,
+            // The sim models the scan statistically; the merge schedule is
+            // a real-backend concern and does not alter modeled costs.
+            merge: super::MergeMode::Epilogue,
         }
     }
 

@@ -119,7 +119,7 @@ impl<C: Communicator> SamplerBackend for CommBackend<'_, C> {
         let t0 = Instant::now();
         let res = select_threaded(
             self.comm,
-            self.local.tree(),
+            self.local.candidates(),
             target,
             union,
             SelectParams::with_pivots(pivots),
@@ -144,7 +144,7 @@ impl<C: Communicator> SamplerBackend for CommBackend<'_, C> {
     }
 
     fn local_count_le(&self, t: &SampleKey) -> u64 {
-        self.local.tree().count_le(t) as u64
+        self.local.count_le(t)
     }
 
     fn local_items_le(
@@ -156,7 +156,7 @@ impl<C: Communicator> SamplerBackend for CommBackend<'_, C> {
         let t0 = Instant::now();
         self.local.items_into(buf);
         if let Some(t) = t {
-            buf.truncate(self.local.tree().count_le(t));
+            buf.truncate(self.local.count_le(t) as usize);
         }
         times.output += t0.elapsed().as_secs_f64();
     }

@@ -1,0 +1,389 @@
+//! The shared-tree parallel local reservoir: every scan worker inserts
+//! its surviving candidates **directly into one concurrent B+ tree**
+//! ([`OlcTree`], seqlock-based optimistic lock coupling) instead of
+//! buffering them for [`ParLocalReservoir`]'s sequential merge epilogue.
+//!
+//! ## What changes vs the epilogue mode — and what must not
+//!
+//! The chunk geometry, the per-`(seed, batch, chunk)` RNG streams, and the
+//! relaxed shared-threshold snapshot are *identical* to the epilogue mode
+//! (the kernels are literally shared — see [`crate::reservoir::ScanSink`]).
+//! Randomness is consumed per chunk in a fixed order, so the **candidate
+//! multiset** a batch produces is a pure function of `(seed, batch
+//! sequence, chunk size)` — independent of thread count, steal order, and
+//! of which reservoir mode runs the scan. Only the *route* of a candidate
+//! into the tree differs: the epilogue inserts buffered candidates
+//! sequentially after the scan scope joins; here workers race their
+//! inserts through the seqlock protocol while the scan is still running.
+//! Tree-internal insertion order is therefore nondeterministic — but a set
+//! is a set: after the growing-mode re-prune to the `cap` smallest keys,
+//! both modes hold exactly the same entries, which is what the
+//! `engine_equivalence` determinism grid pins.
+//!
+//! ## Growing mode
+//!
+//! Growing-mode chunks still draw into a chunk-local buffer first
+//! ([`crate::reservoir::grow_chunk`] unchanged): the spill-prune needs
+//! random access to the chunk's own candidates to publish its `cap`-th
+//! smallest key into the shared bound, and batching the survivors keeps
+//! the shared tree out of the per-item hot loop. Each worker then pushes
+//! its chunk's survivors into the shared tree *inside the scan scope* —
+//! concurrently with other chunks scanning and inserting — and the
+//! post-scope epilogue shrinks to a `cap` re-prune plus the sequential
+//! subtree-size refresh the selection queries need.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use reservoir_btree::{OlcStats, OlcTree, SampleKey};
+use reservoir_rng::{SeedSequence, StreamKind};
+use reservoir_stream::Item;
+
+use crate::pool::{chunk_ranges, Pool};
+use crate::reservoir::{
+    grow_chunk, scan_chunk_uniform, scan_chunk_weighted, ChunkOut, ParScanStats, ScanSink,
+    BATCH_STREAM, CHUNK_STREAM, DEFAULT_CHUNK_ITEMS,
+};
+
+/// A [`ScanSink`] that inserts each survivor straight into the shared
+/// concurrent tree, counting locally and flushing the counters into the
+/// scan's shared totals when the chunk ends.
+struct DirectSink<'a> {
+    tree: &'a OlcTree,
+    inserted: u64,
+    jumps: u64,
+}
+
+impl ScanSink for DirectSink<'_> {
+    fn emit(&mut self, key: SampleKey, weight: f64) {
+        self.tree.insert(key, weight);
+        self.inserted += 1;
+    }
+
+    fn jump(&mut self) {
+        self.jumps += 1;
+    }
+}
+
+/// [`ParLocalReservoir`]'s shared-tree sibling: same chunked scans on the
+/// same [`Pool`], same sampling law and fixed-seed candidate multiset, but
+/// candidates go into one [`OlcTree`] concurrently instead of through a
+/// sequential merge epilogue. Node degree is fixed at
+/// [`reservoir_btree::OLC_DEGREE`].
+///
+/// [`ParLocalReservoir`]: crate::ParLocalReservoir
+pub struct ConcurrentReservoir {
+    cap: usize,
+    tree: OlcTree,
+    pool: Pool,
+    chunk_items: usize,
+    seeds: SeedSequence,
+    batch_no: u64,
+}
+
+impl ConcurrentReservoir {
+    /// Reservoir capped at `cap` entries in growing mode, scans run on
+    /// `threads` workers, RNG streams rooted at `seed` (derive it per PE
+    /// so PEs stay independent).
+    pub fn new(cap: usize, threads: usize, seed: u64) -> Self {
+        assert!(cap >= 1, "reservoir capacity must be at least 1");
+        ConcurrentReservoir {
+            cap,
+            tree: OlcTree::new(),
+            pool: Pool::new(threads),
+            chunk_items: DEFAULT_CHUNK_ITEMS,
+            seeds: SeedSequence::new(seed),
+            batch_no: 0,
+        }
+    }
+
+    /// Override the items-per-chunk granularity (testing / benchmarking).
+    pub fn with_chunk_items(mut self, chunk_items: usize) -> Self {
+        assert!(chunk_items >= 1, "chunks must hold at least one item");
+        self.chunk_items = chunk_items;
+        self
+    }
+
+    /// Run the scans on `pool` instead of the default per-scope pool (see
+    /// [`Pool::persistent`]). The worker count must match.
+    pub fn with_pool(mut self, pool: Pool) -> Self {
+        assert_eq!(
+            pool.threads(),
+            self.pool.threads(),
+            "replacement pool must keep the worker count"
+        );
+        self.pool = pool;
+        self
+    }
+
+    /// Whether the scans reuse a persistent helper crew.
+    pub fn pool_is_persistent(&self) -> bool {
+        self.pool.is_persistent()
+    }
+
+    /// Worker count the scans run on.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> u64 {
+        self.tree.len() as u64
+    }
+
+    /// Whether the reservoir holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// The shared tree (a `reservoir_select::CandidateSet` for the
+    /// distributed selection; sizes are fresh after every `process_*`).
+    pub fn tree(&self) -> &OlcTree {
+        &self.tree
+    }
+
+    /// The tree's cumulative concurrency counters (seqlock retries,
+    /// splits) — what the stress suites assert on.
+    pub fn tree_stats(&self) -> OlcStats {
+        self.tree.stats()
+    }
+
+    /// Drop every entry with a key strictly above `t`.
+    pub fn prune_above(&mut self, t: &SampleKey) {
+        self.tree.prune_above(t);
+    }
+
+    /// Remove all entries.
+    pub fn clear(&mut self) {
+        self.tree.clear();
+    }
+
+    /// Scan a weighted mini-batch; regimes as
+    /// [`crate::ParLocalReservoir::process_weighted`].
+    pub fn process_weighted(&mut self, items: &[Item], threshold: Option<f64>) -> ParScanStats {
+        self.process(items, threshold, false)
+    }
+
+    /// Scan a uniform mini-batch; regimes as
+    /// [`crate::ParLocalReservoir::process_uniform`].
+    pub fn process_uniform(&mut self, items: &[Item], threshold: Option<f64>) -> ParScanStats {
+        self.process(items, threshold, true)
+    }
+
+    fn process(&mut self, items: &[Item], threshold: Option<f64>, uniform: bool) -> ParScanStats {
+        self.batch_no += 1;
+        let mut stats = ParScanStats {
+            processed: items.len() as u64,
+            worker_scan_s: vec![0.0; self.pool.threads()],
+            ..ParScanStats::default()
+        };
+        if items.is_empty() {
+            return stats;
+        }
+        if let Some(t) = threshold {
+            debug_assert!(t > 0.0, "threshold must be positive");
+        }
+        let retries_before = self.tree.stats().retries;
+
+        // Same shared-threshold seeding as the epilogue mode: the fixed
+        // global T, or the growing-mode upper bound (pre-batch local
+        // threshold at capacity, +∞ otherwise).
+        let shared = AtomicU64::new(
+            match threshold {
+                Some(t) => t,
+                None if self.tree.len() >= self.cap => self.tree.max().expect("at capacity").0.key,
+                None => f64::INFINITY,
+            }
+            .to_bits(),
+        );
+        let inserted = AtomicU64::new(0);
+        let jumps = AtomicU64::new(0);
+
+        let nchunks = items.len().div_ceil(self.chunk_items);
+        let batch_seeds = SeedSequence::new(
+            self.seeds
+                .seed_for(self.batch_no as usize, StreamKind::Custom(BATCH_STREAM)),
+        );
+        let growing = threshold.is_none();
+        let cap = self.cap;
+        let tree = &self.tree;
+
+        let (_, report) = self.pool.scope(|s| {
+            for (c, range) in chunk_ranges(items.len(), self.chunk_items).enumerate() {
+                let shared = &shared;
+                let inserted = &inserted;
+                let jumps = &jumps;
+                let chunk = &items[range];
+                s.spawn(move |_| {
+                    let mut rng = batch_seeds.rng_for(c, StreamKind::Custom(CHUNK_STREAM));
+                    if growing {
+                        // Chunk-local draw + spill-prune (identical RNG
+                        // consumption and shared-bound publishes as the
+                        // epilogue mode), then the survivors race into the
+                        // shared tree while other chunks still scan.
+                        let mut out = ChunkOut::default();
+                        grow_chunk(chunk, cap, shared, uniform, &mut rng, &mut out);
+                        jumps.fetch_add(out.jumps, Ordering::Relaxed);
+                        inserted.fetch_add(out.candidates.len() as u64, Ordering::Relaxed);
+                        for (key, weight) in out.candidates {
+                            tree.insert(key, weight);
+                        }
+                    } else {
+                        let t = f64::from_bits(shared.load(Ordering::Relaxed));
+                        let mut sink = DirectSink {
+                            tree,
+                            inserted: 0,
+                            jumps: 0,
+                        };
+                        if uniform {
+                            scan_chunk_uniform(chunk, t, &mut rng, &mut sink);
+                        } else {
+                            scan_chunk_weighted(chunk, t, &mut rng, &mut sink);
+                        }
+                        jumps.fetch_add(sink.jumps, Ordering::Relaxed);
+                        inserted.fetch_add(sink.inserted, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+
+        // Sequential tail: the growing-mode re-prune to the cap smallest
+        // of the merged multiset (same set the epilogue mode ends with),
+        // plus the subtree-size refresh the rank/select queries need.
+        let t0 = Instant::now();
+        if growing && self.tree.len() > self.cap {
+            self.tree.truncate_to(self.cap);
+        }
+        self.tree.refresh_sizes();
+        stats.merge_s = t0.elapsed().as_secs_f64();
+        stats.inserted = inserted.load(Ordering::Relaxed);
+        stats.jumps = jumps.load(Ordering::Relaxed);
+        stats.chunks = nchunks as u64;
+        stats.steals = report.steals;
+        stats.spawns = report.spawns;
+        stats.worker_scan_s = report.worker_busy_s;
+        stats.retries = self.tree.stats().retries - retries_before;
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(n: u64, weight: impl Fn(u64) -> f64) -> Vec<Item> {
+        (0..n).map(|i| Item::new(i, weight(i))).collect()
+    }
+
+    fn ids(r: &ConcurrentReservoir) -> Vec<u64> {
+        let mut v: Vec<u64> = r.tree().entries().iter().map(|(k, _)| k.id).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn threshold_scan_keys_below_threshold_and_stats_consistent() {
+        let mut r = ConcurrentReservoir::new(8, 3, 1).with_chunk_items(512);
+        let t = 0.01;
+        let stats = r.process_weighted(&batch(10_000, |_| 1.0), Some(t));
+        assert_eq!(stats.processed, 10_000);
+        assert_eq!(stats.inserted, r.len());
+        assert_eq!(stats.chunks, 20);
+        assert_eq!(stats.worker_scan_s.len(), 3);
+        let mut ok = true;
+        r.tree().for_each(|k, _| ok &= k.key <= t);
+        assert!(ok);
+    }
+
+    #[test]
+    fn matches_epilogue_mode_candidates_at_every_thread_count() {
+        // The tentpole invariant, at unit scope: same seed ⇒ the same
+        // reservoir as ParLocalReservoir, for every thread count, across
+        // growing, threshold, and uniform batches.
+        let epilogue = {
+            let mut r = crate::ParLocalReservoir::new(50, 32, 4, 99).with_chunk_items(256);
+            r.process_weighted(&batch(3_000, |i| 1.0 + (i % 7) as f64), None);
+            let t = r.tree().max().unwrap().0.key;
+            r.process_weighted(&batch(5_000, |i| 1.0 + (i % 5) as f64), Some(t));
+            r.process_uniform(&batch(2_000, |_| 1.0), Some(0.02));
+            let mut v: Vec<(u64, u64)> = r
+                .tree()
+                .iter()
+                .map(|(k, _)| (k.key.to_bits(), k.id))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        for threads in [1, 2, 4, 8] {
+            let mut r = ConcurrentReservoir::new(50, threads, 99).with_chunk_items(256);
+            r.process_weighted(&batch(3_000, |i| 1.0 + (i % 7) as f64), None);
+            let t = r.tree().max().unwrap().0.key;
+            r.process_weighted(&batch(5_000, |i| 1.0 + (i % 5) as f64), Some(t));
+            r.process_uniform(&batch(2_000, |_| 1.0), Some(0.02));
+            let mut v: Vec<(u64, u64)> = r
+                .tree()
+                .entries()
+                .iter()
+                .map(|(k, _)| (k.key.to_bits(), k.id))
+                .collect();
+            v.sort_unstable();
+            assert_eq!(v, epilogue, "diverged at {threads} threads");
+            r.tree().check_consistency().unwrap();
+        }
+    }
+
+    #[test]
+    fn growing_mode_keeps_cap_smallest() {
+        let mut r = ConcurrentReservoir::new(50, 4, 3).with_chunk_items(300);
+        let stats = r.process_weighted(&batch(5_000, |i| 1.0 + (i % 7) as f64), None);
+        assert_eq!(r.len(), 50);
+        assert_eq!(stats.processed, 5_000);
+        assert!(stats.inserted < 3_000, "{}", stats.inserted);
+        r.tree().check_consistency().unwrap();
+    }
+
+    #[test]
+    fn persistent_pool_same_sample_zero_spawns() {
+        let run = |persistent: bool| {
+            let mut r = ConcurrentReservoir::new(50, 4, 99).with_chunk_items(256);
+            if persistent {
+                r = r.with_pool(Pool::persistent(4));
+            }
+            r.process_weighted(&batch(3_000, |i| 1.0 + (i % 7) as f64), None);
+            let t = r.tree().max().unwrap().0.key;
+            let stats = r.process_weighted(&batch(5_000, |i| 1.0 + (i % 5) as f64), Some(t));
+            (ids(&r), stats.spawns)
+        };
+        let (per_scope_ids, per_scope_spawns) = run(false);
+        let (crew_ids, crew_spawns) = run(true);
+        assert_eq!(
+            per_scope_ids, crew_ids,
+            "worker strategy changed the sample"
+        );
+        assert_eq!(per_scope_spawns, 3);
+        assert_eq!(crew_spawns, 0);
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let mut r = ConcurrentReservoir::new(10, 4, 7);
+        let s1 = r.process_weighted(&[], Some(0.5));
+        let s2 = r.process_weighted(&[], None);
+        let s3 = r.process_uniform(&[], Some(0.5));
+        assert_eq!(s1.inserted + s2.inserted + s3.inserted, 0);
+        assert!(r.is_empty());
+        assert_eq!(s1.chunks, 0);
+    }
+
+    #[test]
+    fn prune_above_and_clear() {
+        let mut r = ConcurrentReservoir::new(10, 2, 6).with_chunk_items(50);
+        r.process_weighted(&batch(200, |_| 1.0), None);
+        let entries = r.tree().entries();
+        let cut = SampleKey::new(entries[4].0.key, u64::MAX);
+        r.prune_above(&cut);
+        assert_eq!(r.len(), 5);
+        r.clear();
+        assert!(r.is_empty());
+    }
+}

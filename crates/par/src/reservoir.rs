@@ -52,10 +52,12 @@ const SCAN_BLOCK: usize = 32;
 /// every thread count under the same seed.
 pub const DEFAULT_CHUNK_ITEMS: usize = 4096;
 
-/// Stream tag for the per-batch seed derivation level.
-const BATCH_STREAM: u16 = 0x7062;
+/// Stream tag for the per-batch seed derivation level. Shared with the
+/// concurrent merge mode: both modes must consume identical streams for
+/// the candidate multiset to be identical.
+pub(crate) const BATCH_STREAM: u16 = 0x7062;
 /// Stream tag for the per-chunk seed derivation level.
-const CHUNK_STREAM: u16 = 0x7063;
+pub(crate) const CHUNK_STREAM: u16 = 0x7063;
 
 /// Work counters and timings for one parallel scan call.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -80,8 +82,13 @@ pub struct ParScanStats {
     /// the calling thread).
     pub worker_scan_s: Vec<f64>,
     /// Seconds of the sequential merge epilogue (tree insertion and the
-    /// growing-mode re-prune).
+    /// growing-mode re-prune). In the concurrent merge mode this is only
+    /// the post-scan re-prune + size refresh — insertion happened inside
+    /// the workers.
     pub merge_s: f64,
+    /// Seqlock conflicts retried by the concurrent merge mode's shared
+    /// tree during this scan (always 0 in epilogue mode).
+    pub retries: u64,
 }
 
 impl ParScanStats {
@@ -92,11 +99,32 @@ impl ParScanStats {
     }
 }
 
+/// Where a threshold-scan kernel puts its survivors: a buffered per-chunk
+/// vector (epilogue merge) or the shared concurrent tree (direct insert).
+/// The kernels draw randomness identically either way, so the sink choice
+/// never changes the candidate multiset.
+pub(crate) trait ScanSink {
+    /// A surviving candidate.
+    fn emit(&mut self, key: SampleKey, weight: f64);
+    /// One skip value was drawn.
+    fn jump(&mut self);
+}
+
 /// Per-chunk scan output, written once by whichever worker ran the chunk.
 #[derive(Default)]
-struct ChunkOut {
-    candidates: Vec<(SampleKey, f64)>,
-    jumps: u64,
+pub(crate) struct ChunkOut {
+    pub(crate) candidates: Vec<(SampleKey, f64)>,
+    pub(crate) jumps: u64,
+}
+
+impl ScanSink for ChunkOut {
+    fn emit(&mut self, key: SampleKey, weight: f64) {
+        self.candidates.push((key, weight));
+    }
+
+    fn jump(&mut self) {
+        self.jumps += 1;
+    }
 }
 
 /// The multicore counterpart of `reservoir_core::dist::LocalReservoir`:
@@ -287,10 +315,15 @@ impl ParLocalReservoir {
 }
 
 /// Fixed-threshold weighted chunk scan: blocked exponential jumps, the
-/// same kernel as the sequential scan but collecting into a buffer.
-fn scan_chunk_weighted(items: &[Item], t: f64, rng: &mut DefaultRng, out: &mut ChunkOut) {
+/// same kernel as the sequential scan but emitting into a [`ScanSink`].
+pub(crate) fn scan_chunk_weighted(
+    items: &[Item],
+    t: f64,
+    rng: &mut DefaultRng,
+    out: &mut impl ScanSink,
+) {
     let mut skip = rng.exponential(t);
-    out.jumps += 1;
+    out.jump();
     let mut i = 0;
     while i < items.len() {
         let end = (i + SCAN_BLOCK).min(items.len());
@@ -306,10 +339,9 @@ fn scan_chunk_weighted(items: &[Item], t: f64, rng: &mut DefaultRng, out: &mut C
                 // Conditional key given `key < t` (paper Section 4.1).
                 let x = (-t * item.weight).exp();
                 let v = -rng.rand_range_oc(x, 1.0).ln() / item.weight;
-                out.candidates
-                    .push((SampleKey::new(v, item.id), item.weight));
+                out.emit(SampleKey::new(v, item.id), item.weight);
                 skip = rng.exponential(t);
-                out.jumps += 1;
+                out.jump();
             }
         }
         i = end;
@@ -317,13 +349,17 @@ fn scan_chunk_weighted(items: &[Item], t: f64, rng: &mut DefaultRng, out: &mut C
 }
 
 /// Fixed-threshold uniform chunk scan: geometric jumps over item counts.
-fn scan_chunk_uniform(items: &[Item], t: f64, rng: &mut DefaultRng, out: &mut ChunkOut) {
+pub(crate) fn scan_chunk_uniform(
+    items: &[Item],
+    t: f64,
+    rng: &mut DefaultRng,
+    out: &mut impl ScanSink,
+) {
     if t >= 1.0 {
         // Degenerate threshold: every key qualifies.
         for item in items {
             let v = rng.rand_oc();
-            out.candidates
-                .push((SampleKey::new(v, item.id), item.weight));
+            out.emit(SampleKey::new(v, item.id), item.weight);
         }
         return;
     }
@@ -331,15 +367,14 @@ fn scan_chunk_uniform(items: &[Item], t: f64, rng: &mut DefaultRng, out: &mut Ch
     let n = items.len() as u64;
     while next < n {
         let skip = rng.geometric_skips(t);
-        out.jumps += 1;
+        out.jump();
         if skip >= n - next {
             break;
         }
         next += skip;
         let item = &items[next as usize];
         let v = rng.rand_oc() * t;
-        out.candidates
-            .push((SampleKey::new(v, item.id), item.weight));
+        out.emit(SampleKey::new(v, item.id), item.weight);
         next += 1;
     }
 }
@@ -348,7 +383,7 @@ fn scan_chunk_uniform(items: &[Item], t: f64, rng: &mut DefaultRng, out: &mut Ch
 /// candidates below the relaxed shared-threshold snapshot, prune the local
 /// buffer to `cap` when it spills and publish its own cap-th smallest key
 /// back into the shared bound.
-fn grow_chunk(
+pub(crate) fn grow_chunk(
     items: &[Item],
     cap: usize,
     shared: &AtomicU64,

@@ -6,6 +6,11 @@
 //! baseline) under the `threads_per_pe` knob — plus the fixed-seed
 //! determinism guarantees of the merge epilogue.
 //!
+//! The concurrent shared-tree merge (`MergeMode::Concurrent`, workers
+//! inserting straight into the OLC tree) is held to the same bar: its
+//! local scans and its end-to-end pipelines are two-sample-χ²-tested
+//! against the sequential law on both backends.
+//!
 //! The always-on tests keep trial counts modest; the `stats_`-prefixed
 //! tests behind the `stats` feature run the same laws at CI scale
 //! (`cargo test --release --features stats -- stats_`).
@@ -16,8 +21,8 @@ use common::{chi_square_upper, skewed_weight, two_sample_chi_square};
 use reservoir::comm::run_threads;
 use reservoir::dist::gather::GatherSampler;
 use reservoir::dist::threaded::DistributedSampler;
-use reservoir::dist::{DistConfig, LocalReservoir};
-use reservoir::par::ParLocalReservoir;
+use reservoir::dist::{DistConfig, LocalReservoir, MergeMode};
+use reservoir::par::{ConcurrentReservoir, ParLocalReservoir};
 use reservoir::rng::{default_rng, test_base_seed};
 use reservoir::stream::Item;
 
@@ -72,11 +77,28 @@ fn par_scan_counts(n: u64, t: f64, threads: usize, trials: u64, seed_base: u64) 
     counts
 }
 
+/// Per-item inclusion counts of the *concurrent shared-tree* threshold
+/// scan: workers insert into the OLC tree as they go instead of merging
+/// in the epilogue.
+fn conc_scan_counts(n: u64, t: f64, threads: usize, trials: u64, seed_base: u64) -> Vec<u64> {
+    let mut counts = vec![0u64; n as usize];
+    for trial in 0..trials {
+        let mut r = ConcurrentReservoir::new(8, threads, seed_base.wrapping_add(trial))
+            .with_chunk_items(64);
+        r.process_weighted(&batch(n, moderate_weight), Some(t));
+        r.tree().for_each(|k, _| counts[k.id as usize] += 1);
+    }
+    counts
+}
+
 /// End-to-end per-item inclusion counts through `DistributedSampler` (or
-/// the `GatherSampler` baseline) at the given `threads_per_pe`.
+/// the `GatherSampler` baseline) at the given `threads_per_pe` and merge
+/// schedule.
+#[allow(clippy::too_many_arguments)]
 fn pipeline_counts(
     gather_backend: bool,
     threads: usize,
+    merge: MergeMode,
     n: u64,
     k: usize,
     p: usize,
@@ -85,7 +107,9 @@ fn pipeline_counts(
 ) -> Vec<u64> {
     let mut counts = vec![0u64; n as usize];
     for trial in 0..trials {
-        let cfg = DistConfig::weighted(k, seed_base.wrapping_add(trial)).with_threads(threads);
+        let cfg = DistConfig::weighted(k, seed_base.wrapping_add(trial))
+            .with_threads(threads)
+            .with_merge(merge);
         let ids = run_threads(p, |comm| {
             use reservoir::comm::Communicator;
             let ids: Vec<u64> = if gather_backend {
@@ -140,9 +164,27 @@ fn check_threshold_scan_law(n: u64, t: f64, trials: u64, z: f64) {
     assert_same_law(&seq, &par, z, "threshold scan (t=4 vs sequential)");
 }
 
+fn check_conc_threshold_scan_law(n: u64, t: f64, trials: u64, z: f64) {
+    let base = test_base_seed();
+    let seq = seq_scan_counts(n, t, trials, base.wrapping_add(25_000_000));
+    let conc = conc_scan_counts(n, t, 4, trials, base.wrapping_add(26_000_000));
+    assert!(conc[9] > conc[0], "{} vs {}", conc[9], conc[0]);
+    assert_same_law(
+        &seq,
+        &conc,
+        z,
+        "concurrent threshold scan (t=4 vs sequential)",
+    );
+}
+
 #[test]
 fn par_threshold_scan_matches_sequential_law() {
     check_threshold_scan_law(512, 0.1, 200, 4.0);
+}
+
+#[test]
+fn conc_threshold_scan_matches_sequential_law() {
+    check_conc_threshold_scan_law(512, 0.1, 200, 4.0);
 }
 
 #[test]
@@ -191,20 +233,63 @@ fn par_growing_mode_matches_sequential_law() {
     assert_same_law(&seq, &par, 4.0, "growing mode (t=4 vs sequential)");
 }
 
+#[test]
+fn conc_growing_mode_matches_sequential_law() {
+    // Growing mode under the concurrent merge: chunk-local draw into
+    // per-worker buffers, insert into the shared tree, truncate to cap.
+    let base = test_base_seed();
+    let (n, cap, trials) = (256u64, 32usize, 300u64);
+    let mut seq = vec![0u64; n as usize];
+    let mut conc = vec![0u64; n as usize];
+    for trial in 0..trials {
+        let mut r = LocalReservoir::new(cap, 32);
+        let mut rng = default_rng(base.wrapping_add(33_000_000 + trial));
+        r.process_weighted(&batch(n, skewed_weight), None, &mut rng);
+        assert_eq!(r.len(), cap as u64);
+        for m in r.items() {
+            seq[m.id as usize] += 1;
+        }
+        let mut r = ConcurrentReservoir::new(cap, 4, base.wrapping_add(34_000_000 + trial))
+            .with_chunk_items(48);
+        r.process_weighted(&batch(n, skewed_weight), None);
+        assert_eq!(r.len(), cap as u64);
+        r.tree().for_each(|k, _| conc[k.id as usize] += 1);
+    }
+    assert_same_law(
+        &seq,
+        &conc,
+        4.0,
+        "concurrent growing mode (t=4 vs sequential)",
+    );
+}
+
 // --- end-to-end law on both backends -----------------------------------
 
-fn check_pipeline_law(gather_backend: bool, trials: u64, z: f64) {
+fn check_pipeline_law(gather_backend: bool, merge: MergeMode, trials: u64, z: f64) {
     let base = test_base_seed();
     let (n, k, p) = (96u64, 16usize, 2usize);
-    let salt = if gather_backend {
-        41_000_000
-    } else {
-        45_000_000
+    // Distinct salt per (backend, merge) cell so the cells stay
+    // independent trials of the law.
+    let salt = match (gather_backend, merge) {
+        (true, MergeMode::Epilogue) => 41_000_000,
+        (false, MergeMode::Epilogue) => 45_000_000,
+        (true, MergeMode::Concurrent) => 51_000_000,
+        (false, MergeMode::Concurrent) => 55_000_000,
     };
-    let seq = pipeline_counts(gather_backend, 1, n, k, p, trials, base.wrapping_add(salt));
+    let seq = pipeline_counts(
+        gather_backend,
+        1,
+        MergeMode::Epilogue,
+        n,
+        k,
+        p,
+        trials,
+        base.wrapping_add(salt),
+    );
     let par = pipeline_counts(
         gather_backend,
         4,
+        merge,
         n,
         k,
         p,
@@ -213,22 +298,33 @@ fn check_pipeline_law(gather_backend: bool, trials: u64, z: f64) {
     );
     assert_eq!(seq.iter().sum::<u64>(), trials * k as u64);
     assert_eq!(par.iter().sum::<u64>(), trials * k as u64);
-    let name = if gather_backend {
-        "GatherSampler backend (threads 4 vs 1)"
+    let backend = if gather_backend {
+        "GatherSampler"
     } else {
-        "DistributedSampler backend (threads 4 vs 1)"
+        "DistributedSampler"
     };
-    assert_same_law(&seq, &par, z, name);
+    let name = format!("{backend} backend, {merge:?} merge (threads 4 vs 1)");
+    assert_same_law(&seq, &par, z, &name);
 }
 
 #[test]
 fn par_matches_sequential_law_on_distributed_backend() {
-    check_pipeline_law(false, 250, 4.0);
+    check_pipeline_law(false, MergeMode::Epilogue, 250, 4.0);
 }
 
 #[test]
 fn par_matches_sequential_law_on_gather_backend() {
-    check_pipeline_law(true, 250, 4.0);
+    check_pipeline_law(true, MergeMode::Epilogue, 250, 4.0);
+}
+
+#[test]
+fn conc_matches_sequential_law_on_distributed_backend() {
+    check_pipeline_law(false, MergeMode::Concurrent, 250, 4.0);
+}
+
+#[test]
+fn conc_matches_sequential_law_on_gather_backend() {
+    check_pipeline_law(true, MergeMode::Concurrent, 250, 4.0);
 }
 
 // --- determinism of the merge epilogue ---------------------------------
@@ -292,12 +388,30 @@ fn stats_par_threshold_scan_matches_sequential_law_at_scale() {
 
 #[cfg(feature = "stats")]
 #[test]
+fn stats_conc_threshold_scan_matches_sequential_law_at_scale() {
+    check_conc_threshold_scan_law(1024, 0.1, 2_000, 2.33);
+}
+
+#[cfg(feature = "stats")]
+#[test]
 fn stats_par_matches_sequential_law_on_distributed_backend_at_scale() {
-    check_pipeline_law(false, 1_500, 2.33);
+    check_pipeline_law(false, MergeMode::Epilogue, 1_500, 2.33);
 }
 
 #[cfg(feature = "stats")]
 #[test]
 fn stats_par_matches_sequential_law_on_gather_backend_at_scale() {
-    check_pipeline_law(true, 1_500, 2.33);
+    check_pipeline_law(true, MergeMode::Epilogue, 1_500, 2.33);
+}
+
+#[cfg(feature = "stats")]
+#[test]
+fn stats_conc_matches_sequential_law_on_distributed_backend_at_scale() {
+    check_pipeline_law(false, MergeMode::Concurrent, 1_500, 2.33);
+}
+
+#[cfg(feature = "stats")]
+#[test]
+fn stats_conc_matches_sequential_law_on_gather_backend_at_scale() {
+    check_pipeline_law(true, MergeMode::Concurrent, 1_500, 2.33);
 }
