@@ -1,0 +1,142 @@
+//! Snapshot-reader throughput under live ingestion: how many consistent
+//! sample reads per second the always-fresh epoch slot serves while the
+//! pipeline keeps ingesting, swept over p PEs × t reader threads per PE
+//! against the ingest rate they ride on. The `reader_threads = 0` rows
+//! are the ingest-only baseline of the same configuration, so the table
+//! also answers "what does continuous publication cost the pipeline?"
+//! (the publication itself is always on here — every batch runs the
+//! finalize/place sequence — the readers only add slot traffic).
+//!
+//! Emits a human-readable table on stdout and a machine-readable
+//! `BENCH_snapshot.json` (override the path with `RESERVOIR_BENCH_OUT`)
+//! which CI uploads as a non-gating artifact. Honours
+//! `RESERVOIR_BENCH_QUICK=1` for a reduced batch size.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use reservoir_core::dist::threaded::DistributedSampler;
+use reservoir_core::dist::{ContinuousMode, DistConfig};
+use reservoir_rng::{default_rng, Rng64};
+use reservoir_stream::Item;
+
+const K: usize = 1024;
+const BATCHES: u64 = 8;
+
+struct Sweep {
+    pes: usize,
+    reader_threads: usize,
+    ingest_items_per_s: f64,
+    reads_per_s: f64,
+    reads_total: u64,
+    epochs: u64,
+}
+
+fn main() {
+    let quick = std::env::var_os("RESERVOIR_BENCH_QUICK").is_some();
+    let b: u64 = if quick { 100_000 } else { 1_000_000 };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let mut sweep = Vec::new();
+    for pes in [1usize, 2, 4] {
+        for readers in [0usize, 1, 2, 4] {
+            let results = reservoir_comm::run_threads(pes, move |comm| {
+                use reservoir_comm::Communicator;
+                let mut rng = default_rng(0x5AAB ^ comm.rank() as u64);
+                let items: Vec<Item> = (0..b)
+                    .map(|i| Item::new(((comm.rank() as u64) << 40) | i, rng.rand_oc() * 100.0))
+                    .collect();
+                let cfg =
+                    DistConfig::weighted(K, 0xF16).with_continuous(ContinuousMode::EveryBatch);
+                let mut s = DistributedSampler::new(&comm, cfg);
+                let reader = s.snapshot_reader();
+                let stop = AtomicBool::new(false);
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..readers)
+                        .map(|_| {
+                            let r = reader.clone();
+                            let stop = &stop;
+                            scope.spawn(move || {
+                                let mut reads = 0u64;
+                                while !stop.load(Ordering::Relaxed) {
+                                    let e = r.read();
+                                    assert!(e.verify(), "torn epoch under bench load");
+                                    reads += 1;
+                                }
+                                reads
+                            })
+                        })
+                        .collect();
+                    let start = Instant::now();
+                    for _ in 0..BATCHES {
+                        s.process_batch(&items);
+                    }
+                    let elapsed = start.elapsed().as_secs_f64();
+                    stop.store(true, Ordering::Relaxed);
+                    let reads: u64 = handles.into_iter().map(|h| h.join().expect("reader")).sum();
+                    let epochs = reader.latest_epoch();
+                    (elapsed, reads, epochs)
+                })
+            });
+            let elapsed = results.iter().map(|r| r.0).fold(0.0f64, f64::max);
+            let reads: u64 = results.iter().map(|r| r.1).sum();
+            sweep.push(Sweep {
+                pes,
+                reader_threads: readers,
+                ingest_items_per_s: (pes as u64 * BATCHES * b) as f64 / elapsed,
+                reads_per_s: reads as f64 / elapsed,
+                reads_total: reads,
+                epochs: results[0].2,
+            });
+        }
+    }
+
+    // --- stdout table ---------------------------------------------------
+    println!("### fig_snapshot — epoch reads under live ingestion, b = {b}, k = {K}");
+    println!("host cores: {cores}");
+    println!("\n| PEs | readers/PE | ingest items/s | reads/s | reads | epochs |");
+    println!("|---|---|---|---|---|---|");
+    for s in &sweep {
+        println!(
+            "| {} | {} | {:.3e} | {:.3e} | {} | {} |",
+            s.pes, s.reader_threads, s.ingest_items_per_s, s.reads_per_s, s.reads_total, s.epochs,
+        );
+    }
+
+    // --- machine-readable trajectory ------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"snapshot\",");
+    let _ = writeln!(json, "  \"driver\": \"distributed-sampler\",");
+    let _ = writeln!(json, "  \"mode\": \"weighted\",");
+    let _ = writeln!(json, "  \"batch_items\": {b},");
+    let _ = writeln!(json, "  \"batches\": {BATCHES},");
+    let _ = writeln!(json, "  \"sample_k\": {K},");
+    let _ = writeln!(json, "  \"host_cores\": {cores},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"sweep\": [");
+    for (i, s) in sweep.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"pes\": {}, \"reader_threads\": {}, \
+             \"ingest_items_per_s\": {:.6e}, \"reads_per_s\": {:.6e}, \
+             \"reads_total\": {}, \"epochs\": {}}}{}",
+            s.pes,
+            s.reader_threads,
+            s.ingest_items_per_s,
+            s.reads_per_s,
+            s.reads_total,
+            s.epochs,
+            if i + 1 < sweep.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    let out = std::env::var("RESERVOIR_BENCH_OUT").unwrap_or_else(|_| "BENCH_snapshot.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_snapshot.json");
+    eprintln!("wrote {out}");
+}

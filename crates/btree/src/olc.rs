@@ -44,9 +44,13 @@
 //! where the scan scope has already joined, so those take `&self`/`&mut
 //! self` under the documented quiescence rule: no concurrent writers.
 //! Subtree sizes are not maintained during concurrent inserts (that
-//! would serialize writers on the root); [`OlcTree::refresh_sizes`]
-//! recomputes them in one O(nodes) sequential pass after each scan, and
-//! the rank/select queries debug-assert the sizes are fresh.
+//! would serialize writers on the root); instead every insert marks the
+//! nodes on its descent path **subtree-dirty**, and
+//! [`OlcTree::refresh_sizes`] recomputes sizes in one sequential pass
+//! that descends only into dirty subtrees — O(touched) after a small
+//! batch, not O(nodes) — so per-epoch finalization under continuous
+//! publication stays cheap. The rank/select queries debug-assert the
+//! sizes are fresh.
 
 use std::cmp::Ordering as CmpOrder;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, Ordering};
@@ -66,6 +70,10 @@ const REBUILD_FILL: usize = (OLC_DEGREE * 3) / 4;
 /// First arena chunk holds 64 nodes; every next chunk doubles.
 const CHUNK_BASE: usize = 64;
 const MAX_CHUNKS: usize = 26;
+
+/// Deepest descent path an insert can record: u32 node indices at a
+/// branching factor of at least 2 bound the height well below this.
+const MAX_PATH: usize = 64;
 
 /// Concurrency counters of one [`OlcTree`] (monotonic since creation).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -101,6 +109,10 @@ struct NodeCell {
     meta: AtomicU64,
     /// Subtree size; only valid after [`OlcTree::refresh_sizes`].
     size: AtomicU64,
+    /// Set when this subtree's cached `size` may be stale: inserts mark
+    /// their whole descent path, splits mark both halves. Cleared by the
+    /// refresh pass, which descends only into dirty subtrees.
+    dirty: AtomicBool,
     key_bits: [AtomicU64; OLC_DEGREE],
     key_id: [AtomicU64; OLC_DEGREE],
     val: [AtomicU64; OLC_DEGREE],
@@ -112,6 +124,7 @@ impl NodeCell {
             lock: SeqLock::new(),
             meta: AtomicU64::new(0),
             size: AtomicU64::new(0),
+            dirty: AtomicBool::new(false),
             key_bits: std::array::from_fn(|_| AtomicU64::new(0)),
             key_id: std::array::from_fn(|_| AtomicU64::new(0)),
             val: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -338,6 +351,13 @@ impl OlcTree {
         }
     }
 
+    /// Nodes currently allocated in the arena. Baseline for reasoning
+    /// about [`Self::refresh_sizes`] cost: touched ≤ node_count, and ≪
+    /// node_count after a small batch of inserts.
+    pub fn node_count(&self) -> u64 {
+        self.arena.next.load(Ordering::Relaxed) as u64
+    }
+
     /// Insert an entry, overwriting the value of an equal key. Returns
     /// `true` when the entry is new. Safe to call from many threads
     /// concurrently; retries internally until it wins.
@@ -370,6 +390,8 @@ impl OlcTree {
             return Err(Abort::Conflict);
         }
         let mut parent = Parent::Root(root_ver);
+        let mut path = [0u32; MAX_PATH];
+        let mut depth = 0usize;
         loop {
             let node = self.arena.node(node_idx);
             let node_ver = node.lock.read_begin().map_err(|()| Abort::Conflict)?;
@@ -378,9 +400,18 @@ impl OlcTree {
             if !self.parent_valid(parent) {
                 return Err(Abort::Conflict);
             }
+            debug_assert!(depth < MAX_PATH);
+            path[depth] = node_idx;
+            depth += 1;
             let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
             if len >= OLC_DEGREE {
                 self.split_child(parent, node_idx, node_ver)?;
+                // The split halved this node's cached size even if the
+                // insert ends up overwriting: dirty the chain down to it
+                // (split_into marked the new sibling).
+                for &n in &path[..depth] {
+                    self.arena.node(n).dirty.store(true, Ordering::Relaxed);
+                }
                 return Err(Abort::Progress);
             }
             if is_leaf {
@@ -389,6 +420,17 @@ impl OlcTree {
                 let guard = node.lock.try_lock(node_ver).ok_or(Abort::Conflict)?;
                 let new = node.leaf_insert(key, weight, len);
                 drop(guard);
+                if new {
+                    // Subtree sizes along the descent went stale. Nodes
+                    // never move in the arena and subtrees are re-parented
+                    // wholesale by splits, so marking by index stays valid
+                    // even if a racing split relocated part of this path —
+                    // the split marked both halves, keeping every stale
+                    // node reachable through a dirty ancestor chain.
+                    for &n in &path[..depth] {
+                        self.arena.node(n).dirty.store(true, Ordering::Relaxed);
+                    }
+                }
                 return Ok(new);
             }
             let slot = node.route(key, len);
@@ -479,6 +521,11 @@ impl OlcTree {
         // in a leaf, its last separator in an inner node — index keep−1
         // either way.
         let sep = node.key_at(keep - 1);
+        // The new sibling's cached size is stale; the splitting insert
+        // marks the ancestor chain (including the left half) from its
+        // descent path, which keeps the sibling reachable through its
+        // dirty parent.
+        right.dirty.store(true, Ordering::Relaxed);
         let (plen, p_leaf) = unpack(parent.meta.load(Ordering::Relaxed));
         debug_assert!(!p_leaf && plen < OLC_DEGREE);
         for i in (slot + 1..plen).rev() {
@@ -560,28 +607,45 @@ impl OlcTree {
         }
     }
 
-    /// Recompute every node's subtree size (one sequential O(nodes)
-    /// pass); the rank/select queries below require this after any batch
-    /// of concurrent inserts. No-op when nothing was inserted since the
-    /// last refresh.
-    pub fn refresh_sizes(&mut self) {
+    /// Recompute stale subtree sizes; the rank/select queries below
+    /// require this after any batch of concurrent inserts. Descends only
+    /// into subtrees marked dirty by inserts/splits, so the cost is
+    /// O(touched nodes) after a small batch rather than O(nodes). The
+    /// root is always recomputed (a racing root split installs a new,
+    /// unmarked root). Returns the number of nodes visited — 0 when
+    /// nothing was inserted since the last refresh.
+    pub fn refresh_sizes(&mut self) -> u64 {
         if !self.dirty.load(Ordering::Relaxed) {
-            return;
+            return 0;
         }
-        let total = self.refresh(self.root.load(Ordering::Relaxed));
+        let mut touched = 0u64;
+        let total = self.refresh(self.root.load(Ordering::Relaxed), &mut touched);
         debug_assert_eq!(total, self.count.load(Ordering::Relaxed));
         self.dirty.store(false, Ordering::Relaxed);
+        touched
     }
 
-    fn refresh(&self, idx: u32) -> u64 {
+    fn refresh(&self, idx: u32, touched: &mut u64) -> u64 {
         let node = self.arena.node(idx);
+        *touched += 1;
         let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
         let size = if is_leaf {
             len as u64
         } else {
-            (0..len).map(|i| self.refresh(node.child(i))).sum()
+            (0..len)
+                .map(|i| {
+                    let c = node.child(i);
+                    let cell = self.arena.node(c);
+                    if cell.dirty.load(Ordering::Relaxed) {
+                        self.refresh(c, touched)
+                    } else {
+                        cell.size.load(Ordering::Relaxed)
+                    }
+                })
+                .sum()
         };
         node.size.store(size, Ordering::Relaxed);
+        node.dirty.store(false, Ordering::Relaxed);
         size
     }
 

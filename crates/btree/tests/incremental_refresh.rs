@@ -1,0 +1,155 @@
+//! Regression tests for the incremental `refresh_sizes` pass: after a
+//! small batch of inserts it must visit only the dirty descent paths
+//! (O(touched)), not the whole tree, while still producing exactly the
+//! subtree sizes the rank/select queries need.
+
+use reservoir_btree::{OlcTree, SampleKey};
+use reservoir_par::YieldInjector;
+use reservoir_rng::test_base_seed;
+
+fn key(i: u64) -> SampleKey {
+    SampleKey::new(i as f64, i)
+}
+
+/// Build a tree of `n` distinct keys and refresh it to a clean state.
+fn built(n: u64) -> OlcTree {
+    let mut tree = OlcTree::new();
+    for i in 0..n {
+        // Scrambled order so the tree actually splits on the way up.
+        let j = (i * 7919) % n;
+        tree.insert(key(j), j as f64);
+    }
+    tree.refresh_sizes();
+    tree
+}
+
+/// Every rank/select answer must agree with the sorted entry list.
+fn assert_ranks_consistent(tree: &OlcTree) {
+    let entries = tree.entries();
+    assert_eq!(entries.len(), tree.len());
+    for (i, (k, _)) in entries.iter().enumerate() {
+        assert_eq!(tree.count_le(k), i + 1, "count_le({})", k.id);
+        let (sel, _) = tree.select(i).expect("rank in range");
+        assert_eq!(sel, *k, "select({i})");
+    }
+}
+
+#[test]
+fn clean_tree_refresh_is_free() {
+    let mut tree = built(3_000);
+    assert_eq!(tree.refresh_sizes(), 0, "nothing dirty ⇒ nothing visited");
+}
+
+#[test]
+fn single_insert_touches_one_path_not_the_tree() {
+    let n = 5_000u64;
+    let mut tree = built(n);
+    let nodes = tree.node_count();
+    tree.insert(key(n + 1), 1.0);
+    let touched = tree.refresh_sizes();
+    // One insert dirties its root→leaf path (plus at most a couple of
+    // split-created nodes): a handful of nodes at degree 16, while the
+    // tree holds hundreds.
+    assert!(touched >= 1, "an insert must dirty something");
+    assert!(
+        touched <= 16,
+        "one insert refreshed {touched} nodes; expected a single path"
+    );
+    assert!(
+        touched * 8 < nodes,
+        "refresh visited {touched} of {nodes} nodes — not incremental"
+    );
+    tree.check_consistency().unwrap();
+    assert_eq!(tree.count_le(&key(n + 1)), tree.len());
+}
+
+#[test]
+fn overwrite_only_recomputes_the_root() {
+    let mut tree = built(2_000);
+    // First overwrite may still split a full node met on the descent;
+    // settle the path, then measure the pure-overwrite case.
+    assert!(!tree.insert(key(17), 50.0), "key 17 already present");
+    tree.refresh_sizes();
+    assert!(!tree.insert(key(17), 99.0));
+    assert_eq!(tree.refresh_sizes(), 1, "pure overwrite ⇒ root only");
+    tree.check_consistency().unwrap();
+    assert_ranks_consistent(&tree);
+}
+
+#[test]
+fn small_batch_cost_scales_with_the_batch() {
+    let n = 8_000u64;
+    let batch = 10u64;
+    let mut tree = built(n);
+    let nodes = tree.node_count();
+    for i in 0..batch {
+        tree.insert(key(n + 1 + i * 731), 1.0);
+    }
+    let touched = tree.refresh_sizes();
+    // Each insert marks ≤ one path; paths share ancestors, so the union
+    // is well under batch × depth and far under the node count.
+    assert!(
+        touched <= batch * 8,
+        "{batch} inserts refreshed {touched} nodes"
+    );
+    assert!(
+        touched * 4 < nodes,
+        "refresh visited {touched} of {nodes} nodes — not incremental"
+    );
+    tree.check_consistency().unwrap();
+    assert_ranks_consistent(&tree);
+}
+
+#[test]
+fn rebuilds_leave_nothing_to_refresh() {
+    let mut tree = built(1_000);
+    tree.prune_above(&key(499));
+    assert_eq!(tree.len(), 500);
+    // Rebuilds install fresh, correctly-sized nodes and clear the flag.
+    assert_eq!(tree.refresh_sizes(), 0, "rebuild ⇒ already fresh");
+    tree.truncate_to(100);
+    assert_eq!(tree.refresh_sizes(), 0);
+    assert_ranks_consistent(&tree);
+}
+
+#[test]
+fn concurrent_contended_inserts_refresh_correctly() {
+    // Splits under contention mark both halves and the whole descent
+    // chain; the quiescent refresh must still reach every stale node and
+    // land on exactly the right sizes, across several injected
+    // interleavings.
+    let base = test_base_seed();
+    for round in 0..3u64 {
+        let seed = base ^ round.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut tree = built(2_000);
+        {
+            let _guard = if round % 2 == 0 {
+                YieldInjector::install_aggressive(seed)
+            } else {
+                YieldInjector::install(seed)
+            };
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let tree = &tree;
+                    s.spawn(move || {
+                        for i in 0..200u64 {
+                            // Narrow band: all threads hammer the same
+                            // nodes, forcing retries and splits.
+                            let id = 100_000 + (i.wrapping_mul(t + 3)) % 300;
+                            tree.insert(key(id), t as f64);
+                        }
+                    });
+                }
+            });
+        }
+        let touched = tree.refresh_sizes();
+        let nodes = tree.node_count();
+        assert!(
+            touched < nodes,
+            "round {round} (seed {seed:#x}): refresh revisited the whole arena"
+        );
+        tree.check_consistency()
+            .unwrap_or_else(|e| panic!("round {round} (seed {seed:#x}): {e}"));
+        assert_ranks_consistent(&tree);
+    }
+}

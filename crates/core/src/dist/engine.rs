@@ -52,7 +52,8 @@ use reservoir_stream::Item;
 
 use crate::dist::local::ScanStats;
 use crate::dist::output::SampleHandle;
-use crate::dist::{BatchReport, DistConfig, PipelineReport, SamplingMode};
+use crate::dist::snapshot::{EpochPublisher, SampleEpoch, SnapshotReader};
+use crate::dist::{BatchReport, ContinuousMode, DistConfig, PipelineReport, SamplingMode};
 use crate::metrics::PhaseTimes;
 use crate::sample::SampleItem;
 
@@ -193,6 +194,17 @@ pub trait SamplerBackend {
     /// See [`Self::rank`].
     fn size(&self) -> usize;
 
+    /// Checkpoint the selection RNG state (one generator per endpoint
+    /// this backend drives; the conductor-style simulator returns all
+    /// `p`). Continuous-mode epoch publication brackets its finalize
+    /// selection with checkpoint/restore so the publication consumes no
+    /// randomness the batch protocol would otherwise see — the key to
+    /// byte-identical fixed-seed samples with publication on or off.
+    fn select_rng_state(&self) -> Vec<reservoir_rng::DefaultRng>;
+
+    /// Restore a checkpoint taken by [`Self::select_rng_state`].
+    fn restore_select_rng(&mut self, state: Vec<reservoir_rng::DefaultRng>);
+
     /// One 1-word all-reduce outside the phase accounting — the
     /// ingestion drain's continue/stop vote. Only the real backends
     /// drive pipelines; the conductor-style simulator has no ingestion
@@ -237,18 +249,32 @@ pub struct ReservoirProtocol<B: SamplerBackend> {
     cfg: DistConfig,
     threshold: Option<SampleKey>,
     phases: PhaseTimes,
+    /// The always-fresh read slot this endpoint publishes into. Always
+    /// present (readers can be handed out before the first publication);
+    /// publication itself only runs under [`ContinuousMode::EveryBatch`]
+    /// plus once per `collect_output`.
+    publisher: EpochPublisher,
 }
 
 impl<B: SamplerBackend> ReservoirProtocol<B> {
     /// Wrap `backend` in a protocol endpoint. Every endpoint of the same
     /// cluster must use an identical `cfg`.
     pub fn new(backend: B, cfg: DistConfig) -> Self {
+        let publisher = EpochPublisher::new(backend.rank(), backend.size());
         ReservoirProtocol {
             backend,
             cfg,
             threshold: None,
             phases: PhaseTimes::default(),
+            publisher,
         }
+    }
+
+    /// A read handle on this endpoint's always-fresh sample slot; clone
+    /// freely across threads. Before the first publication it serves the
+    /// empty genesis epoch.
+    pub fn snapshot_reader(&self) -> SnapshotReader {
+        self.publisher.reader()
     }
 
     /// The substrate underneath (reservoir inspection, simulator cost
@@ -330,6 +356,9 @@ impl<B: SamplerBackend> ReservoirProtocol<B> {
             sample_size = res.rank;
             rounds = res.rounds;
         }
+        if self.cfg.continuous == ContinuousMode::EveryBatch {
+            self.publish_epoch(&mut times);
+        }
         self.phases.accumulate(&times);
         BatchReport {
             sample_size,
@@ -338,6 +367,36 @@ impl<B: SamplerBackend> ReservoirProtocol<B> {
             scan: outcome.stats,
             times,
         }
+    }
+
+    /// Continuous-mode publication (collective): run the Section 5
+    /// finalize → extract → place sequence and swap the resulting
+    /// finalized-to-`k` view into this endpoint's snapshot slot. Billed
+    /// entirely to `times.output` (the simulated backend charges the
+    /// count/select/place collectives to its α–β model, so per-epoch cost
+    /// shows up in the cost report). The selection RNG is checkpointed
+    /// around the finalize selection, so publication leaves the batch
+    /// protocol's random schedule untouched — streaming state (reservoirs,
+    /// threshold) is never modified here.
+    fn publish_epoch(&mut self, times: &mut PhaseTimes) {
+        let rng = self.backend.select_rng_state();
+        let fin = self.finalize(times);
+        let mut items = Vec::with_capacity(fin.keep as usize);
+        self.backend
+            .local_items_le(fin.threshold.as_ref(), &mut items, times);
+        let placement = self.backend.place(fin.keep, times);
+        self.backend.restore_select_rng(rng);
+        let epoch = SampleEpoch::new(
+            self.publisher.next_epoch(),
+            items,
+            placement.offset,
+            placement.total,
+            self.backend.rank(),
+            self.backend.size(),
+            fin.threshold.map(|t| t.key),
+            fin.rounds,
+        );
+        self.publisher.publish(epoch);
     }
 
     /// Section 5 step 1, **finalize** (collective): if the union currently
@@ -398,6 +457,21 @@ impl<B: SamplerBackend> ReservoirProtocol<B> {
             self.backend.size(),
             fin.threshold.map(|t| t.key),
         );
+        if self.cfg.continuous == ContinuousMode::EveryBatch {
+            // The collection itself is the freshest possible view; expose
+            // it to snapshot readers too, reusing the collectives already
+            // run above (a pure local pointer swap).
+            self.publisher.publish(SampleEpoch::new(
+                self.publisher.next_epoch(),
+                handle.local_items().to_vec(),
+                placement.offset,
+                placement.total,
+                self.backend.rank(),
+                self.backend.size(),
+                handle.threshold(),
+                fin.rounds,
+            ));
+        }
         self.phases.accumulate(&times);
         (handle, times, fin.rounds)
     }
@@ -579,6 +653,14 @@ mod tests {
 
         fn size(&self) -> usize {
             1
+        }
+
+        fn select_rng_state(&self) -> Vec<reservoir_rng::DefaultRng> {
+            vec![self.rng.clone()]
+        }
+
+        fn restore_select_rng(&mut self, mut state: Vec<reservoir_rng::DefaultRng>) {
+            self.rng = state.pop().expect("one endpoint, one generator");
         }
     }
 

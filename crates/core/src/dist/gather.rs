@@ -228,6 +228,14 @@ impl<C: Communicator> SamplerBackend for GatherBackend<'_, C> {
     fn vote(&mut self, active: u64) -> u64 {
         crate::dist::engine::vote_over_collectives(self.comm, active)
     }
+
+    fn select_rng_state(&self) -> Vec<DefaultRng> {
+        vec![self.select_rng.clone()]
+    }
+
+    fn restore_select_rng(&mut self, mut state: Vec<DefaultRng>) {
+        self.select_rng = state.pop().expect("one PE, one selection generator");
+    }
 }
 
 /// One PE's endpoint of the centralized gathering sampler: the stable API
@@ -288,6 +296,16 @@ impl<'a, C: Communicator> GatherSampler<'a, C> {
     /// Number of sample members held by this PE (root: the whole sample).
     pub fn local_len(&self) -> u64 {
         self.engine.backend().local_len()
+    }
+
+    /// A read handle on this PE's always-fresh sample slot (see
+    /// [`crate::dist::snapshot`]). Under
+    /// [`ContinuousMode::EveryBatch`](crate::dist::ContinuousMode) the
+    /// root's epochs carry the whole sample; non-root epochs hold empty
+    /// slices with the agreed global placement — the same shape
+    /// [`Self::collect_output`] produces.
+    pub fn snapshot_reader(&self) -> crate::dist::snapshot::SnapshotReader {
+        self.engine.snapshot_reader()
     }
 
     /// Accumulated wall-clock seconds per algorithm phase (the funnel's

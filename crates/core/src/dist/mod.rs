@@ -45,6 +45,7 @@ pub mod gather;
 pub mod local;
 pub mod output;
 pub mod sim;
+pub mod snapshot;
 pub mod threaded;
 
 /// Whether items carry weights or are sampled uniformly.
@@ -109,6 +110,42 @@ fn default_merge() -> MergeMode {
     }
 }
 
+/// Whether the engine publishes an always-fresh [`snapshot::SampleEpoch`]
+/// while ingestion runs. Publication rides the existing Section 5
+/// finalize/place path and restores the selection RNG afterwards, so the
+/// fixed-seed final sample is byte-identical in both modes.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ContinuousMode {
+    /// Classic semantics: the sample only materializes at
+    /// `collect_output`. Snapshot readers see the genesis (empty) epoch
+    /// until then, plus the final epoch once collected.
+    #[default]
+    Disabled,
+    /// Publish a finalized-to-`k` epoch after every collective batch
+    /// step, so concurrent [`snapshot::SnapshotReader`]s always hold a
+    /// sample at most one batch stale. Costs one finalize/place sequence
+    /// per batch (the simulator charges it to the α–β model).
+    EveryBatch,
+}
+
+/// Continuous mode when the configuration does not say otherwise: the
+/// `RESERVOIR_CONTINUOUS` environment variable (`0` | `1`, or the mode
+/// names), or [`ContinuousMode::Disabled`]. The CI snapshot-stress job
+/// sets `RESERVOIR_CONTINUOUS=1` to run the whole suite with per-batch
+/// publication on.
+fn default_continuous() -> ContinuousMode {
+    match std::env::var("RESERVOIR_CONTINUOUS") {
+        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+            "0" | "off" | "disabled" => ContinuousMode::Disabled,
+            "1" | "on" | "every-batch" | "everybatch" => ContinuousMode::EveryBatch,
+            _ => {
+                panic!("RESERVOIR_CONTINUOUS must be 0/off/disabled or 1/on/every-batch, got {v:?}")
+            }
+        },
+        Err(_) => ContinuousMode::Disabled,
+    }
+}
+
 /// Configuration shared by the distributed samplers.
 #[derive(Clone, Copy, Debug)]
 pub struct DistConfig {
@@ -141,6 +178,12 @@ pub struct DistConfig {
     /// environment variable, falling back to [`MergeMode::Epilogue`]. The
     /// fixed-seed sample is identical in both modes.
     pub merge: MergeMode,
+    /// Whether the engine publishes an always-fresh sample epoch per
+    /// batch step for concurrent snapshot readers. Constructors default
+    /// this to the `RESERVOIR_CONTINUOUS` environment variable, falling
+    /// back to [`ContinuousMode::Disabled`]. The fixed-seed final sample
+    /// is identical in both modes.
+    pub continuous: ContinuousMode,
 }
 
 impl DistConfig {
@@ -156,6 +199,7 @@ impl DistConfig {
             threads_per_pe: default_threads(),
             persistent_pool: false,
             merge: default_merge(),
+            continuous: default_continuous(),
         }
     }
 
@@ -193,6 +237,13 @@ impl DistConfig {
     /// the `RESERVOIR_MERGE` default).
     pub fn with_merge(mut self, merge: MergeMode) -> Self {
         self.merge = merge;
+        self
+    }
+
+    /// Publish always-fresh sample epochs per the given
+    /// [`ContinuousMode`] (overrides the `RESERVOIR_CONTINUOUS` default).
+    pub fn with_continuous(mut self, continuous: ContinuousMode) -> Self {
+        self.continuous = continuous;
         self
     }
 
@@ -237,8 +288,10 @@ pub struct BatchReport {
     /// parallel path's chunk and steal counts.
     pub scan: local::ScanStats,
     /// Wall-clock seconds this batch spent per algorithm phase on this PE
-    /// (`output` and `ingest` are always 0 here; they accrue in
-    /// `collect_output` and the `run_pipeline` drain respectively).
+    /// (`ingest` is always 0 here; it accrues in the `run_pipeline`
+    /// drain. `output` is 0 except under
+    /// [`ContinuousMode::EveryBatch`], where each step's epoch
+    /// publication bills its finalize/place sequence here).
     /// `times.par_scan` carries the busiest scan worker's seconds when
     /// `threads_per_pe > 1`.
     pub times: crate::metrics::PhaseTimes,
@@ -290,6 +343,7 @@ pub use engine::{ReservoirProtocol, SamplerBackend};
 pub use gather::GatherSampler;
 pub use local::LocalReservoir;
 pub use output::SampleHandle;
+pub use snapshot::{EpochPublisher, SampleEpoch, SnapshotReader};
 pub use threaded::DistributedSampler;
 
 #[cfg(test)]
@@ -322,6 +376,12 @@ mod tests {
                 .with_merge(MergeMode::Epilogue)
                 .merge,
             MergeMode::Epilogue
+        );
+        let s = c.with_continuous(ContinuousMode::EveryBatch);
+        assert_eq!(s.continuous, ContinuousMode::EveryBatch);
+        assert_eq!(
+            s.with_continuous(ContinuousMode::Disabled).continuous,
+            ContinuousMode::Disabled
         );
     }
 

@@ -190,6 +190,12 @@ pub struct SimConfig {
     /// exact rank `k`. `None` keeps the size exactly `k`. Only
     /// [`SimAlgo::Ours`] supports it (as on the real backends).
     pub size_window: Option<(u64, u64)>,
+    /// Whether the simulated cluster publishes an always-fresh sample
+    /// epoch per batch. Each publication drives the engine's real
+    /// finalize/place sequence, so its count/select/place collectives are
+    /// charged to the α–β model under the `output` phase — the modeled
+    /// price of continuous reads. Defaults to `RESERVOIR_CONTINUOUS`.
+    pub continuous: super::ContinuousMode,
 }
 
 impl SimConfig {
@@ -211,6 +217,7 @@ impl SimConfig {
             seed,
             threads_per_pe: 1,
             size_window: None,
+            continuous: super::default_continuous(),
         }
     }
 
@@ -225,6 +232,14 @@ impl SimConfig {
     pub fn with_size_window(mut self, lo: u64, hi: u64) -> Self {
         assert!(1 <= lo && lo <= hi, "invalid size window {lo}..{hi}");
         self.size_window = Some((lo, hi));
+        self
+    }
+
+    /// Publish always-fresh sample epochs per the given
+    /// [`ContinuousMode`](super::ContinuousMode) (overrides the
+    /// `RESERVOIR_CONTINUOUS` default).
+    pub fn with_continuous(mut self, continuous: super::ContinuousMode) -> Self {
+        self.continuous = continuous;
         self
     }
 
@@ -245,6 +260,7 @@ impl SimConfig {
             // The sim models the scan statistically; the merge schedule is
             // a real-backend concern and does not alter modeled costs.
             merge: super::MergeMode::Epilogue,
+            continuous: self.continuous,
         }
     }
 
@@ -796,6 +812,15 @@ impl<L: LocalCostModel> SamplerBackend for SimBackend<L> {
     fn size(&self) -> usize {
         self.cfg.p
     }
+
+    fn select_rng_state(&self) -> Vec<DefaultRng> {
+        self.select_rngs.clone()
+    }
+
+    fn restore_select_rng(&mut self, state: Vec<DefaultRng>) {
+        debug_assert_eq!(state.len(), self.select_rngs.len());
+        self.select_rngs = state;
+    }
 }
 
 /// The simulated cluster: the shared engine over a [`SimBackend`].
@@ -874,6 +899,14 @@ impl<L: LocalCostModel> SimCluster<L> {
                 }
             }
         }
+    }
+
+    /// A read handle on the simulated cluster's always-fresh sample slot
+    /// (see [`crate::dist::snapshot`]): the conductor publishes the
+    /// *whole cluster's* finalized sample per epoch, so readers see what
+    /// a real deployment's union view would serve.
+    pub fn snapshot_reader(&self) -> crate::dist::snapshot::SnapshotReader {
+        self.engine.snapshot_reader()
     }
 
     /// The current global threshold, once established.

@@ -1,0 +1,362 @@
+//! Always-fresh snapshot reads: an epoch-versioned view of the sample
+//! published by the protocol while ingestion keeps running.
+//!
+//! Algorithm 1 leaves the sample implicit between `collect_output` calls;
+//! a production sampler wants the opposite — a valid, consistent sample
+//! *always* available, in the spirit of Jayaram et al.'s continuous
+//! distributed sampling. This module supplies the read side: each
+//! selection round (under [`ContinuousMode::EveryBatch`](crate::dist::ContinuousMode))
+//! the engine assembles a finalized-to-`k` view through the existing
+//! Section 5 finalize/place path and *publishes* it here as an immutable
+//! [`SampleEpoch`] behind a seqlock-guarded pointer swap.
+//!
+//! The concurrency scheme reuses the PR 6 versioning primitive
+//! ([`reservoir_btree::SeqLock`]):
+//!
+//! ```text
+//!   publisher                       readers (any thread, any number)
+//!   ─────────                       ────────────────────────────────
+//!   v = read_begin()                v = read_begin()      // even or spin
+//!   guard = try_lock(v)   // v+1    arc = cur.clone()     // Arc bump
+//!   cur = Arc::new(epoch)           validate(v)?          // still even,
+//!   drop(guard)           // v+2        unchanged ⇒ consistent
+//! ```
+//!
+//! A reader that loses the race (version moved, or the writer held the
+//! slot past the bounded spin) simply retries; it never blocks the
+//! pipeline and never observes a half-swapped epoch, because the only
+//! mutation inside the critical section is replacing one `Arc` pointer.
+//! A publisher that panics mid-publish unwinds through the
+//! [`WriteGuard`](reservoir_btree::WriteGuard), releasing the version
+//! word, and the previous `Arc` stays installed — the last epoch remains
+//! readable forever. Every epoch carries a checksum over its entire
+//! payload so the stress suite can assert "no torn reads" as a checkable
+//! invariant rather than a belief.
+//!
+//! Because the seqlock fires the [`reservoir_btree::sched`] hooks, the
+//! seeded `YieldInjector` used by the OLC stress suite drives genuine
+//! reader/writer interleavings through publication as well.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use reservoir_btree::SeqLock;
+
+use crate::sample::SampleItem;
+
+/// One immutable published view of the sample, as seen by this protocol
+/// endpoint: its own finalized slice plus the global placement agreed by
+/// the finalize/place collectives (the simulated conductor publishes the
+/// whole cluster's sample with `pes` endpoint slices folded in).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampleEpoch {
+    /// Publication counter, 1-based; 0 is the pre-publication genesis
+    /// epoch (empty sample).
+    pub epoch: u64,
+    /// This endpoint's sample members at publication time, key-sorted,
+    /// finalized to the global sample size (every key is at or below
+    /// `threshold` when one exists).
+    pub items: Vec<SampleItem>,
+    /// Global output position of `items[0]` (exclusive prefix count).
+    pub offset: u64,
+    /// Global sample size across all endpoints.
+    pub total: u64,
+    /// This endpoint's rank and the number of endpoints.
+    pub pe: usize,
+    /// See [`Self::pe`].
+    pub pes: usize,
+    /// The finalization threshold, if one was established.
+    pub threshold: Option<f64>,
+    /// Selection rounds the finalization spent producing this epoch (0
+    /// when the union already fit in `k`).
+    pub rounds: u32,
+    /// FNV-1a digest over every field above. A reader that recomputes it
+    /// and matches proves the epoch it holds is internally consistent —
+    /// the stress suite's torn-read oracle.
+    pub checksum: u64,
+}
+
+/// FNV-1a over a word stream: tiny, dependency-free, and plenty for a
+/// consistency witness (this is an integrity check, not a defense).
+fn fnv1a(words: impl Iterator<Item = u64>) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+impl SampleEpoch {
+    /// Assemble an epoch and stamp its checksum.
+    #[allow(clippy::too_many_arguments)] // one field per parameter, in order
+    pub fn new(
+        epoch: u64,
+        items: Vec<SampleItem>,
+        offset: u64,
+        total: u64,
+        pe: usize,
+        pes: usize,
+        threshold: Option<f64>,
+        rounds: u32,
+    ) -> Self {
+        let mut e = SampleEpoch {
+            epoch,
+            items,
+            offset,
+            total,
+            pe,
+            pes,
+            threshold,
+            rounds,
+            checksum: 0,
+        };
+        e.checksum = e.compute_checksum();
+        e
+    }
+
+    /// The epoch every slot starts from: number 0, empty sample.
+    pub fn genesis(pe: usize, pes: usize) -> Self {
+        Self::new(0, Vec::new(), 0, 0, pe, pes, None, 0)
+    }
+
+    /// Members this endpoint holds in this epoch.
+    pub fn local_len(&self) -> u64 {
+        self.items.len() as u64
+    }
+
+    fn compute_checksum(&self) -> u64 {
+        let head = [
+            self.epoch,
+            self.offset,
+            self.total,
+            self.pe as u64,
+            self.pes as u64,
+            self.threshold.map_or(u64::MAX, f64::to_bits),
+            self.rounds as u64,
+            self.items.len() as u64,
+        ];
+        let body = self
+            .items
+            .iter()
+            .flat_map(|s| [s.id, s.weight.to_bits(), s.key.to_bits()]);
+        fnv1a(head.into_iter().chain(body))
+    }
+
+    /// Whether the stored checksum matches the payload — `false` means a
+    /// torn or corrupted view, which the seqlock protocol must make
+    /// unobservable.
+    pub fn verify(&self) -> bool {
+        self.checksum == self.compute_checksum()
+    }
+}
+
+/// The shared slot: one seqlock versioning one `Arc` pointer. The inner
+/// mutex only serializes the pointer clone/swap itself (a few
+/// nanoseconds); the seqlock provides the readers' consistency proof and
+/// the sched-hook instrumentation points.
+struct Slot {
+    lock: SeqLock,
+    cur: Mutex<Arc<SampleEpoch>>,
+    /// Published-epoch counter, readable without touching the slot (the
+    /// readers' staleness probe).
+    latest: AtomicU64,
+}
+
+impl Slot {
+    fn new(genesis: SampleEpoch) -> Self {
+        Slot {
+            lock: SeqLock::new(),
+            cur: Mutex::new(Arc::new(genesis)),
+            latest: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The write side, owned by the protocol endpoint: swaps in a fresh
+/// epoch per publication. Single-writer by construction (one publisher
+/// per endpoint), but safe regardless — the seqlock upgrade loop simply
+/// retries a lost race.
+pub struct EpochPublisher {
+    slot: Arc<Slot>,
+    published: u64,
+}
+
+impl EpochPublisher {
+    /// A publisher over a fresh slot holding the genesis epoch for
+    /// endpoint `pe` of `pes`.
+    pub fn new(pe: usize, pes: usize) -> Self {
+        EpochPublisher {
+            slot: Arc::new(Slot::new(SampleEpoch::genesis(pe, pes))),
+            published: 0,
+        }
+    }
+
+    /// The next epoch number this publisher will assign.
+    pub fn next_epoch(&self) -> u64 {
+        self.published + 1
+    }
+
+    /// Epochs published so far.
+    pub fn published(&self) -> u64 {
+        self.published
+    }
+
+    /// Swap `epoch` in as the current view. Readers racing this swap
+    /// either validate against the old version (and see the old epoch,
+    /// at most one behind) or retry and see the new one; no interleaving
+    /// exposes a mix.
+    pub fn publish(&mut self, epoch: SampleEpoch) {
+        debug_assert!(epoch.verify(), "publishing an inconsistent epoch");
+        let next = Arc::new(epoch);
+        loop {
+            let Ok(v) = self.slot.lock.read_begin() else {
+                // A reader cannot hold the lock; only a racing publisher
+                // can, and it releases in bounded time.
+                std::hint::spin_loop();
+                continue;
+            };
+            let Some(guard) = self.slot.lock.try_lock(v) else {
+                std::hint::spin_loop();
+                continue;
+            };
+            // Poison-tolerant: a publisher that panicked *around* the
+            // mutex leaves the previous Arc intact and fully readable.
+            let mut cur = self.slot.cur.lock().unwrap_or_else(|e| e.into_inner());
+            *cur = next;
+            drop(cur);
+            drop(guard); // version += 2: readers revalidate
+            break;
+        }
+        self.published += 1;
+        self.slot.latest.store(self.published, Ordering::Release);
+    }
+
+    /// A read handle over the same slot; clone freely across threads.
+    pub fn reader(&self) -> SnapshotReader {
+        SnapshotReader {
+            slot: Arc::clone(&self.slot),
+        }
+    }
+}
+
+/// The read side: grab a consistent [`SampleEpoch`] at any time, from
+/// any thread, without stopping ingestion. Cheap to clone; all clones
+/// observe the same publication order.
+#[derive(Clone)]
+pub struct SnapshotReader {
+    slot: Arc<Slot>,
+}
+
+impl SnapshotReader {
+    /// The current epoch. Lock-free in the optimistic sense: the reader
+    /// spins only while a publisher is mid-swap, then returns a shared
+    /// handle on the immutable epoch — no copy of the items.
+    pub fn read(&self) -> Arc<SampleEpoch> {
+        loop {
+            let Ok(v) = self.slot.lock.read_begin() else {
+                std::hint::spin_loop();
+                continue;
+            };
+            let arc = Arc::clone(&self.slot.cur.lock().unwrap_or_else(|e| e.into_inner()));
+            if self.slot.lock.validate(v) {
+                return arc;
+            }
+            // A publisher swapped underneath the clone; retry for a
+            // provably consistent view.
+            std::hint::spin_loop();
+        }
+    }
+
+    /// The number of the most recently published epoch, without reading
+    /// it — a free staleness probe (`read().epoch` is at least this by
+    /// the time the read returns, never more than one publication
+    /// behind a concurrent publish).
+    pub fn latest_epoch(&self) -> u64 {
+        self.slot.latest.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+
+    fn item(id: u64, key: f64) -> SampleItem {
+        SampleItem {
+            id,
+            weight: 1.0,
+            key,
+        }
+    }
+
+    fn epoch(n: u64, len: u64) -> SampleEpoch {
+        let items = (0..len).map(|i| item(n * 1000 + i, i as f64)).collect();
+        SampleEpoch::new(n, items, 0, len, 0, 1, Some(0.5), 1)
+    }
+
+    #[test]
+    fn genesis_is_readable_and_verifies() {
+        let p = EpochPublisher::new(2, 8);
+        let r = p.reader();
+        let e = r.read();
+        assert_eq!(e.epoch, 0);
+        assert_eq!(e.local_len(), 0);
+        assert_eq!((e.pe, e.pes), (2, 8));
+        assert!(e.verify());
+        assert_eq!(r.latest_epoch(), 0);
+    }
+
+    #[test]
+    fn publish_then_read_round_trips() {
+        let mut p = EpochPublisher::new(0, 1);
+        let r = p.reader();
+        for n in 1..=5u64 {
+            p.publish(epoch(n, 10));
+            let e = r.read();
+            assert_eq!(e.epoch, n);
+            assert_eq!(e.local_len(), 10);
+            assert!(e.verify());
+            assert_eq!(r.latest_epoch(), n);
+        }
+        assert_eq!(p.published(), 5);
+        assert_eq!(p.next_epoch(), 6);
+    }
+
+    #[test]
+    fn checksum_detects_tampering() {
+        let mut e = epoch(3, 4);
+        assert!(e.verify());
+        e.items[2].key += 1.0;
+        assert!(!e.verify(), "checksum must witness a torn payload");
+    }
+
+    #[test]
+    fn readers_race_publisher_without_torn_views() {
+        let mut p = EpochPublisher::new(0, 1);
+        let stop = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = p.reader();
+                let stop = &stop;
+                s.spawn(move || {
+                    let mut last = 0u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        let e = r.read();
+                        assert!(e.verify(), "torn epoch {}", e.epoch);
+                        assert!(e.epoch >= last, "epoch went backwards");
+                        assert_eq!(e.local_len(), e.total, "mixed epochs");
+                        last = e.epoch;
+                    }
+                });
+            }
+            for n in 1..=200u64 {
+                p.publish(epoch(n, n % 7));
+            }
+            stop.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(p.reader().read().epoch, 200);
+    }
+}

@@ -172,6 +172,14 @@ impl<C: Communicator> SamplerBackend for CommBackend<'_, C> {
     fn vote(&mut self, active: u64) -> u64 {
         crate::dist::engine::vote_over_collectives(self.comm, active)
     }
+
+    fn select_rng_state(&self) -> Vec<DefaultRng> {
+        vec![self.select_rng.clone()]
+    }
+
+    fn restore_select_rng(&mut self, mut state: Vec<DefaultRng>) {
+        self.select_rng = state.pop().expect("one PE, one selection generator");
+    }
 }
 
 /// One PE's endpoint of the distributed mini-batch sampler (Algorithm 1):
@@ -257,6 +265,16 @@ impl<'a, C: Communicator> DistributedSampler<'a, C> {
                 .map(|(id, weight, key)| SampleItem { id, weight, key })
                 .collect()
         })
+    }
+
+    /// A read handle on this PE's always-fresh sample slot (see
+    /// [`crate::dist::snapshot`]): clone it into any number of reader
+    /// threads to query the live sample while ingestion runs. Fresh
+    /// epochs appear per batch under
+    /// [`ContinuousMode::EveryBatch`](crate::dist::ContinuousMode), plus
+    /// one final epoch at [`Self::collect_output`].
+    pub fn snapshot_reader(&self) -> crate::dist::snapshot::SnapshotReader {
+        self.engine.snapshot_reader()
     }
 
     /// Accumulated wall-clock seconds per algorithm phase.

@@ -137,6 +137,41 @@
 //! });
 //! assert_eq!(run(4), run(2)); // same seed ⇒ same sample on any parallel width
 //! ```
+//!
+//! ## Always-fresh snapshots: reading the sample while it ingests
+//!
+//! With `.with_continuous(ContinuousMode::EveryBatch)` (or
+//! `RESERVOIR_CONTINUOUS=1`) every selection round publishes an
+//! immutable, checksummed [`dist::SampleEpoch`] — the sample finalized
+//! to exactly `k` through the Section 5 path — behind a seqlock-guarded
+//! pointer swap. A [`dist::SnapshotReader`] (cheap to clone, send it to
+//! any thread) reads a consistent epoch at any moment without pausing
+//! ingestion, and publication is observationally free: a fixed seed
+//! yields the byte-identical final sample whether continuous mode is on
+//! or off:
+//!
+//! ```
+//! use reservoir::comm::run_threads;
+//! use reservoir::dist::threaded::DistributedSampler;
+//! use reservoir::dist::{ContinuousMode, DistConfig};
+//! use reservoir::stream::{StreamSpec, WeightGen};
+//!
+//! let spec = StreamSpec { pes: 2, batch_size: 600, weights: WeightGen::paper_uniform(), seed: 5 };
+//! let epochs = run_threads(2, |comm| {
+//!     use reservoir::comm::Communicator;
+//!     let cfg = DistConfig::weighted(30, 5).with_continuous(ContinuousMode::EveryBatch);
+//!     let mut sampler = DistributedSampler::new(&comm, cfg);
+//!     let reader = sampler.snapshot_reader(); // hand clones to reader threads
+//!     let mut source = spec.source_for(comm.rank());
+//!     for _ in 0..3 {
+//!         sampler.process_batch(&source.next_batch());
+//!     }
+//!     let epoch = reader.read(); // consistent view, mid-ingestion
+//!     assert!(epoch.verify() && epoch.epoch == 3 && epoch.total == 30);
+//!     epoch.epoch
+//! });
+//! assert_eq!(epochs, vec![3, 3]);
+//! ```
 
 pub use reservoir_core::{
     dist, metrics, sample, seq, PhaseTimes, PipelineReport, SampleHandle, SampleItem,

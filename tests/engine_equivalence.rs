@@ -12,7 +12,7 @@ use reservoir::dist::engine::ReservoirProtocol;
 use reservoir::dist::gather::{GatherBackend, GatherSampler};
 use reservoir::dist::sim::{AnalyticLocalCosts, SimAlgo, SimBackend, SimCluster, SimConfig};
 use reservoir::dist::threaded::{CommBackend, DistributedSampler};
-use reservoir::dist::{DistConfig, MergeMode, SamplingMode};
+use reservoir::dist::{ContinuousMode, DistConfig, MergeMode, SamplingMode};
 use reservoir::stream::ingest::{spawn_source, BatchPolicy, ReplayRecords};
 use reservoir::stream::Item;
 
@@ -149,6 +149,74 @@ fn merge_mode_and_thread_count_never_change_the_sample() {
                 epi, reference,
                 "epilogue merge at threads={threads} diverged from the reference"
             );
+        }
+    }
+}
+
+/// Continuous epoch publication must be *observationally free*: each
+/// publication runs a real finalize (whose selection consumes collective
+/// RNG draws) bracketed by a checkpoint/restore of the selection
+/// generators, so a fixed-seed run with per-batch publication enabled
+/// must produce the byte-identical final sample to the same run without
+/// it — on both real backend policies, at both CI scan widths, under
+/// both merge schedules. The continuous arm additionally checks the last
+/// published epoch against the collected output: the snapshot service
+/// really serves the sample, it does not just not-perturb it.
+#[test]
+fn continuous_publication_never_changes_the_final_sample() {
+    let p = 3;
+    for policy in ["distributed", "gather"] {
+        for &threads in &[1usize, 4] {
+            for &merge in &[MergeMode::Epilogue, MergeMode::Concurrent] {
+                let run = |continuous: ContinuousMode| {
+                    let cfg = DistConfig::weighted(40, 2024)
+                        .with_threads(threads)
+                        .with_merge(merge)
+                        .with_continuous(continuous);
+                    run_threads(p, |comm| {
+                        let (handle, threshold, reader) = if policy == "distributed" {
+                            let mut s = DistributedSampler::new(&comm, cfg);
+                            let reader = s.snapshot_reader();
+                            for b in 0..4u64 {
+                                s.process_batch(&unit_batch(comm.rank(), b, 150));
+                            }
+                            (s.collect_output(), s.threshold(), reader)
+                        } else {
+                            let mut s = GatherSampler::new(&comm, cfg);
+                            let reader = s.snapshot_reader();
+                            for b in 0..4u64 {
+                                s.process_batch(&unit_batch(comm.rank(), b, 150));
+                            }
+                            (s.collect_output(), s.threshold(), reader)
+                        };
+                        let fp = fingerprint(handle.local_items().iter().map(|m| (m.id, m.key)));
+                        if continuous == ContinuousMode::EveryBatch {
+                            // 4 batches + the final collect_output epoch.
+                            let epoch = reader.read();
+                            assert!(epoch.verify(), "{policy}: torn final epoch");
+                            assert_eq!(epoch.epoch, 5, "{policy}: missing publications");
+                            assert_eq!(
+                                fingerprint(epoch.items.iter().map(|m| (m.id, m.key))),
+                                fp,
+                                "{policy}: final epoch diverged from collected output"
+                            );
+                        } else {
+                            assert_eq!(
+                                reader.latest_epoch(),
+                                0,
+                                "{policy}: publication leaked into disabled mode"
+                            );
+                        }
+                        (fp, threshold.map(f64::to_bits))
+                    })
+                };
+                assert_eq!(
+                    run(ContinuousMode::Disabled),
+                    run(ContinuousMode::EveryBatch),
+                    "{policy} threads={threads} merge={merge:?}: continuous \
+                     publication changed the fixed-seed sample"
+                );
+            }
         }
     }
 }
