@@ -314,7 +314,7 @@ impl<B: SamplerBackend> ReservoirProtocol<B> {
     /// just filled for the first time and the insertion threshold comes
     /// into existence (exact-size mode only — window mode waits for the
     /// overflow).
-    fn select_now(&self, union: u64) -> bool {
+    pub(crate) fn select_now(&self, union: u64) -> bool {
         union > self.cfg.size_limit()
             || (self.threshold.is_none()
                 && self.cfg.size_window.is_none()
@@ -324,7 +324,7 @@ impl<B: SamplerBackend> ReservoirProtocol<B> {
     /// The rank the batch-step selection targets: exact `k`, or the whole
     /// window in variable-size mode (Section 4.4's far cheaper
     /// approximate selection).
-    fn select_target(&self) -> TargetRank {
+    pub(crate) fn select_target(&self) -> TargetRank {
         match self.cfg.size_window {
             Some((lo, hi)) => TargetRank::range(lo, hi),
             None => TargetRank::exact(self.cfg.k as u64),

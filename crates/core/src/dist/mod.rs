@@ -44,6 +44,7 @@ pub mod engine;
 pub mod gather;
 pub mod local;
 pub mod output;
+pub mod sharded;
 pub mod sim;
 pub mod snapshot;
 pub mod threaded;
@@ -62,17 +63,15 @@ pub enum SamplingMode {
 /// parallel paths never share raw generator state.
 pub(crate) const PAR_SCAN_STREAM: u16 = 0x5041; // "PA"
 
-/// Worker threads per PE when the configuration does not say otherwise:
-/// the `RESERVOIR_THREADS` environment variable (≥ 1), or 1. The CI matrix
-/// sets `RESERVOIR_THREADS=4` so the whole suite also runs down the
-/// parallel scan path.
-fn default_threads() -> usize {
-    match std::env::var("RESERVOIR_THREADS") {
-        Ok(v) => match v.trim().parse::<usize>() {
-            Ok(t) if t >= 1 => t,
-            _ => panic!("RESERVOIR_THREADS must be a positive integer, got {v:?}"),
-        },
-        Err(_) => 1,
+/// Parse a `RESERVOIR_THREADS` value: a positive integer, surrounding
+/// whitespace tolerated.
+fn parse_threads(v: &str) -> Result<usize, String> {
+    match v.trim().parse::<usize>() {
+        Ok(t) if t >= 1 => Ok(t),
+        _ => Err(format!(
+            "RESERVOIR_THREADS accepts a positive integer (worker threads \
+             per PE), got {v:?}"
+        )),
     }
 }
 
@@ -94,19 +93,15 @@ pub enum MergeMode {
     Concurrent,
 }
 
-/// Merge mode when the configuration does not say otherwise: the
-/// `RESERVOIR_MERGE` environment variable (`epilogue` | `concurrent`), or
-/// [`MergeMode::Epilogue`]. The CI stress job sets
-/// `RESERVOIR_MERGE=concurrent` to run the whole suite down the
-/// shared-tree path.
-fn default_merge() -> MergeMode {
-    match std::env::var("RESERVOIR_MERGE") {
-        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
-            "epilogue" => MergeMode::Epilogue,
-            "concurrent" => MergeMode::Concurrent,
-            _ => panic!("RESERVOIR_MERGE must be 'epilogue' or 'concurrent', got {v:?}"),
-        },
-        Err(_) => MergeMode::Epilogue,
+/// Parse a `RESERVOIR_MERGE` value: `epilogue` | `concurrent`,
+/// case-insensitive, surrounding whitespace tolerated.
+fn parse_merge(v: &str) -> Result<MergeMode, String> {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "epilogue" => Ok(MergeMode::Epilogue),
+        "concurrent" => Ok(MergeMode::Concurrent),
+        _ => Err(format!(
+            "RESERVOIR_MERGE accepts 'epilogue' or 'concurrent', got {v:?}"
+        )),
     }
 }
 
@@ -128,22 +123,69 @@ pub enum ContinuousMode {
     EveryBatch,
 }
 
+/// Parse a `RESERVOIR_CONTINUOUS` value: `0` | `off` | `disabled` for
+/// [`ContinuousMode::Disabled`], `1` | `on` | `every-batch` | `everybatch`
+/// for [`ContinuousMode::EveryBatch`]; case-insensitive, surrounding
+/// whitespace tolerated.
+fn parse_continuous(v: &str) -> Result<ContinuousMode, String> {
+    match v.trim().to_ascii_lowercase().as_str() {
+        "0" | "off" | "disabled" => Ok(ContinuousMode::Disabled),
+        "1" | "on" | "every-batch" | "everybatch" => Ok(ContinuousMode::EveryBatch),
+        _ => Err(format!(
+            "RESERVOIR_CONTINUOUS accepts 0/off/disabled or \
+             1/on/every-batch, got {v:?}"
+        )),
+    }
+}
+
 /// Continuous mode when the configuration does not say otherwise: the
-/// `RESERVOIR_CONTINUOUS` environment variable (`0` | `1`, or the mode
-/// names), or [`ContinuousMode::Disabled`]. The CI snapshot-stress job
-/// sets `RESERVOIR_CONTINUOUS=1` to run the whole suite with per-batch
+/// `RESERVOIR_CONTINUOUS` environment variable, or
+/// [`ContinuousMode::Disabled`]. The CI snapshot-stress job sets
+/// `RESERVOIR_CONTINUOUS=1` to run the whole suite with per-batch
 /// publication on.
 fn default_continuous() -> ContinuousMode {
     match std::env::var("RESERVOIR_CONTINUOUS") {
-        Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
-            "0" | "off" | "disabled" => ContinuousMode::Disabled,
-            "1" | "on" | "every-batch" | "everybatch" => ContinuousMode::EveryBatch,
-            _ => {
-                panic!("RESERVOIR_CONTINUOUS must be 0/off/disabled or 1/on/every-batch, got {v:?}")
-            }
-        },
+        Ok(v) => parse_continuous(&v).unwrap_or_else(|e| panic!("{e}")),
         Err(_) => ContinuousMode::Disabled,
     }
+}
+
+/// Read every sampler environment default in one validated pass:
+/// `RESERVOIR_THREADS` (the CI matrix sets 4 to run the suite down the
+/// parallel scan path), `RESERVOIR_MERGE` (the stress job sets
+/// `concurrent`), `RESERVOIR_CONTINUOUS`. All malformed variables are
+/// reported in a single panic message — a user with two typos fixes both
+/// on the first round trip — and validation happens once, at config
+/// construction, not on some later batch.
+fn env_defaults() -> (usize, MergeMode, ContinuousMode) {
+    let mut errors = Vec::new();
+    let threads = match std::env::var("RESERVOIR_THREADS") {
+        Ok(v) => parse_threads(&v).unwrap_or_else(|e| {
+            errors.push(e);
+            1
+        }),
+        Err(_) => 1,
+    };
+    let merge = match std::env::var("RESERVOIR_MERGE") {
+        Ok(v) => parse_merge(&v).unwrap_or_else(|e| {
+            errors.push(e);
+            MergeMode::Epilogue
+        }),
+        Err(_) => MergeMode::Epilogue,
+    };
+    let continuous = match std::env::var("RESERVOIR_CONTINUOUS") {
+        Ok(v) => parse_continuous(&v).unwrap_or_else(|e| {
+            errors.push(e);
+            ContinuousMode::Disabled
+        }),
+        Err(_) => ContinuousMode::Disabled,
+    };
+    assert!(
+        errors.is_empty(),
+        "invalid sampler environment: {}",
+        errors.join("; ")
+    );
+    (threads, merge, continuous)
 }
 
 /// Configuration shared by the distributed samplers.
@@ -190,16 +232,17 @@ impl DistConfig {
     /// Weighted sampling with sample size `k`.
     pub fn weighted(k: usize, seed: u64) -> Self {
         assert!(k >= 1, "sample size must be at least 1");
+        let (threads_per_pe, merge, continuous) = env_defaults();
         DistConfig {
             k,
             seed,
             mode: SamplingMode::Weighted,
             pivots: 1,
             size_window: None,
-            threads_per_pe: default_threads(),
+            threads_per_pe,
             persistent_pool: false,
-            merge: default_merge(),
-            continuous: default_continuous(),
+            merge,
+            continuous,
         }
     }
 
@@ -343,6 +386,7 @@ pub use engine::{ReservoirProtocol, SamplerBackend};
 pub use gather::GatherSampler;
 pub use local::LocalReservoir;
 pub use output::SampleHandle;
+pub use sharded::{shard_seed, ShardedBatchReport, ShardedPipelineReport, ShardedSampler};
 pub use snapshot::{EpochPublisher, SampleEpoch, SnapshotReader};
 pub use threaded::DistributedSampler;
 
@@ -401,5 +445,73 @@ mod tests {
     #[should_panic(expected = "invalid size window")]
     fn inverted_window_rejected() {
         let _ = DistConfig::weighted(10, 1).with_size_window(20, 10);
+    }
+
+    // The environment parsers are pure functions, tested without touching
+    // the process environment (the suite runs tests concurrently).
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_and_whitespace() {
+        assert_eq!(parse_threads("1"), Ok(1));
+        assert_eq!(parse_threads(" 8 "), Ok(8));
+        assert_eq!(parse_threads("\t16\n"), Ok(16));
+    }
+
+    #[test]
+    fn parse_threads_rejects_junk_with_a_named_error() {
+        for bad in ["", "   ", "0", "-2", "four", "4.0"] {
+            let e = parse_threads(bad).unwrap_err();
+            assert!(
+                e.contains("RESERVOIR_THREADS") && e.contains("positive integer"),
+                "error for {bad:?} must name the variable and the accepted \
+                 form, got {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_merge_is_case_insensitive_and_trimmed() {
+        assert_eq!(parse_merge("epilogue"), Ok(MergeMode::Epilogue));
+        assert_eq!(parse_merge("Concurrent"), Ok(MergeMode::Concurrent));
+        assert_eq!(parse_merge(" EPILOGUE\t"), Ok(MergeMode::Epilogue));
+    }
+
+    #[test]
+    fn parse_merge_rejects_junk_with_all_accepted_values_named() {
+        for bad in ["", "  ", "eplogue", "shared", "2"] {
+            let e = parse_merge(bad).unwrap_err();
+            assert!(
+                e.contains("RESERVOIR_MERGE") && e.contains("epilogue") && e.contains("concurrent"),
+                "error for {bad:?} must name every accepted value, got {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn parse_continuous_accepts_every_alias() {
+        for (v, want) in [
+            ("0", ContinuousMode::Disabled),
+            ("off", ContinuousMode::Disabled),
+            ("Disabled", ContinuousMode::Disabled),
+            ("1", ContinuousMode::EveryBatch),
+            ("ON", ContinuousMode::EveryBatch),
+            (" every-batch ", ContinuousMode::EveryBatch),
+            ("EveryBatch", ContinuousMode::EveryBatch),
+        ] {
+            assert_eq!(parse_continuous(v), Ok(want), "value {v:?}");
+        }
+    }
+
+    #[test]
+    fn parse_continuous_rejects_junk_with_all_accepted_values_named() {
+        for bad in ["", " \n", "2", "always", "batch"] {
+            let e = parse_continuous(bad).unwrap_err();
+            assert!(
+                e.contains("RESERVOIR_CONTINUOUS")
+                    && e.contains("disabled")
+                    && e.contains("every-batch"),
+                "error for {bad:?} must name every accepted value, got {e:?}"
+            );
+        }
     }
 }

@@ -404,6 +404,11 @@ pub struct SimBackend<L: LocalCostModel> {
     /// Words through the busiest endpoint, accumulated by Output-charged
     /// steps; reset per output collection.
     output_words: u64,
+    /// Per-round payload words of the most recent distributed selection
+    /// (empty until one runs, or when the last one was the gather
+    /// funnel). [`SimShardedCluster`] reads these to price a joint
+    /// cross-shard schedule against per-shard launches.
+    last_select_payloads: Vec<u64>,
 }
 
 impl<L: LocalCostModel> SimBackend<L> {
@@ -428,6 +433,7 @@ impl<L: LocalCostModel> SimBackend<L> {
             next_local_id: vec![0; cfg.p],
             last_inserted: 0,
             output_words: 0,
+            last_select_payloads: Vec::new(),
             cfg,
             net,
             costs,
@@ -437,6 +443,14 @@ impl<L: LocalCostModel> SimBackend<L> {
     /// Total items the simulated stream has produced.
     pub fn items_seen(&self) -> u64 {
         self.items_seen
+    }
+
+    /// Per-round payload words of the most recent distributed selection
+    /// (empty until one runs). One entry per round, in order — the words
+    /// the conductor's combined candidate + count exchange of that round
+    /// carried.
+    pub fn last_select_payloads(&self) -> &[u64] {
+        &self.last_select_payloads
     }
 
     /// The configuration under simulation.
@@ -737,6 +751,7 @@ impl<L: LocalCostModel> SamplerBackend for SimBackend<L> {
                     &mut self.select_rngs,
                 );
                 debug_assert_eq!(union, refs.iter().map(|s| s.total()).sum::<u64>());
+                self.last_select_payloads = report.round_payload_words.clone();
                 let max_tree = self.pes.iter().map(|pe| pe.total()).max().unwrap_or(0);
                 let tree = CostModel::tree_rounds(self.cfg.p) as u64;
                 for &words in &report.round_payload_words {
@@ -933,6 +948,146 @@ impl<L: LocalCostModel> SimCluster<L> {
     /// drive — the point of the exercise).
     pub fn engine(&mut self) -> &mut ReservoirProtocol<SimBackend<L>> {
         &mut self.engine
+    }
+}
+
+/// Cross-shard collective accounting for one mini-batch of a simulated
+/// multi-tenant fleet (see [`SimShardedCluster`]).
+///
+/// Both schedules price a selection round as **one** collective launch —
+/// the conductor's combined candidate + count payload — so the comparison
+/// is purely about launches per shard vs launches per fleet.
+#[derive(Clone, Debug)]
+pub struct ShardedSimReport {
+    /// Per-shard engine reports (each shard's own `times` are charged
+    /// as-if independent, i.e. under the naive schedule).
+    pub per_shard: Vec<SimBatchReport>,
+    /// Shards whose selection fired this batch.
+    pub shards_selected: usize,
+    /// Collective launches under the naive schedule: one 1-word count
+    /// all-reduce per shard, plus one all-reduce per selection round per
+    /// selecting shard. Grows linearly with the shard count.
+    pub naive_collectives: u64,
+    /// Collective launches under the batched schedule: one vectorized
+    /// count all-reduce for the whole fleet, plus one combined all-reduce
+    /// per *joint* selection round (shards drop out as they decide).
+    /// Bounded by `1 + max_s rounds_s` — independent of the shard count.
+    pub batched_collectives: u64,
+    /// α–β network seconds of the naive schedule's collectives.
+    pub naive_net_s: f64,
+    /// α–β network seconds of the batched schedule's collectives.
+    pub batched_net_s: f64,
+}
+
+/// A simulated multi-tenant fleet: `S` per-shard [`SimCluster`]s (seeded
+/// with [`shard_seed`](crate::dist::sharded::shard_seed), exactly like the
+/// threaded [`ShardedSampler`](crate::dist::ShardedSampler)) stepped in
+/// lockstep, with each batch's cross-shard collectives priced two ways —
+/// naively (every shard launches its own) and batched (the sharded
+/// backend's single vectorized count + joint selection schedule). The
+/// per-shard statistical behaviour is untouched; only the accounting of
+/// who pays α for which launch differs.
+pub struct SimShardedCluster<L: LocalCostModel> {
+    shards: Vec<SimCluster<L>>,
+    net: CostModel,
+    p: usize,
+}
+
+impl<L: LocalCostModel> SimShardedCluster<L> {
+    /// Build a fleet of `shards` clusters over `cfg` (its `seed` is
+    /// re-derived per shard). Requires [`SimAlgo::Ours`] — the joint
+    /// schedule batches the distributed selection protocol, which the
+    /// gather funnel does not run — and no continuous publication (the
+    /// threaded sharded backend batches epoch placement separately).
+    pub fn new(cfg: SimConfig, shards: usize, net: CostModel, costs: L) -> Self
+    where
+        L: Clone,
+    {
+        assert!(shards >= 1, "at least one shard");
+        assert!(
+            matches!(cfg.algo, SimAlgo::Ours { .. }),
+            "the sharded schedule batches the distributed selection protocol"
+        );
+        assert!(
+            cfg.continuous == super::ContinuousMode::Disabled,
+            "sharded simulation models batch steps only"
+        );
+        let fleet = (0..shards)
+            .map(|s| {
+                let scfg = SimConfig {
+                    seed: crate::dist::sharded::shard_seed(cfg.seed, s),
+                    ..cfg
+                };
+                SimCluster::new(scfg, net, costs.clone())
+            })
+            .collect();
+        SimShardedCluster {
+            shards: fleet,
+            net,
+            p: cfg.p,
+        }
+    }
+
+    /// Number of shards in the fleet.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One shard's cluster, for inspection (threshold, sample, ...).
+    pub fn shard(&mut self, s: usize) -> &mut SimCluster<L> {
+        &mut self.shards[s]
+    }
+
+    /// Step every shard one mini-batch and account the cross-shard
+    /// collectives both ways.
+    pub fn process_batch(&mut self) -> ShardedSimReport {
+        let s_count = self.shards.len() as u64;
+        let mut per_shard = Vec::with_capacity(self.shards.len());
+        let mut round_payloads: Vec<Vec<u64>> = Vec::with_capacity(self.shards.len());
+        for cluster in &mut self.shards {
+            let r = cluster.process_batch();
+            let payloads = if r.rounds > 0 {
+                cluster.engine().backend().last_select_payloads().to_vec()
+            } else {
+                Vec::new()
+            };
+            debug_assert_eq!(payloads.len(), r.rounds as usize);
+            round_payloads.push(payloads);
+            per_shard.push(r);
+        }
+
+        // Naive: every shard launches its own 1-word count all-reduce
+        // plus one all-reduce per selection round.
+        let mut naive_collectives = s_count;
+        let mut naive_net_s = s_count as f64 * self.net.allreduce(self.p, 1).seconds();
+        for payloads in &round_payloads {
+            naive_collectives += payloads.len() as u64;
+            for &words in payloads {
+                naive_net_s += self.net.allreduce(self.p, words).seconds();
+            }
+        }
+
+        // Batched: ONE vectorized count all-reduce (`S` words), then one
+        // combined all-reduce per joint round carrying every still-active
+        // shard's payload side by side. Latency per round is paid once
+        // for the fleet; the payloads only widen β terms.
+        let max_rounds = round_payloads.iter().map(Vec::len).max().unwrap_or(0);
+        let batched_collectives = 1 + max_rounds as u64;
+        let mut batched_net_s = self.net.allreduce(self.p, s_count).seconds();
+        for j in 0..max_rounds {
+            let words: u64 = round_payloads.iter().filter_map(|p| p.get(j)).sum();
+            batched_net_s += self.net.allreduce(self.p, words).seconds();
+        }
+
+        let shards_selected = round_payloads.iter().filter(|p| !p.is_empty()).count();
+        ShardedSimReport {
+            per_shard,
+            shards_selected,
+            naive_collectives,
+            batched_collectives,
+            naive_net_s,
+            batched_net_s,
+        }
     }
 }
 

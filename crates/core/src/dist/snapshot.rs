@@ -134,7 +134,12 @@ impl SampleEpoch {
             self.total,
             self.pe as u64,
             self.pes as u64,
-            self.threshold.map_or(u64::MAX, f64::to_bits),
+            // A separate discriminant word: folding `None` into a
+            // sentinel bit pattern would collide with a real threshold
+            // carrying that same pattern (u64::MAX is a NaN encoding),
+            // letting two different epochs share a checksum.
+            self.threshold.is_some() as u64,
+            self.threshold.map_or(0, f64::to_bits),
             self.rounds as u64,
             self.items.len() as u64,
         ];
@@ -331,6 +336,34 @@ mod tests {
         assert!(e.verify());
         e.items[2].key += 1.0;
         assert!(!e.verify(), "checksum must witness a torn payload");
+    }
+
+    #[test]
+    fn checksum_distinguishes_absent_threshold_from_nan_patterns() {
+        // Regression: `None` used to hash as the sentinel u64::MAX, which
+        // is also a NaN bit pattern — an epoch whose threshold *is* that
+        // NaN checksummed identically to one with no threshold at all.
+        let items: Vec<SampleItem> = (0..4).map(|i| item(i, i as f64)).collect();
+        let none = SampleEpoch::new(7, items.clone(), 0, 4, 0, 1, None, 1);
+        let nan = SampleEpoch::new(
+            7,
+            items.clone(),
+            0,
+            4,
+            0,
+            1,
+            Some(f64::from_bits(u64::MAX)),
+            1,
+        );
+        assert!(none.verify() && nan.verify());
+        assert_ne!(
+            none.checksum, nan.checksum,
+            "absent threshold must not collide with a NaN-threshold epoch"
+        );
+        // And a zero-bits threshold (+0.0) must not collide with `None`
+        // either, now that the value word defaults to 0 for `None`.
+        let zero = SampleEpoch::new(7, items, 0, 4, 0, 1, Some(0.0), 1);
+        assert_ne!(none.checksum, zero.checksum);
     }
 
     #[test]

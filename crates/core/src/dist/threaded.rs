@@ -33,6 +33,16 @@ use crate::sample::SampleItem;
 /// Wire representation of one sample member: `(id, weight, key)`.
 type WireItem = (u64, f64, f64);
 
+/// The master seed-stream derivation every real-collective backend uses:
+/// the user seed salted with the sample size, so samplers of different
+/// geometry draw independent streams even under the same user seed. The
+/// sharded backend derives each shard's streams through this same
+/// function so a shard is byte-identical to a standalone sampler with the
+/// shard's config.
+pub(crate) fn stream_seq(cfg: &DistConfig) -> SeedSequence {
+    SeedSequence::new(cfg.seed ^ (cfg.k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
 /// One PE's endpoint of the engine over real collectives: a
 /// [`PeReservoir`] fed by jump scans, distributed selection over the
 /// wire, wall-clock phase measurement.
@@ -50,7 +60,7 @@ impl<'a, C: Communicator> CommBackend<'a, C> {
     /// streams even under the same user seed (the derivation
     /// [`DistributedSampler`] has always used).
     pub fn new(comm: &'a C, cfg: &DistConfig) -> Self {
-        let seq = SeedSequence::new(cfg.seed ^ (cfg.k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let seq = stream_seq(cfg);
         CommBackend {
             local: PeReservoir::for_config(
                 cfg,

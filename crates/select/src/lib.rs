@@ -46,4 +46,4 @@ pub use conductor::{select_conductor, ConductorReport};
 pub use quickselect::kth_smallest;
 pub use sorted_sample::{sorted_sample_select, SortedSampleReport};
 pub use state::{SelectParams, SelectResult, TargetRank};
-pub use threaded::select_threaded;
+pub use threaded::{select_threaded, select_threaded_many, MultiSelectResult};

@@ -73,6 +73,148 @@ where
     }
 }
 
+/// Outcome of a batched multi-selection: one [`SelectResult`] per task plus
+/// the number of *joint* pivot rounds the whole batch consumed.
+///
+/// `joint_rounds` is the amortization witness: it is the maximum of the
+/// per-task round counts, not their sum, because every joint round serves
+/// all still-undecided tasks with the same two collectives.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MultiSelectResult {
+    /// Per-task results, in task order. Each is byte-identical to what a
+    /// standalone [`select_threaded`] call with the same set/target/RNG
+    /// would have produced.
+    pub results: Vec<SelectResult>,
+    /// Collective rounds spent by the batch as a whole (max over tasks).
+    pub joint_rounds: u32,
+}
+
+/// Run many independent selections behind one collective schedule.
+///
+/// Task `i` selects `targets[i]` from the global union of `sets[i]`
+/// (global size `totals[i]`, which all PEs must agree on), consuming
+/// `rngs[i]`. Instead of paying two all-reduces per task per round, each
+/// *joint* round concatenates every undecided task's pivot candidates into
+/// a single vector for **one** all-reduce, and every absorbing task's pivot
+/// counts into a single vector for **one** `sum_u64_vec` — so the α·log p
+/// collective latency is amortized across all tasks.
+///
+/// Every per-task state trajectory (pivots proposed, candidates absorbed,
+/// counts, decisions, RNG consumption) is exactly the trajectory
+/// [`select_threaded`] would produce for that task alone: candidate
+/// combination is elementwise, and each segment of the concatenated vector
+/// combines under its own task's min/max direction. Tasks drop out of the
+/// schedule as they decide; the batch runs until the slowest task finishes.
+///
+/// Must be called collectively with identical task lists on every PE.
+pub fn select_threaded_many<C, S, R>(
+    comm: &C,
+    sets: &[&S],
+    targets: &[TargetRank],
+    totals: &[u64],
+    params: SelectParams,
+    rngs: &mut [R],
+) -> MultiSelectResult
+where
+    C: Communicator,
+    S: CandidateSet + ?Sized,
+    R: Rng64,
+{
+    let n = sets.len();
+    assert_eq!(targets.len(), n, "one target per task");
+    assert_eq!(totals.len(), n, "one total per task");
+    assert_eq!(rngs.len(), n, "one RNG stream per task");
+    let mut states: Vec<Option<SelectionState>> = (0..n)
+        .map(|i| Some(SelectionState::new(targets[i], totals[i], params)))
+        .collect();
+    let mut results: Vec<Option<SelectResult>> = vec![None; n];
+    let mut joint_rounds = 0u32;
+    while states.iter().any(Option::is_some) {
+        joint_rounds += 1;
+        // Step 1+2: concatenate every undecided task's candidate proposals
+        // and combine them in ONE all-reduce. Segment boundaries and
+        // per-segment directions are globally agreed because the states
+        // evolve deterministically from all-reduced values.
+        let mut seg_len = vec![0usize; n];
+        let mut elem_min: Vec<bool> = Vec::new();
+        let mut wire: Vec<Option<WireKey>> = Vec::new();
+        for (i, st) in states.iter().enumerate() {
+            let Some(st) = st else { continue };
+            assert!(
+                !st.over_budget(),
+                "distributed selection exceeded its round budget (task {i})"
+            );
+            let cand = st.propose(sets[i], &mut rngs[i]);
+            seg_len[i] = cand.len();
+            elem_min.extend(std::iter::repeat_n(st.combine_is_min(), cand.len()));
+            wire.extend(cand.into_iter().map(to_wire));
+        }
+        let flags = elem_min;
+        let combined = comm.allreduce(wire, |a, b| {
+            a.into_iter()
+                .zip(b)
+                .zip(&flags)
+                .map(|((x, y), &take_min)| match (from_wire(x), from_wire(y)) {
+                    (None, y) => to_wire(y),
+                    (x, None) => to_wire(x),
+                    (Some(x), Some(y)) => to_wire(Some(if take_min { x.min(y) } else { x.max(y) })),
+                })
+                .collect()
+        });
+        // Step 3: absorb per task; tasks whose candidate segment came back
+        // empty waste this round (exactly as standalone `continue` does)
+        // and contribute no counts.
+        let mut offset = 0usize;
+        let mut absorbed = vec![false; n];
+        for i in 0..n {
+            let seg: Vec<Option<SampleKey>> = combined[offset..offset + seg_len[i]]
+                .iter()
+                .map(|w| from_wire(*w))
+                .collect();
+            offset += seg_len[i];
+            if let Some(st) = states[i].as_mut() {
+                absorbed[i] = st.absorb_candidates(seg);
+            }
+        }
+        if !absorbed.iter().any(|&a| a) {
+            continue; // every active task wasted the round; no count needed
+        }
+        // Step 3b+4: concatenate per-pivot counts into ONE sum_u64_vec and
+        // let each absorbing task decide on its own segment.
+        let mut count_len = vec![0usize; n];
+        let mut counts: Vec<u64> = Vec::new();
+        for i in 0..n {
+            if absorbed[i] {
+                let c = states[i]
+                    .as_ref()
+                    .expect("absorbed ⇒ active")
+                    .count(sets[i]);
+                count_len[i] = c.len();
+                counts.extend(c);
+            }
+        }
+        let summed = comm.sum_u64_vec(counts);
+        let mut off = 0usize;
+        for i in 0..n {
+            let seg = &summed[off..off + count_len[i]];
+            off += count_len[i];
+            if absorbed[i] {
+                if let Some(res) = states[i].as_mut().expect("absorbed ⇒ active").decide(seg) {
+                    results[i] = Some(res);
+                    states[i] = None;
+                }
+            }
+        }
+    }
+    MultiSelectResult {
+        results: results
+            .into_iter()
+            .map(|r| r.expect("loop exits only when every task decided"))
+            .collect(),
+        joint_rounds,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +321,90 @@ mod tests {
         for res in &results {
             assert!((4_500..=5_500).contains(&res.rank));
             assert_eq!(res.threshold.key, (res.rank - 1) as f64);
+        }
+    }
+
+    /// The amortized driver must reproduce each standalone trajectory
+    /// byte-for-byte: same thresholds, same ranks, same per-task rounds.
+    #[test]
+    fn many_matches_standalone_per_task() {
+        let p = 3;
+        let tasks = 5u64;
+        let joint = run_threads(p, |comm| {
+            let rank = comm.rank();
+            let sets: Vec<SortedKeys> = (0..tasks)
+                .map(|t| {
+                    SortedKeys::new(
+                        (0..200 + t * 37)
+                            .filter(|i| *i as usize % p == rank)
+                            .map(|i| SampleKey::new(((i * 7919 + t * 13) % 1000) as f64, i))
+                            .collect(),
+                    )
+                })
+                .collect();
+            let refs: Vec<&SortedKeys> = sets.iter().collect();
+            let totals: Vec<u64> = (0..tasks).map(|t| 200 + t * 37).collect();
+            let targets: Vec<TargetRank> =
+                (0..tasks).map(|t| TargetRank::exact(10 + t * 29)).collect();
+            let seq = SeedSequence::new(0xBEEF);
+            let mut rngs: Vec<_> = (0..tasks)
+                .map(|t| seq.rng_for(rank * 64 + t as usize, StreamKind::Selection))
+                .collect();
+            let many = select_threaded_many(
+                &comm,
+                &refs,
+                &targets,
+                &totals,
+                SelectParams::with_pivots(2),
+                &mut rngs,
+            );
+            let solo: Vec<SelectResult> = (0..tasks as usize)
+                .map(|t| {
+                    let mut rng = seq.rng_for(rank * 64 + t, StreamKind::Selection);
+                    select_threaded(
+                        &comm,
+                        &sets[t],
+                        targets[t],
+                        totals[t],
+                        SelectParams::with_pivots(2),
+                        &mut rng,
+                    )
+                })
+                .collect();
+            (many, solo)
+        });
+        for (pe, (many, solo)) in joint.iter().enumerate() {
+            assert_eq!(many.results, *solo, "pe={pe}");
+            let max_rounds = solo.iter().map(|r| r.rounds).max().unwrap();
+            assert!(
+                many.joint_rounds >= max_rounds,
+                "joint rounds {} < slowest task {}",
+                many.joint_rounds,
+                max_rounds
+            );
+            // Amortization: the batch must not pay per-task rounds.
+            let sum_rounds: u32 = solo.iter().map(|r| r.rounds).sum();
+            assert!(
+                many.joint_rounds < sum_rounds,
+                "joint rounds {} not amortized vs per-task sum {}",
+                many.joint_rounds,
+                sum_rounds
+            );
+        }
+        // Every PE agrees on the batched outcome.
+        assert!(joint.windows(2).all(|w| w[0].0 == w[1].0));
+    }
+
+    #[test]
+    fn many_with_no_tasks_is_a_noop() {
+        let results = run_threads(2, |comm| {
+            let sets: Vec<&SortedKeys> = Vec::new();
+            let mut rngs: Vec<reservoir_rng::DefaultRng> = Vec::new();
+            select_threaded_many(&comm, &sets, &[], &[], SelectParams::default(), &mut rngs)
+        });
+        for r in &results {
+            assert!(r.results.is_empty());
+            assert_eq!(r.joint_rounds, 0);
         }
     }
 

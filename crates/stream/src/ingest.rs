@@ -36,7 +36,7 @@
 //! (`crates/stream/tests/batcher_props.rs` holds these properties under
 //! the proptest harness).
 
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::time::{Duration, Instant};
 
 use reservoir_rng::{DefaultRng, SeedSequence, StreamKind};
@@ -419,6 +419,15 @@ impl Batcher {
         self.counters
     }
 
+    /// Time until the oldest buffered record hits the deadline
+    /// (zero if already past it); `None` when no deadline is configured
+    /// or nothing is buffered.
+    fn time_to_deadline(&self) -> Option<Duration> {
+        let deadline = self.policy.deadline?;
+        let opened = self.opened_at.filter(|_| !self.buf.is_empty())?;
+        Some(deadline.saturating_sub(opened.elapsed()))
+    }
+
     /// Records currently buffered (not yet cut into a batch).
     pub fn buffered(&self) -> usize {
         self.buf.len()
@@ -489,10 +498,12 @@ impl IngestHandle {
 
 /// Pump `source` through a [`Batcher`] on a dedicated producer thread:
 /// the per-PE ingestion topology (source thread → bounded channel → the
-/// PE's sampler loop). Between sparse arrivals nothing fires the deadline
-/// — the pump checks it on every push, so a batch is cut at the first
-/// arrival after expiry; [`PacedRecords`] in the tests exercises exactly
-/// this.
+/// PE's sampler loop). With a deadline configured the pump ticks it during
+/// idle gaps too — a reader thread pulls the (possibly blocking) source
+/// while the pump waits with a bounded timeout — so a trickle of records
+/// still becomes batches no later than one deadline after arrival, even if
+/// the source then stalls indefinitely. Without a deadline the pump is a
+/// single thread draining the source directly.
 pub fn spawn_source<S: RecordSource + 'static>(
     source: S,
     policy: BatchPolicy,
@@ -510,12 +521,64 @@ pub fn spawn_source<S: RecordSource + 'static>(
 }
 
 fn pump<S: RecordSource>(mut source: S, mut batcher: Batcher) -> IngestCounters {
-    while let Some(record) = source.next_record() {
-        if batcher.push(record).is_err() {
-            // Consumer hung up; stop producing.
-            break;
+    match batcher.policy.deadline {
+        Some(deadline) => pump_with_deadline(source, batcher, deadline),
+        None => {
+            // Purely count-driven boundaries: a buffered record never
+            // ages out, so blocking in the source is harmless.
+            while let Some(record) = source.next_record() {
+                if batcher.push(record).is_err() {
+                    // Consumer hung up; stop producing.
+                    break;
+                }
+            }
+            batcher.close()
         }
     }
+}
+
+/// The deadline-aware pump. `next_record` may block arbitrarily long
+/// between arrivals, and nothing else would fire the deadline in that
+/// gap — records already buffered would stall until the next arrival
+/// (or forever, for a source that never yields again). So the source is
+/// drained on its own reader thread while the pump waits on a bounded
+/// `recv_timeout` keyed to the oldest buffered record's remaining
+/// lifetime, cutting the batch on expiry.
+fn pump_with_deadline<S: RecordSource>(
+    mut source: S,
+    mut batcher: Batcher,
+    deadline: Duration,
+) -> IngestCounters {
+    let (tx, rx) = sync_channel::<Item>(batcher.policy.max_items.max(1));
+    std::thread::scope(|s| {
+        s.spawn(move || {
+            while let Some(record) = source.next_record() {
+                if tx.send(record).is_err() {
+                    // Pump hung up (consumer gone); stop reading.
+                    break;
+                }
+            }
+            // Dropping `tx` wakes the pump with `Disconnected`.
+        });
+        loop {
+            let wait = batcher.time_to_deadline().unwrap_or(deadline);
+            match rx.recv_timeout(wait) {
+                Ok(record) => {
+                    if batcher.push(record).is_err() {
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    if batcher.poll_deadline().is_err() {
+                        break;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // Unblock a reader stuck in `send` so the scope can join it.
+        drop(rx);
+    });
     batcher.close()
 }
 
@@ -685,6 +748,53 @@ mod tests {
         assert_eq!(total, 100);
         assert_eq!(counters.records_in, 100);
         assert_eq!(counters.batches_cut, 7); // 6 full + 1 residual flush
+    }
+
+    /// Yields its records immediately, then stalls inside `next_record`
+    /// for `stall` before reporting end-of-stream — the sparse-arrival
+    /// shape that used to wedge the pump: with the old single-threaded
+    /// loop, nothing fired the deadline while `next_record` blocked, so
+    /// the buffered record sat until the stall ended.
+    struct StallingRecords {
+        items: Vec<Item>,
+        pos: usize,
+        stall: Duration,
+    }
+
+    impl RecordSource for StallingRecords {
+        fn next_record(&mut self) -> Option<Item> {
+            let item = self.items.get(self.pos).copied();
+            self.pos += item.is_some() as usize;
+            if item.is_none() {
+                std::thread::sleep(self.stall);
+            }
+            item
+        }
+    }
+
+    #[test]
+    fn deadline_fires_while_the_source_stalls() {
+        // Regression: the pump must cut the buffered record ~one deadline
+        // after arrival even though the source then blocks for 400 ms.
+        // The old pump delivered it only at the final close-flush.
+        let source = StallingRecords {
+            items: items(1),
+            pos: 0,
+            stall: Duration::from_millis(400),
+        };
+        let policy = BatchPolicy::by_size(1000).with_deadline(Duration::from_millis(10));
+        let mut handle = spawn_source(source, policy, 8);
+        let rx = handle.take_receiver();
+        let first = rx
+            .recv_timeout(Duration::from_millis(200))
+            .expect("deadline must cut the stale buffer during the stall");
+        assert_eq!(first.cut, CutReason::Deadline);
+        assert_eq!(first.items.len(), 1);
+        let rest: Vec<MiniBatch> = rx.iter().collect();
+        assert!(rest.is_empty(), "single record arrives exactly once");
+        let counters = handle.join();
+        assert_eq!(counters.records_in, 1);
+        assert_eq!(counters.deadline_flushes, 1);
     }
 
     #[test]

@@ -20,9 +20,11 @@
 
 mod gen;
 pub mod ingest;
+mod route;
 mod source;
 
 pub use gen::{IdStream, WeightGen};
+pub use route::{route_by_id, ShardKey, ShardRouter};
 pub use source::{StreamSource, StreamSpec};
 
 /// One stream element.

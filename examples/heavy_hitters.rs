@@ -1,13 +1,18 @@
-//! Heavy hitters from a weighted sample — one of the applications the
-//! paper's introduction motivates ("maintaining the set of heavy hitters").
+//! Heavy hitters from per-flow samples — one of the applications the
+//! paper's introduction motivates ("maintaining the set of heavy hitters"),
+//! reshaped as a multi-tenant workload for the sharded sampler.
 //!
 //! Eight PEs observe streams of (flow, bytes) records with Pareto-like
-//! weights: a handful of flows carry most of the traffic. A weighted
-//! reservoir sample over the union, with each record weighted by its byte
-//! count, surfaces the heavy flows: the probability a flow appears in the
-//! sample grows with its share of total bytes, so counting sample
-//! membership per flow estimates the traffic ranking without storing any
-//! stream.
+//! weights: a handful of flows carry most of the traffic. Instead of one
+//! global reservoir, a [`ShardedSampler`] keeps an independent weighted
+//! reservoir per flow shard — 64 reservoirs behind one collective schedule
+//! (one batched count round and one joint selection round sequence per
+//! mini-batch, not 64 of each). Per shard, the finalized threshold `τ`
+//! estimates the shard's total routed bytes: keys are `Exp(weight)`
+//! variates, so ~`W·τ` of them fall below a small `τ`, and the rank-`k`
+//! threshold gives `Ŵ ≈ k/τ`. Attributing each shard's estimate to flows
+//! by their membership share of the shard's sample ranks the heavy flows
+//! without storing any stream.
 //!
 //! ```text
 //! cargo run --release --example heavy_hitters
@@ -16,47 +21,72 @@
 use std::collections::HashMap;
 
 use reservoir::comm::{run_threads, Communicator};
-use reservoir::dist::threaded::DistributedSampler;
-use reservoir::dist::DistConfig;
+use reservoir::dist::{DistConfig, ShardedSampler};
 use reservoir::rng::{default_rng, Rng64};
-use reservoir::stream::Item;
+use reservoir::stream::{Item, ShardRouter};
+use reservoir::SampleItem;
+
+/// Low 14 id bits carry the flow; bits 14..48 the per-PE sequence number;
+/// bits 48.. the PE rank.
+const FLOW_MASK: u64 = (1 << 14) - 1;
 
 /// Synthetic flow table: flow `f` sends records whose byte counts follow a
-/// heavy-tailed law; flows 0..8 are the true heavy hitters.
-fn record(pe: usize, i: u64, rng: &mut impl Rng64) -> (u64, f64) {
+/// heavy-tailed law; the single-digit flows are the true heavy hitters.
+fn record(rng: &mut impl Rng64) -> (u64, f64) {
     // Zipf-ish flow popularity: low flow ids occur often...
     let flow = (rng.pareto(1.0, 1.1) as u64).min(9_999);
     // ...and heavy flows also send bigger packets.
     let bytes = if flow < 8 { 8_000.0 } else { 64.0 } + rng.rand_oc() * 64.0;
-    let id = ((pe as u64) << 40) | i;
-    let _ = id;
     (flow, bytes)
 }
 
 fn main() {
     let pes = 8;
-    let k = 2_000;
+    let shards = 64;
+    let k = 256; // per-shard sample size
     let batches = 10;
     let batch_size = 20_000u64;
 
-    // Each sampled record's id encodes its flow so PE 0 can aggregate.
     let results = run_threads(pes, |comm| {
-        let mut sampler = DistributedSampler::new(&comm, DistConfig::weighted(k, 1234));
+        // Route by flow: all records of a flow meet in one reservoir,
+        // on every PE, regardless of arrival order or rank.
+        let router = ShardRouter::new(shards, |item: &Item| item.id & FLOW_MASK);
+        let mut fleet = ShardedSampler::new(&comm, DistConfig::weighted(k, 1234), shards);
         let mut rng = default_rng(5_000 + comm.rank() as u64);
         let mut true_bytes: HashMap<u64, f64> = HashMap::new();
+        let mut buckets: Vec<Vec<Item>> = vec![Vec::new(); shards];
         for b in 0..batches {
             let items: Vec<Item> = (0..batch_size)
                 .map(|i| {
-                    let (flow, bytes) = record(comm.rank(), b * batch_size + i, &mut rng);
+                    let (flow, bytes) = record(&mut rng);
                     *true_bytes.entry(flow).or_default() += bytes;
-                    // Encode the flow in the item id's low bits.
-                    let uid = ((comm.rank() as u64) << 48) | ((b * batch_size + i) << 14) | flow;
+                    let seq = b * batch_size + i;
+                    // The packed fields must not overlap: flows cap at
+                    // 9 999 < 2^14 and this run emits far fewer than 2^34
+                    // records per PE.
+                    debug_assert!(
+                        flow <= FLOW_MASK && seq < (1 << 34),
+                        "uid bit-packing overlap: flow {flow}, seq {seq}"
+                    );
+                    let uid = ((comm.rank() as u64) << 48) | (seq << 14) | flow;
                     Item::new(uid, bytes)
                 })
                 .collect();
-            sampler.process_batch(&items);
+            for bucket in &mut buckets {
+                bucket.clear();
+            }
+            router.route_into(items, &mut buckets);
+            fleet.process_batch(&buckets);
         }
-        (sampler.gather_sample(), true_bytes)
+        // Finalize all 64 shards (again: one batched schedule, not 64
+        // finalizations' worth of collective launches) and let every PE
+        // assemble each shard's full sample.
+        let per_shard: Vec<(Option<f64>, Vec<SampleItem>)> = fleet
+            .collect_output()
+            .iter()
+            .map(|h| (h.threshold(), h.all_items(&comm)))
+            .collect();
+        (per_shard, true_bytes)
     });
 
     // Aggregate ground truth over all PEs.
@@ -70,14 +100,27 @@ fn main() {
     let mut true_top: Vec<(u64, f64)> = truth.into_iter().collect();
     true_top.sort_by(|a, b| b.1.total_cmp(&a.1));
 
-    // Estimate heavy hitters from sample membership counts.
-    let sample = results[0].0.as_ref().expect("root gathered");
-    let mut hits: HashMap<u64, u32> = HashMap::new();
-    for item in sample {
-        *hits.entry(item.id & 0x3FFF).or_default() += 1;
+    // Estimate per-flow bytes from the per-shard samples: Ŵ = k/τ per
+    // shard (the whole routed substream when the shard never outgrew k),
+    // attributed to flows by sample-membership share. Heavy flows
+    // dominate their shard's weighted sample, so their share is robust.
+    let (per_shard, _) = &results[0];
+    let mut est: HashMap<u64, f64> = HashMap::new();
+    for (threshold, sample) in per_shard {
+        if sample.is_empty() {
+            continue;
+        }
+        let w_est = match threshold {
+            Some(t) => k as f64 / t,
+            None => sample.iter().map(|s| s.weight).sum(),
+        };
+        let share = w_est / sample.len() as f64;
+        for s in sample {
+            *est.entry(s.id & FLOW_MASK).or_default() += share;
+        }
     }
-    let mut est: Vec<(u64, u32)> = hits.into_iter().collect();
-    est.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut est_top: Vec<(u64, f64)> = est.into_iter().collect();
+    est_top.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
 
     println!(
         "true top-8 flows by bytes (of {:.1} MB total):",
@@ -85,23 +128,23 @@ fn main() {
     );
     for (flow, bytes) in true_top.iter().take(8) {
         println!(
-            "  flow {flow:>5}: {:>6.2} MB ({:.1}%)",
+            "  flow {flow:>5}: {:>8.2} MB ({:.1}%)",
             bytes / 1e6,
             100.0 * bytes / total_bytes
         );
     }
-    println!("\nflows by sample membership (k = {k} weighted sample):");
-    for (flow, count) in est.iter().take(8) {
-        println!("  flow {flow:>5}: {count:>4} sample members");
+    println!("\nestimated top-8 flows ({shards} shards, k = {k} per shard):");
+    for (flow, bytes) in est_top.iter().take(8) {
+        println!("  flow {flow:>5}: {:>8.2} MB estimated", bytes / 1e6);
     }
 
-    // How many of the true top-8 does the sample's top-8 recover?
+    // How many of the true top-8 does the estimate's top-8 recover?
     let true_set: Vec<u64> = true_top.iter().take(8).map(|(f, _)| *f).collect();
-    let est_set: Vec<u64> = est.iter().take(8).map(|(f, _)| *f).collect();
+    let est_set: Vec<u64> = est_top.iter().take(8).map(|(f, _)| *f).collect();
     let recovered = est_set.iter().filter(|f| true_set.contains(f)).count();
-    println!("\nrecovered {recovered}/8 true heavy hitters in the sample's top 8");
+    println!("\nrecovered {recovered}/8 true heavy hitters in the estimated top 8");
     assert!(
         recovered >= 6,
-        "weighted sampling should surface the heavy flows"
+        "per-flow weighted sampling should surface the heavy flows"
     );
 }

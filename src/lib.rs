@@ -85,6 +85,41 @@
 //! assert_eq!(counters.records_in, 2_000);
 //! ```
 //!
+//! ## Quick start (multi-tenant sharded sampling)
+//!
+//! One independent weighted sample *per key* — per flow, per customer —
+//! behind **one** collective schedule: a [`dist::ShardedSampler`] keeps a
+//! reservoir per shard on every PE but pays one vectorized count and one
+//! joint selection round sequence per mini-batch, instead of a full
+//! per-tenant protocol (`O(S)` collective launches). Route records to
+//! shards up front with a [`stream::ShardRouter`]:
+//!
+//! ```
+//! use reservoir::comm::run_threads;
+//! use reservoir::dist::{DistConfig, ShardedSampler};
+//! use reservoir::stream::{route_by_id, Item};
+//!
+//! let shards = 8;
+//! let handles = run_threads(2, move |comm| {
+//!     use reservoir::comm::Communicator;
+//!     let router = route_by_id(shards);
+//!     let mut fleet = ShardedSampler::new(&comm, DistConfig::weighted(16, 11), shards);
+//!     for batch in 0..3u64 {
+//!         let items: Vec<Item> = (0..500)
+//!             .map(|i| {
+//!                 let id = ((comm.rank() as u64) << 40) | (batch * 500 + i);
+//!                 Item::new(id, 1.0 + (i % 7) as f64)
+//!             })
+//!             .collect();
+//!         let buckets = router.route(items);
+//!         fleet.process_batch(&buckets); // ONE batched schedule for all shards
+//!     }
+//!     fleet.collect_output() // one root-free SampleHandle per shard
+//! });
+//! assert_eq!(handles[0].len(), shards);
+//! assert!(handles[0].iter().all(|h| h.total_len() == 16));
+//! ```
+//!
 //! ## One protocol, many backends: the engine layer
 //!
 //! `DistributedSampler`, `GatherSampler` (Section 4.5 baseline) and

@@ -3,10 +3,10 @@
 use proptest::prelude::*;
 use reservoir::comm::run_threads;
 use reservoir::dist::threaded::DistributedSampler;
-use reservoir::dist::DistConfig;
+use reservoir::dist::{DistConfig, ShardedSampler};
 use reservoir::rng::{default_rng, Rng64};
 use reservoir::seq::{UniformJumpSampler, WeightedJumpSampler};
-use reservoir::stream::Item;
+use reservoir::stream::{route_by_id, Item, ShardRouter};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -162,5 +162,121 @@ proptest! {
         ids.sort_unstable();
         ids.dedup();
         prop_assert_eq!(ids.len(), sample.len());
+    }
+
+    /// `SampleHandle::shards` edge cases on real collected outputs — an
+    /// empty stream (total == 0) yields no assignments, more shards than
+    /// members gives every member its own shard (its global position), a
+    /// single member lands in shard 0 — and in every case assignments
+    /// stay in range, cover all members exactly once, and are monotone in
+    /// global position.
+    #[test]
+    fn sample_handle_shard_routing_edges(
+        n in 0u64..6,
+        shards in 1u64..96,
+        k in 1usize..8,
+        p in 1usize..4,
+        seed in 0u64..300,
+    ) {
+        let results = run_threads(p, move |comm| {
+            use reservoir::comm::Communicator;
+            let mut s = DistributedSampler::new(&comm, DistConfig::weighted(k, seed ^ 0xD1CE));
+            // All records arrive at PE 0: the edge geometry where most
+            // PEs own no slice of the output.
+            let items: Vec<Item> = if comm.rank() == 0 {
+                (0..n).map(|i| Item::new(i, 1.0 + i as f64)).collect()
+            } else {
+                Vec::new()
+            };
+            s.process_batch(&items);
+            s.collect_output()
+        });
+        let total = n.min(k as u64);
+        let mut assigned: Vec<(u64, u64)> = Vec::new();
+        for h in &results {
+            prop_assert_eq!(h.total_len(), total);
+            prop_assert_eq!(h.is_empty(), total == 0);
+            for ((pos, _), (shard, _)) in h.enumerate().zip(h.shards(shards)) {
+                prop_assert!(shard < shards);
+                assigned.push((pos, shard));
+            }
+        }
+        prop_assert_eq!(assigned.len() as u64, total, "every member assigned once");
+        assigned.sort_unstable();
+        prop_assert!(
+            assigned.windows(2).all(|w| w[0].1 <= w[1].1),
+            "shard indices monotone in global position"
+        );
+        if shards >= total {
+            // More shards than members: one member per shard, at the
+            // shard matching its global position.
+            for &(pos, shard) in &assigned {
+                prop_assert_eq!(shard, pos);
+            }
+        }
+        if total == 1 {
+            prop_assert_eq!(assigned[0], (0, 0));
+        }
+    }
+
+    /// Router invariants under arbitrary keys and shard counts: every
+    /// record lands in exactly one shard (the buckets partition the
+    /// input), and the assignment is a pure function of the key —
+    /// `shard_of` reproduces it record by record.
+    #[test]
+    fn shard_router_partitions_exactly(
+        ids in prop::collection::vec(0u64..10_000, 0..300),
+        shards in 1usize..40,
+        modulus in 1u64..64,
+    ) {
+        let router = ShardRouter::new(shards, move |item: &Item| item.id % modulus);
+        let items: Vec<Item> = ids.iter().map(|&i| Item::new(i, 1.0)).collect();
+        let buckets = router.route(items);
+        prop_assert_eq!(buckets.len(), shards);
+        let mut seen: Vec<u64> = buckets.iter().flatten().map(|i| i.id).collect();
+        prop_assert_eq!(seen.len(), ids.len(), "exactly one shard per record");
+        seen.sort_unstable();
+        let mut expect = ids.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+        for (s, bucket) in buckets.iter().enumerate() {
+            for it in bucket {
+                prop_assert_eq!(router.shard_of(it), s);
+            }
+        }
+    }
+
+    /// A shard's sample is a function of its own routed substream alone:
+    /// adding empty shards to the fleet (same buckets, larger shard
+    /// count) leaves every original shard's threshold and members
+    /// byte-identical.
+    #[test]
+    fn per_shard_sample_independent_of_fleet_size(
+        shards in 1usize..5,
+        extra in 1usize..4,
+        k in 1usize..10,
+        n in 0u64..400,
+        seed in 0u64..200,
+    ) {
+        let results = run_threads(1, move |comm| {
+            let cfg = DistConfig::weighted(k, seed ^ 0x5AFE);
+            let router = route_by_id(shards);
+            let items: Vec<Item> =
+                (0..n).map(|i| Item::new(i, 0.5 + (i % 9) as f64)).collect();
+            let mut small = ShardedSampler::new(&comm, cfg, shards);
+            let mut big = ShardedSampler::new(&comm, cfg, shards + extra);
+            let mut buckets = router.route(items);
+            small.process_batch(&buckets);
+            buckets.resize(shards + extra, Vec::new());
+            big.process_batch(&buckets);
+            (small.collect_output(), big.collect_output())
+        });
+        let (small, big) = &results[0];
+        for s in 0..shards {
+            prop_assert_eq!(small[s].threshold(), big[s].threshold(), "shard {}", s);
+            let a: Vec<u64> = small[s].local_items().iter().map(|m| m.id).collect();
+            let b: Vec<u64> = big[s].local_items().iter().map(|m| m.id).collect();
+            prop_assert_eq!(a, b, "shard {} members", s);
+        }
     }
 }

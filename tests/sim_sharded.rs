@@ -1,0 +1,269 @@
+//! Multi-tenant schedule accounting: `SimShardedCluster` prices one
+//! mini-batch of an `S`-shard fleet under the naive schedule (every shard
+//! launches its own collectives) and the batched schedule (the sharded
+//! backend's single vectorized count + joint selection rounds), pinning
+//! the acceptance claim in a golden grid: **batched cross-shard rounds
+//! are O(1) per mini-batch — shard-count independent — while the naive
+//! launch count grows linearly with `S`.**
+//!
+//! The golden table lives in `tests/golden/sim_sharded.tsv`. On mismatch
+//! the test writes the fresh table and a cell diff to
+//! `target/sim-sharded/` (CI uploads them). Re-baseline after an
+//! intentional cost-model or protocol change with:
+//!
+//! ```text
+//! UPDATE_SIM_GOLDEN=1 cargo test --test sim_sharded
+//! ```
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+use reservoir::comm::CostModel;
+use reservoir::dist::sim::{AnalyticLocalCosts, SimAlgo, SimConfig, SimShardedCluster};
+use reservoir::dist::{ContinuousMode, SamplingMode};
+
+/// PE counts and fleet sizes pinned by the snapshot. Each shard samples
+/// `k` from its own per-shard stream of `b_per_pe` items per PE per
+/// batch — the multi-tenant workload of a per-key reservoir service.
+const P_GRID: [usize; 2] = [20, 320];
+const S_GRID: [usize; 4] = [1, 4, 16, 64];
+const K: usize = 1_000;
+const B_PER_PE: u64 = 250;
+const SNAPSHOT_SEED: u64 = 0xC0FFEE;
+const BATCHES: usize = 4;
+
+/// Relative tolerance for modeled seconds and launch counts: selection
+/// round counts wiggle by a round or two across platforms, which moves
+/// both the collective tallies and the α terms.
+const REL_TOL: f64 = 0.35;
+/// The batched launch count is small (1 + max rounds per batch), so an
+/// absolute slack is fairer than a relative one.
+const BATCHED_TOL: i64 = 2 * BATCHES as i64;
+
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Row {
+    p: usize,
+    s: usize,
+    /// Collective launches over all batches, naive schedule.
+    naive_coll: u64,
+    /// Collective launches over all batches, batched schedule.
+    batched_coll: u64,
+    /// α–β network seconds over all batches, naive schedule.
+    naive_net_s: f64,
+    /// α–β network seconds over all batches, batched schedule.
+    batched_net_s: f64,
+}
+
+const COLUMNS: &str = "p\ts\tnaive_coll\tbatched_coll\tnaive_net_s\tbatched_net_s";
+
+fn run_fleet(p: usize, shards: usize) -> Row {
+    let cfg = SimConfig::new(
+        p,
+        K,
+        B_PER_PE,
+        SamplingMode::Weighted,
+        SimAlgo::Ours { pivots: 8 },
+        SNAPSHOT_SEED ^ ((p as u64) << 32),
+    )
+    // Pin the baseline trajectory even under RESERVOIR_CONTINUOUS=1
+    // (and the sharded sim models batch steps only).
+    .with_continuous(ContinuousMode::Disabled);
+    let mut fleet = SimShardedCluster::new(
+        cfg,
+        shards,
+        CostModel::infiniband_edr(),
+        AnalyticLocalCosts::default(),
+    );
+    let mut row = Row {
+        p,
+        s: shards,
+        naive_coll: 0,
+        batched_coll: 0,
+        naive_net_s: 0.0,
+        batched_net_s: 0.0,
+    };
+    for _ in 0..BATCHES {
+        let r = fleet.process_batch();
+        // Structural invariants of the two schedules, per batch: the
+        // naive one launches at least one count per shard; the batched
+        // one launches one vectorized count plus the joint rounds, and
+        // a joint round never exceeds the busiest shard's own rounds.
+        assert!(r.naive_collectives >= shards as u64);
+        let max_rounds = r
+            .per_shard
+            .iter()
+            .map(|b| b.rounds as u64)
+            .max()
+            .unwrap_or(0);
+        assert_eq!(r.batched_collectives, 1 + max_rounds);
+        assert!(r.batched_net_s <= r.naive_net_s + 1e-12);
+        row.naive_coll += r.naive_collectives;
+        row.batched_coll += r.batched_collectives;
+        row.naive_net_s += r.naive_net_s;
+        row.batched_net_s += r.batched_net_s;
+    }
+    row
+}
+
+fn compute_table() -> Vec<Row> {
+    let mut rows = Vec::new();
+    for &p in &P_GRID {
+        for &s in &S_GRID {
+            rows.push(run_fleet(p, s));
+        }
+    }
+    rows
+}
+
+fn format_table(rows: &[Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# SimShardedCluster schedule snapshot — seed {SNAPSHOT_SEED:#x}, {BATCHES} batches,\n\
+         # k = {K}, b_per_pe = {B_PER_PE}, 8 pivots, InfiniBand EDR α–β model.\n\
+         # Regenerate with UPDATE_SIM_GOLDEN=1 cargo test --test sim_sharded\n\
+         # {COLUMNS}"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{}\t{}\t{}\t{}\t{:.6e}\t{:.6e}",
+            r.p, r.s, r.naive_coll, r.batched_coll, r.naive_net_s, r.batched_net_s,
+        );
+    }
+    out
+}
+
+fn parse_table(text: &str) -> Vec<Row> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let f: Vec<&str> = l.split('\t').collect();
+            assert_eq!(f.len(), 6, "malformed golden row: {l:?}");
+            Row {
+                p: f[0].parse().expect("p"),
+                s: f[1].parse().expect("s"),
+                naive_coll: f[2].parse().expect("naive_coll"),
+                batched_coll: f[3].parse().expect("batched_coll"),
+                naive_net_s: f[4].parse().expect("naive_net_s"),
+                batched_net_s: f[5].parse().expect("batched_net_s"),
+            }
+        })
+        .collect()
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden/sim_sharded.tsv")
+}
+
+fn rel_close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= REL_TOL * a.abs().max(b.abs()) + 1e-12
+}
+
+#[test]
+fn sim_sharded_schedule_matches_golden_snapshot() {
+    let rows = compute_table();
+    let actual_text = format_table(&rows);
+    if std::env::var("UPDATE_SIM_GOLDEN").is_ok() {
+        fs::write(golden_path(), &actual_text).expect("write golden");
+        eprintln!(
+            "sharded sim golden snapshot rewritten at {:?}",
+            golden_path()
+        );
+        return;
+    }
+    let golden_text = fs::read_to_string(golden_path())
+        .expect("missing tests/golden/sim_sharded.tsv — run UPDATE_SIM_GOLDEN=1 once");
+    let golden = parse_table(&golden_text);
+    assert_eq!(
+        golden.len(),
+        rows.len(),
+        "snapshot grid changed; re-baseline"
+    );
+
+    let mut diffs = String::new();
+    for (g, a) in golden.iter().zip(&rows) {
+        assert_eq!((g.p, g.s), (a.p, a.s), "grid order changed; re-baseline");
+        let mut cell = |name: &str, gv: f64, av: f64| {
+            if !rel_close(gv, av) {
+                let _ = writeln!(
+                    diffs,
+                    "p={} s={} {name}: golden {gv:.6e} vs actual {av:.6e} ({:+.1}%)",
+                    g.p,
+                    g.s,
+                    100.0 * (av - gv) / gv.abs().max(1e-300)
+                );
+            }
+        };
+        cell("naive_coll", g.naive_coll as f64, a.naive_coll as f64);
+        cell("naive_net_s", g.naive_net_s, a.naive_net_s);
+        cell("batched_net_s", g.batched_net_s, a.batched_net_s);
+        if (g.batched_coll as i64 - a.batched_coll as i64).abs() > BATCHED_TOL {
+            let _ = writeln!(
+                diffs,
+                "p={} s={} batched_coll: golden {} vs actual {}",
+                g.p, g.s, g.batched_coll, a.batched_coll
+            );
+        }
+    }
+    if !diffs.is_empty() {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("target/sim-sharded");
+        fs::create_dir_all(&dir).expect("create target/sim-sharded");
+        fs::write(dir.join("actual.tsv"), &actual_text).expect("write actual");
+        fs::write(dir.join("diff.txt"), &diffs).expect("write diff");
+        panic!(
+            "sharded sim schedule snapshot drifted (full table + diff written \
+             to target/sim-sharded/):\n{diffs}\n\
+             If the change is intentional, re-baseline with \
+             UPDATE_SIM_GOLDEN=1 cargo test --test sim_sharded"
+        );
+    }
+}
+
+/// The acceptance claim, asserted on the live computation (not the golden
+/// file, so it can never be baselined away): growing the fleet 64× leaves
+/// the batched launch count essentially flat — O(1) collective rounds per
+/// mini-batch — while the naive launch count grows with the shard count.
+#[test]
+fn batched_rounds_are_shard_count_independent() {
+    for &p in &P_GRID {
+        let rows: Vec<Row> = S_GRID.iter().map(|&s| run_fleet(p, s)).collect();
+        let single = &rows[0];
+        let largest = rows.last().unwrap();
+        // A 64× fleet may add a few joint rounds (the max over more
+        // shards' round counts creeps up logarithmically) but never
+        // multiplies: well under 2× where linear scaling would be 64×.
+        assert!(
+            largest.batched_coll < 2 * single.batched_coll,
+            "p={p}: batched launches must not scale with shards \
+             ({} at S={} vs {} at S={})",
+            largest.batched_coll,
+            largest.s,
+            single.batched_coll,
+            single.s,
+        );
+        // Naive launches scale linearly: each 4× fleet growth must cost
+        // at least 3× the launches (slack for round-count variation).
+        for pair in rows.windows(2) {
+            assert!(
+                pair[1].naive_coll >= 3 * pair[0].naive_coll,
+                "p={p}: naive launches should grow ~linearly, got {} at S={} \
+                 vs {} at S={}",
+                pair[1].naive_coll,
+                pair[1].s,
+                pair[0].naive_coll,
+                pair[0].s,
+            );
+        }
+        // And the α savings are real: at S=64 the batched schedule's
+        // network time is a small fraction of the naive schedule's.
+        assert!(
+            largest.batched_net_s < 0.25 * largest.naive_net_s,
+            "p={p}: batched schedule should amortize latency, got \
+             {:.3e}s vs naive {:.3e}s",
+            largest.batched_net_s,
+            largest.naive_net_s,
+        );
+    }
+}
