@@ -71,6 +71,9 @@ fn time_reps(mut f: impl FnMut(), reps: u32) -> f64 {
 }
 
 fn main() {
+    // Arm observability so the emitted JSON carries the run's full
+    // metrics snapshot next to the measured sweep.
+    reservoir_obs::set_enabled(true);
     let quick = std::env::var_os("RESERVOIR_BENCH_QUICK").is_some();
     let b: u64 = if quick { 500_000 } else { 4_000_000 };
     let reps: u32 = if quick { 3 } else { 5 };
@@ -229,7 +232,12 @@ fn main() {
             if i + 1 < sweep.len() { "," } else { "" },
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"obs\": {}",
+        reservoir_obs::global().reader().json()
+    );
     let _ = writeln!(json, "}}");
 
     let out = std::env::var("RESERVOIR_BENCH_OUT").unwrap_or_else(|_| "BENCH_par_scan.json".into());

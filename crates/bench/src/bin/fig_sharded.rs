@@ -53,6 +53,9 @@ fn items_for(rank: usize, batch: u64, per_pe: u64) -> Vec<Item> {
 }
 
 fn main() {
+    // Arm observability so the emitted JSON carries the run's full
+    // metrics snapshot next to the measured sweep.
+    reservoir_obs::set_enabled(true);
     let quick = std::env::var_os("RESERVOIR_BENCH_QUICK").is_some();
     let per_pe: u64 = if quick { 2_000 } else { 10_000 };
     let batches: u64 = if quick { 4 } else { 8 };
@@ -172,7 +175,12 @@ fn main() {
             if i + 1 < sweep.len() { "," } else { "" },
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"obs\": {}",
+        reservoir_obs::global().reader().json()
+    );
     let _ = writeln!(json, "}}");
 
     let out = std::env::var("RESERVOIR_BENCH_OUT").unwrap_or_else(|_| "BENCH_sharded.json".into());

@@ -34,6 +34,9 @@ struct Sweep {
 }
 
 fn main() {
+    // Arm observability so the emitted JSON carries the run's full
+    // metrics snapshot next to the measured sweep.
+    reservoir_obs::set_enabled(true);
     let quick = std::env::var_os("RESERVOIR_BENCH_QUICK").is_some();
     let b: u64 = if quick { 100_000 } else { 1_000_000 };
     let cores = std::thread::available_parallelism()
@@ -133,7 +136,12 @@ fn main() {
             if i + 1 < sweep.len() { "," } else { "" },
         );
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"obs\": {}",
+        reservoir_obs::global().reader().json()
+    );
     let _ = writeln!(json, "}}");
 
     let out = std::env::var("RESERVOIR_BENCH_OUT").unwrap_or_else(|_| "BENCH_snapshot.json".into());

@@ -149,7 +149,8 @@ mod tests {
         assert!(res.throughput > 0.0);
         assert!(res.throughput_per_pe * cfg.p as f64 - res.throughput < 1e-6);
         let f = res.phases.fractions();
-        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!((f.sum() - 1.0).abs() < 1e-9);
+        assert!(f.labeled().iter().all(|&(_, share)| share >= 0.0));
     }
 
     #[test]

@@ -56,9 +56,26 @@ use std::cmp::Ordering as CmpOrder;
 use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use reservoir_obs::{trace, LazyCounter, TraceKind, PE_UNRANKED};
+
 use crate::key::SampleKey;
 use crate::sched::{self, SchedEvent};
 use crate::seqlock::SeqLock;
+
+/// Registry view of the per-tree `retries` atomic (slow path only: a
+/// clean first-try insert never touches it).
+static OLC_RETRIES: LazyCounter = LazyCounter::new(
+    "olc_retries_total",
+    "concurrent tree inserts that aborted on a version conflict and restarted",
+);
+/// Registry view of the per-tree `splits` atomic.
+static OLC_SPLITS: LazyCounter = LazyCounter::new(
+    "olc_splits_total",
+    "leaf/inner node splits performed by concurrent inserts",
+);
+/// One insert retrying this many times is a contention storm worth a
+/// flight-recorder event.
+const RETRY_STORM: u64 = 8;
 
 /// Fixed node width: max entries of a leaf, max children of an inner
 /// node. Compile-time so node payloads are plain atomic arrays.
@@ -363,6 +380,7 @@ impl OlcTree {
     /// concurrently; retries internally until it wins.
     pub fn insert(&self, key: SampleKey, weight: f64) -> bool {
         self.dirty.store(true, Ordering::Relaxed);
+        let mut my_retries = 0u64;
         loop {
             match self.try_insert(&key, weight) {
                 Ok(new) => {
@@ -373,6 +391,16 @@ impl OlcTree {
                 }
                 Err(Abort::Conflict) => {
                     self.retries.fetch_add(1, Ordering::Relaxed);
+                    OLC_RETRIES.inc();
+                    my_retries += 1;
+                    if my_retries == RETRY_STORM {
+                        trace::emit(
+                            PE_UNRANKED,
+                            TraceKind::OlcRetryStorm,
+                            my_retries,
+                            self.count.load(Ordering::Relaxed),
+                        );
+                    }
                     sched::hook(SchedEvent::Conflict);
                     std::hint::spin_loop();
                 }
@@ -493,6 +521,7 @@ impl OlcTree {
             }
         }
         self.splits.fetch_add(1, Ordering::Relaxed);
+        OLC_SPLITS.inc();
         sched::hook(SchedEvent::Split);
         Ok(())
     }

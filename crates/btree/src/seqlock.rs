@@ -27,7 +27,21 @@
 
 use std::sync::atomic::{fence, AtomicU64, Ordering};
 
+use reservoir_obs::LazyCounter;
+
 use crate::sched::{self, SchedEvent};
+
+/// Spin iterations burned waiting out writers (slow path only: the
+/// uncontended first-try read carries zero instrumentation).
+static READ_SPINS: LazyCounter = LazyCounter::new(
+    "seqlock_read_spins_total",
+    "spin iterations optimistic readers burned waiting out writers",
+);
+/// Reads that exhausted the spin budget and restarted from the root.
+static READ_RETRIES: LazyCounter = LazyCounter::new(
+    "seqlock_read_retries_total",
+    "optimistic reads that exhausted the spin budget and restarted",
+);
 
 /// Bounded spin budget of [`SeqLock::read_begin`] before it reports a
 /// conflict instead of waiting out the writer. Small: conflicts restart
@@ -59,14 +73,19 @@ impl SeqLock {
     #[allow(clippy::result_unit_err)]
     pub fn read_begin(&self) -> Result<u64, ()> {
         sched::hook(SchedEvent::ReadBegin);
-        for _ in 0..SPIN_LIMIT {
+        for spins in 0..SPIN_LIMIT {
             let v = self.0.load(Ordering::Acquire);
             if v & 1 == 0 {
+                if spins > 0 {
+                    READ_SPINS.add(spins as u64);
+                }
                 return Ok(v);
             }
             sched::hook(SchedEvent::ReadSpin);
             std::hint::spin_loop();
         }
+        READ_SPINS.add(SPIN_LIMIT as u64);
+        READ_RETRIES.inc();
         Err(())
     }
 

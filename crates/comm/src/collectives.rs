@@ -9,12 +9,26 @@
 //! The usual MPI contract applies: every PE of the communicator must call
 //! the same collectives in the same order.
 
-use crate::{Communicator, Message};
+use crate::{obs_metrics, Communicator, Message};
+use reservoir_obs::{trace, LazyCounter, TraceKind};
 
 const COLL_BIT: u64 = 1 << 63;
 
 fn coll_tag(seq: u64, phase: u64) -> u64 {
     COLL_BIT | (seq << 3) | phase
+}
+
+/// Per-primitive launch hook: a per-op counter, the shared payload-words
+/// histogram, and one flight-recorder `Collective` event carrying the op
+/// code and this PE's local payload words. One early-out branch when
+/// observability is disarmed.
+fn obs_launch(rank: usize, counter: &LazyCounter, op: u64, words: u64) {
+    if !reservoir_obs::enabled() {
+        return;
+    }
+    counter.inc();
+    obs_metrics::COMM_COLLECTIVE_WORDS.observe(words);
+    trace::emit(rank as u32, TraceKind::Collective, op, words);
 }
 
 /// Extension trait providing the collectives; blanket-implemented for every
@@ -44,6 +58,12 @@ pub trait Collectives: Communicator {
         }
         // Forward to children in decreasing mask order.
         let v = current.expect("broadcast value present after receive phase");
+        obs_launch(
+            rank,
+            &obs_metrics::COMM_BCAST,
+            obs_metrics::OP_BCAST,
+            v.words(),
+        );
         mask >>= 1;
         while mask > 0 {
             if relative + mask < p {
@@ -61,6 +81,12 @@ pub trait Collectives: Communicator {
         let (rank, p) = (self.rank(), self.size());
         assert!(root < p, "reduce root {root} out of range");
         let tag = coll_tag(self.next_collective_seq(), 1);
+        obs_launch(
+            rank,
+            &obs_metrics::COMM_REDUCE,
+            obs_metrics::OP_REDUCE,
+            value.words(),
+        );
         let relative = (rank + p - root) % p;
         let mut acc = value;
         let mut mask = 1usize;
@@ -95,6 +121,12 @@ pub trait Collectives: Communicator {
         let (rank, p) = (self.rank(), self.size());
         assert!(root < p, "gather root {root} out of range");
         let tag = coll_tag(self.next_collective_seq(), 2);
+        obs_launch(
+            rank,
+            &obs_metrics::COMM_GATHER,
+            obs_metrics::OP_GATHER,
+            value.words(),
+        );
         let relative = (rank + p - root) % p;
         let mut bucket: Vec<(u64, T)> = vec![(rank as u64, value)];
         let mut mask = 1usize;
@@ -134,6 +166,12 @@ pub trait Collectives: Communicator {
     fn exscan<T: Message + Clone>(&self, value: T, op: impl Fn(T, T) -> T) -> Option<T> {
         let (rank, p) = (self.rank(), self.size());
         let tag = coll_tag(self.next_collective_seq(), 3);
+        obs_launch(
+            rank,
+            &obs_metrics::COMM_EXSCAN,
+            obs_metrics::OP_EXSCAN,
+            value.words(),
+        );
         // `incl` covers a window of ranks ending at `rank`; `excl` covers
         // everything below that window's start, so appending each incoming
         // window (which always directly precedes the current one) keeps

@@ -96,7 +96,9 @@ impl CostModel {
     /// matching [`crate::collectives::Collectives`].
     #[inline]
     pub fn allreduce(&self, p: usize, words: u64) -> SimTime {
-        SimTime(2.0 * self.tree_collective(p, words).0)
+        let t = SimTime(2.0 * self.tree_collective(p, words).0);
+        charged(&crate::obs_metrics::SIM_ALLREDUCE, words, t);
+        t
     }
 
     /// Gather of `total_words` spread over `p` PEs at a single root: the
@@ -104,7 +106,9 @@ impl CostModel {
     /// latency — the paper's O(βpℓ + α log p) gather bound.
     #[inline]
     pub fn gather(&self, p: usize, total_words: u64) -> SimTime {
-        SimTime(Self::tree_rounds(p) as f64 * self.alpha + self.beta * total_words as f64)
+        let t = SimTime(Self::tree_rounds(p) as f64 * self.alpha + self.beta * total_words as f64);
+        charged(&crate::obs_metrics::SIM_GATHER, total_words, t);
+        t
     }
 
     /// Exclusive prefix sum (exscan) of a `words`-word value: Hillis–Steele
@@ -112,7 +116,9 @@ impl CostModel {
     /// matching [`crate::collectives::Collectives::exscan`].
     #[inline]
     pub fn exscan(&self, p: usize, words: u64) -> SimTime {
-        self.tree_collective(p, words)
+        let t = self.tree_collective(p, words);
+        charged(&crate::obs_metrics::SIM_EXSCAN, words, t);
+        t
     }
 
     /// All-gather of `total_words` spread over `p` PEs: gather to a root
@@ -120,8 +126,27 @@ impl CostModel {
     /// [`crate::collectives::Collectives::allgatherv`].
     #[inline]
     pub fn allgather(&self, p: usize, total_words: u64) -> SimTime {
-        self.gather(p, total_words) + self.tree_collective(p, total_words)
+        // Composed op: the inner `gather` charges its own launch, words
+        // and seconds (mirroring how the threaded allgatherv launches a
+        // real gather), so this only charges the broadcast half — the
+        // payload crosses the wire once per half, exactly as the measured
+        // `comm_*` counters see it, and seconds are never double-counted.
+        let broadcast = self.tree_collective(p, total_words);
+        charged(&crate::obs_metrics::SIM_ALLGATHER, total_words, broadcast);
+        self.gather(p, total_words) + broadcast
     }
+}
+
+/// Mirror a predicted charge into the `sim_*` metrics namespace so the
+/// cost model's accounting is pollable next to the measured `comm_*`
+/// counters. One early-out branch when observability is disarmed.
+fn charged(counter: &reservoir_obs::LazyCounter, words: u64, t: SimTime) {
+    if !reservoir_obs::enabled() {
+        return;
+    }
+    counter.inc();
+    crate::obs_metrics::SIM_COLLECTIVE_WORDS.add(words);
+    crate::obs_metrics::SIM_COLLECTIVE_SECONDS.add(t.seconds());
 }
 
 #[cfg(test)]

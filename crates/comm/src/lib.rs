@@ -22,6 +22,7 @@
 
 mod collectives;
 mod cost;
+pub(crate) mod obs_metrics;
 mod stats;
 mod thread_comm;
 
@@ -112,10 +113,13 @@ pub trait Communicator {
     /// Snapshot of this endpoint's communication statistics.
     fn stats(&self) -> CommStats;
 
-    /// Typed send; counts the message in the stats.
+    /// Typed send; counts the message in the stats (and, when
+    /// observability is armed, in the process-wide metrics registry).
     fn send<T: Message>(&self, to: usize, tag: u64, msg: T) {
         let words = msg.words();
         self.record(1, words);
+        obs_metrics::COMM_MESSAGES.inc();
+        obs_metrics::COMM_MESSAGE_WORDS.observe(words);
         self.send_raw(to, tag, Box::new(msg), words);
     }
 

@@ -1,0 +1,67 @@
+//! The comm layer's registry names. Measured (`comm_*`) and predicted
+//! (`sim_*`) collectives share one naming scheme — per-op launch counters
+//! plus payload accounting — so a dashboard can diff the α–β model's
+//! predictions against what the threaded runtime actually moved.
+
+use reservoir_obs::{LazyCounter, LazyGauge, LazyHistogram};
+
+pub static COMM_MESSAGES: LazyCounter = LazyCounter::new(
+    "comm_messages_total",
+    "point-to-point messages sent (all PEs in this process)",
+);
+pub static COMM_MESSAGE_WORDS: LazyHistogram = LazyHistogram::new(
+    "comm_message_words",
+    "payload size in 64-bit words per point-to-point message",
+);
+
+pub static COMM_BCAST: LazyCounter = LazyCounter::new(
+    "comm_bcast_total",
+    "broadcast tree passes launched (per PE, summed process-wide)",
+);
+pub static COMM_REDUCE: LazyCounter = LazyCounter::new(
+    "comm_reduce_total",
+    "reduce tree passes launched (per PE, summed process-wide)",
+);
+pub static COMM_GATHER: LazyCounter = LazyCounter::new(
+    "comm_gather_total",
+    "gather tree passes launched (per PE, summed process-wide)",
+);
+pub static COMM_EXSCAN: LazyCounter = LazyCounter::new(
+    "comm_exscan_total",
+    "exscan passes launched (per PE, summed process-wide)",
+);
+pub static COMM_COLLECTIVE_WORDS: LazyHistogram = LazyHistogram::new(
+    "comm_collective_words",
+    "local payload size in 64-bit words per collective launch",
+);
+
+/// Op codes carried in `TraceKind::Collective` events' `a` payload.
+pub const OP_BCAST: u64 = 1;
+pub const OP_REDUCE: u64 = 2;
+pub const OP_GATHER: u64 = 3;
+pub const OP_EXSCAN: u64 = 4;
+
+pub static SIM_ALLREDUCE: LazyCounter = LazyCounter::new(
+    "sim_allreduce_total",
+    "all-reduces charged to the alpha-beta cost model",
+);
+pub static SIM_GATHER: LazyCounter = LazyCounter::new(
+    "sim_gather_total",
+    "gathers charged to the alpha-beta cost model",
+);
+pub static SIM_EXSCAN: LazyCounter = LazyCounter::new(
+    "sim_exscan_total",
+    "exscans charged to the alpha-beta cost model",
+);
+pub static SIM_ALLGATHER: LazyCounter = LazyCounter::new(
+    "sim_allgather_total",
+    "all-gathers charged to the alpha-beta cost model",
+);
+pub static SIM_COLLECTIVE_WORDS: LazyCounter = LazyCounter::new(
+    "sim_collective_words_total",
+    "payload words charged to the alpha-beta cost model",
+);
+pub static SIM_COLLECTIVE_SECONDS: LazyGauge = LazyGauge::new(
+    "sim_collective_seconds",
+    "predicted seconds accumulated by the alpha-beta cost model",
+);

@@ -51,6 +51,7 @@ use reservoir_stream::ingest::MiniBatch;
 use reservoir_stream::Item;
 
 use crate::dist::local::ScanStats;
+use crate::dist::obs_metrics;
 use crate::dist::output::SampleHandle;
 use crate::dist::snapshot::{EpochPublisher, SampleEpoch, SnapshotReader};
 use crate::dist::{BatchReport, ContinuousMode, DistConfig, PipelineReport, SamplingMode};
@@ -249,6 +250,9 @@ pub struct ReservoirProtocol<B: SamplerBackend> {
     cfg: DistConfig,
     threshold: Option<SampleKey>,
     phases: PhaseTimes,
+    /// Batch steps driven so far — the `a` payload of this endpoint's
+    /// `BatchStart`/`BatchEnd` flight-recorder events.
+    steps: u64,
     /// The always-fresh read slot this endpoint publishes into. Always
     /// present (readers can be handed out before the first publication);
     /// publication itself only runs under [`ContinuousMode::EveryBatch`]
@@ -266,6 +270,7 @@ impl<B: SamplerBackend> ReservoirProtocol<B> {
             cfg,
             threshold: None,
             phases: PhaseTimes::default(),
+            steps: 0,
             publisher,
         }
     }
@@ -360,6 +365,16 @@ impl<B: SamplerBackend> ReservoirProtocol<B> {
             self.publish_epoch(&mut times);
         }
         self.phases.accumulate(&times);
+        obs_metrics::record_step(
+            self.backend.rank(),
+            self.steps,
+            items.len() as u64,
+            sample_size,
+            rounds,
+            &outcome.stats,
+            &times,
+        );
+        self.steps += 1;
         BatchReport {
             sample_size,
             select_rounds: rounds,
@@ -386,8 +401,9 @@ impl<B: SamplerBackend> ReservoirProtocol<B> {
             .local_items_le(fin.threshold.as_ref(), &mut items, times);
         let placement = self.backend.place(fin.keep, times);
         self.backend.restore_select_rng(rng);
+        let epoch_no = self.publisher.next_epoch();
         let epoch = SampleEpoch::new(
-            self.publisher.next_epoch(),
+            epoch_no,
             items,
             placement.offset,
             placement.total,
@@ -397,6 +413,7 @@ impl<B: SamplerBackend> ReservoirProtocol<B> {
             fin.rounds,
         );
         self.publisher.publish(epoch);
+        obs_metrics::record_epoch(self.backend.rank(), epoch_no, placement.total);
     }
 
     /// Section 5 step 1, **finalize** (collective): if the union currently
@@ -461,8 +478,9 @@ impl<B: SamplerBackend> ReservoirProtocol<B> {
             // The collection itself is the freshest possible view; expose
             // it to snapshot readers too, reusing the collectives already
             // run above (a pure local pointer swap).
+            let epoch_no = self.publisher.next_epoch();
             self.publisher.publish(SampleEpoch::new(
-                self.publisher.next_epoch(),
+                epoch_no,
                 handle.local_items().to_vec(),
                 placement.offset,
                 placement.total,
@@ -471,8 +489,10 @@ impl<B: SamplerBackend> ReservoirProtocol<B> {
                 handle.threshold(),
                 fin.rounds,
             ));
+            obs_metrics::record_epoch(self.backend.rank(), epoch_no, placement.total);
         }
         self.phases.accumulate(&times);
+        obs_metrics::record_phases(&times);
         (handle, times, fin.rounds)
     }
 

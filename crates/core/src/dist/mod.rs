@@ -43,6 +43,7 @@
 pub mod engine;
 pub mod gather;
 pub mod local;
+pub(crate) mod obs_metrics;
 pub mod output;
 pub mod sharded;
 pub mod sim;
@@ -153,12 +154,20 @@ fn default_continuous() -> ContinuousMode {
 /// Read every sampler environment default in one validated pass:
 /// `RESERVOIR_THREADS` (the CI matrix sets 4 to run the suite down the
 /// parallel scan path), `RESERVOIR_MERGE` (the stress job sets
-/// `concurrent`), `RESERVOIR_CONTINUOUS`. All malformed variables are
-/// reported in a single panic message — a user with two typos fixes both
-/// on the first round trip — and validation happens once, at config
-/// construction, not on some later batch.
+/// `concurrent`), `RESERVOIR_CONTINUOUS`, and `RESERVOIR_OBS` (arms the
+/// `reservoir_obs` metrics registry and flight recorder; the CI obs job
+/// sets 1). All malformed variables are reported in a single panic
+/// message — a user with two typos fixes both on the first round trip —
+/// and validation happens once, at config construction, not on some
+/// later batch.
 fn env_defaults() -> (usize, MergeMode, ContinuousMode) {
     let mut errors = Vec::new();
+    // First touch wins for the gate itself (a programmatic
+    // `reservoir_obs::set_enabled` is never overridden), but a malformed
+    // value still joins the aggregate report here.
+    if let Err(e) = reservoir_obs::init_env() {
+        errors.push(e);
+    }
     let threads = match std::env::var("RESERVOIR_THREADS") {
         Ok(v) => parse_threads(&v).unwrap_or_else(|e| {
             errors.push(e);

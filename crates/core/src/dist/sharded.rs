@@ -56,8 +56,28 @@ use reservoir_select::{
 use reservoir_stream::ingest::MiniBatch;
 use reservoir_stream::{Item, ShardRouter};
 
+use reservoir_obs::LazyCounter;
+
 use crate::dist::engine::{Charge, InsertOutcome, Placement, ReservoirProtocol, SamplerBackend};
 use crate::dist::local::{PeReservoir, ScanStats};
+
+/// Batched supersteps driven across whole shard fleets.
+static SHARDED_BATCHES: LazyCounter = LazyCounter::new(
+    "sharded_batches_total",
+    "batched supersteps driven across shard fleets",
+);
+static SHARDED_JOINT_ROUNDS: LazyCounter = LazyCounter::new(
+    "sharded_joint_rounds_total",
+    "joint selection rounds paid on the wire by batched supersteps",
+);
+static SHARDED_SOLO_ROUNDS: LazyCounter = LazyCounter::new(
+    "sharded_solo_rounds_total",
+    "per-shard selection rounds solo scheduling would have paid instead",
+);
+static SHARDED_COLLECTIVE_LAUNCHES: LazyCounter = LazyCounter::new(
+    "sharded_collective_launches_total",
+    "collective launches amortized across shard fleets by batched supersteps",
+);
 use crate::dist::output::SampleHandle;
 use crate::dist::snapshot::SnapshotReader;
 use crate::dist::threaded::stream_seq;
@@ -514,6 +534,10 @@ impl<'a, C: Communicator> ShardedSampler<'a, C> {
         // only remaining work is local (replayed insert, prune,
         // publication extract).
         let per_shard: Vec<BatchReport> = self.engines.iter_mut().map(|e| e.step(&[])).collect();
+        SHARDED_BATCHES.inc();
+        SHARDED_JOINT_ROUNDS.add(joint_rounds as u64);
+        SHARDED_SOLO_ROUNDS.add(solo_rounds);
+        SHARDED_COLLECTIVE_LAUNCHES.add(collective_calls as u64);
         ShardedBatchReport {
             per_shard,
             shards_selected: active.len(),

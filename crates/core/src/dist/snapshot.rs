@@ -41,8 +41,30 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use reservoir_btree::SeqLock;
+use reservoir_obs::{LazyCounter, LazyGauge};
 
 use crate::sample::SampleItem;
+
+/// Epochs swapped into snapshot slots (all publishers in-process; the
+/// engine's `engine_epochs_published_total` counts the protocol-level
+/// publications that feed them).
+static SNAPSHOT_PUBLICATIONS: LazyCounter = LazyCounter::new(
+    "snapshot_publications_total",
+    "sample epochs swapped into snapshot slots",
+);
+static SNAPSHOT_READS: LazyCounter = LazyCounter::new(
+    "snapshot_reads_total",
+    "consistent epoch reads served to snapshot readers",
+);
+/// Slow path only: a read that validated first try never touches this.
+static SNAPSHOT_READ_RETRIES: LazyCounter = LazyCounter::new(
+    "snapshot_read_retries_total",
+    "snapshot reads that retried against a mid-swap publisher",
+);
+static SNAPSHOT_READER_STALENESS: LazyGauge = LazyGauge::new(
+    "snapshot_reader_staleness",
+    "epochs behind the latest publication of the most recent snapshot read",
+);
 
 /// One immutable published view of the sample, as seen by this protocol
 /// endpoint: its own finalized slice plus the global placement agreed by
@@ -237,6 +259,7 @@ impl EpochPublisher {
         }
         self.published += 1;
         self.slot.latest.store(self.published, Ordering::Release);
+        SNAPSHOT_PUBLICATIONS.inc();
     }
 
     /// A read handle over the same slot; clone freely across threads.
@@ -262,15 +285,22 @@ impl SnapshotReader {
     pub fn read(&self) -> Arc<SampleEpoch> {
         loop {
             let Ok(v) = self.slot.lock.read_begin() else {
+                SNAPSHOT_READ_RETRIES.inc();
                 std::hint::spin_loop();
                 continue;
             };
             let arc = Arc::clone(&self.slot.cur.lock().unwrap_or_else(|e| e.into_inner()));
             if self.slot.lock.validate(v) {
+                if reservoir_obs::enabled() {
+                    SNAPSHOT_READS.inc();
+                    let latest = self.slot.latest.load(Ordering::Acquire);
+                    SNAPSHOT_READER_STALENESS.set(latest.saturating_sub(arc.epoch) as f64);
+                }
                 return arc;
             }
             // A publisher swapped underneath the clone; retry for a
             // provably consistent view.
+            SNAPSHOT_READ_RETRIES.inc();
             std::hint::spin_loop();
         }
     }

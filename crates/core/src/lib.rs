@@ -44,5 +44,5 @@ pub mod sample;
 pub mod seq;
 
 pub use dist::{DistConfig, PipelineReport, SampleHandle, SamplingMode};
-pub use metrics::PhaseTimes;
+pub use metrics::{PhaseFractions, PhaseTimes};
 pub use sample::SampleItem;

@@ -54,21 +54,26 @@ impl PhaseTimes {
         self.par_scan += other.par_scan;
     }
 
-    /// Fractions of the total per phase (ingest, insert, select,
-    /// threshold, gather, output); all zeros for an empty accumulator.
-    pub fn fractions(&self) -> [f64; 6] {
+    /// Each disjoint wall-clock phase's share of [`Self::total`], by
+    /// name; all zeros for an empty accumulator. `par_scan` has **no**
+    /// fraction: it measures the busiest worker *inside* the `insert`
+    /// phase's parallel region, so its seconds overlap `insert` and
+    /// adding a seventh share would push the sum past 1. Compute
+    /// `par_scan / insert` from the [`PhaseTimes`] fields instead when
+    /// the parallel region's share of the insert phase is wanted.
+    pub fn fractions(&self) -> PhaseFractions {
         let t = self.total();
         if t == 0.0 {
-            return [0.0; 6];
+            return PhaseFractions::default();
         }
-        [
-            self.ingest / t,
-            self.insert / t,
-            self.select / t,
-            self.threshold / t,
-            self.gather / t,
-            self.output / t,
-        ]
+        PhaseFractions {
+            ingest: self.ingest / t,
+            insert: self.insert / t,
+            select: self.select / t,
+            threshold: self.threshold / t,
+            gather: self.gather / t,
+            output: self.output / t,
+        }
     }
 
     /// Elementwise difference against an earlier snapshot of the same
@@ -100,6 +105,40 @@ impl PhaseTimes {
     }
 }
 
+/// Named per-phase shares of a [`PhaseTimes`] total, as returned by
+/// [`PhaseTimes::fractions`]. The six fields are the *disjoint* wall-clock
+/// phases and sum to 1 for a non-empty accumulator; the overlapping
+/// `par_scan` time is deliberately absent (see [`PhaseTimes::fractions`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseFractions {
+    pub ingest: f64,
+    pub insert: f64,
+    pub select: f64,
+    pub threshold: f64,
+    pub gather: f64,
+    pub output: f64,
+}
+
+impl PhaseFractions {
+    /// Labeled `(phase, share)` pairs in the canonical reporting order —
+    /// for callers that want to iterate without hard-coding positions.
+    pub fn labeled(&self) -> [(&'static str, f64); 6] {
+        [
+            ("ingest", self.ingest),
+            ("insert", self.insert),
+            ("select", self.select),
+            ("threshold", self.threshold),
+            ("gather", self.gather),
+            ("output", self.output),
+        ]
+    }
+
+    /// Sum of the six shares: 1 for a non-empty accumulator, 0 otherwise.
+    pub fn sum(&self) -> f64 {
+        self.ingest + self.insert + self.select + self.threshold + self.gather + self.output
+    }
+}
+
 impl std::ops::Add for PhaseTimes {
     type Output = PhaseTimes;
     fn add(mut self, rhs: PhaseTimes) -> PhaseTimes {
@@ -126,7 +165,20 @@ mod tests {
         };
         assert_eq!(t.total(), 8.0);
         let f = t.fractions();
-        assert_eq!(f, [0.5, 0.25, 0.125, 0.0625, 0.03125, 0.03125]);
+        assert_eq!(
+            f,
+            PhaseFractions {
+                ingest: 0.5,
+                insert: 0.25,
+                select: 0.125,
+                threshold: 0.0625,
+                gather: 0.03125,
+                output: 0.03125,
+            }
+        );
+        assert_eq!(f.sum(), 1.0);
+        assert_eq!(f.labeled()[0], ("ingest", 0.5));
+        assert_eq!(f.labeled()[5], ("output", 0.03125));
     }
 
     #[test]
@@ -142,7 +194,8 @@ mod tests {
         };
         assert_eq!(b.insert, 1.0);
         assert_eq!(b.select, 2.0);
-        assert_eq!(PhaseTimes::default().fractions(), [0.0; 6]);
+        assert_eq!(PhaseTimes::default().fractions(), PhaseFractions::default());
+        assert_eq!(PhaseTimes::default().fractions().sum(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,169 @@
+//! Renderers for [`MetricsSnapshot`]: Prometheus text exposition format
+//! and a JSON document. Snapshots are sorted by name, so both renderings
+//! are byte-stable for a fixed set of values — the export golden tests
+//! pin them.
+
+use crate::registry::{MetricData, MetricsSnapshot};
+use std::fmt::Write;
+
+/// Format an `f64` the way both exporters want it: `Display` (shortest
+/// round-trip representation, a valid JSON number for finite values),
+/// with non-finite values pinned to `0` so the JSON stays parseable.
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Escape a string for a JSON literal (metric names are static
+/// identifiers, but help strings are free-form).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Prometheus text exposition format: `# HELP` / `# TYPE` preamble per
+/// metric, cumulative `_bucket{le=...}` / `_sum` / `_count` series for
+/// histograms.
+pub fn render_prometheus(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for m in &snap.metrics {
+        writeln!(out, "# HELP {} {}", m.name, m.help).unwrap();
+        match &m.data {
+            MetricData::Counter(v) => {
+                writeln!(out, "# TYPE {} counter", m.name).unwrap();
+                writeln!(out, "{} {}", m.name, v).unwrap();
+            }
+            MetricData::Gauge(v) => {
+                writeln!(out, "# TYPE {} gauge", m.name).unwrap();
+                writeln!(out, "{} {}", m.name, fmt_f64(*v)).unwrap();
+            }
+            MetricData::Histogram(h) => {
+                writeln!(out, "# TYPE {} histogram", m.name).unwrap();
+                for (le, c) in h.cumulative() {
+                    writeln!(out, "{}_bucket{{le=\"{}\"}} {}", m.name, le, c).unwrap();
+                }
+                writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", m.name, h.count()).unwrap();
+                writeln!(out, "{}_sum {}", m.name, h.sum).unwrap();
+                writeln!(out, "{}_count {}", m.name, h.count()).unwrap();
+            }
+        }
+    }
+    out
+}
+
+/// One JSON object: `{"metrics": {name: {"type": ..., ...}, ...}}`, names
+/// in sorted order. Histograms carry their cumulative bucket series plus
+/// `count` and `sum`.
+pub fn render_json(snap: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"metrics\":{");
+    for (i, m) in snap.metrics.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write!(out, "\"{}\":", json_escape(m.name)).unwrap();
+        match &m.data {
+            MetricData::Counter(v) => {
+                write!(out, "{{\"type\":\"counter\",\"value\":{v}}}").unwrap();
+            }
+            MetricData::Gauge(v) => {
+                write!(out, "{{\"type\":\"gauge\",\"value\":{}}}", fmt_f64(*v)).unwrap();
+            }
+            MetricData::Histogram(h) => {
+                write!(
+                    out,
+                    "{{\"type\":\"histogram\",\"count\":{},\"sum\":{},\"buckets\":[",
+                    h.count(),
+                    h.sum
+                )
+                .unwrap();
+                for (j, (le, c)) in h.cumulative().iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    write!(out, "{{\"le\":{le},\"count\":{c}}}").unwrap();
+                }
+                out.push_str("]}");
+            }
+        }
+    }
+    out.push_str("}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::Registry;
+
+    /// The format goldens live here, on a private registry with pinned
+    /// values — the integration-level golden (tests/obs_export.rs at the
+    /// workspace root) pins a real fixed-seed run's counters through the
+    /// same renderers.
+    fn fixture() -> Registry {
+        let r = Registry::new();
+        r.counter("batches_total", "batches processed").add(3);
+        r.gauge("backpressure_seconds", "seconds blocked").set(0.5);
+        let h = r.histogram("payload_words", "words per message");
+        for v in [0, 1, 5, 5, 9] {
+            h.observe(v);
+        }
+        r
+    }
+
+    #[test]
+    fn prometheus_format_is_pinned() {
+        let text = fixture().snapshot().prometheus();
+        let expect = "\
+# HELP backpressure_seconds seconds blocked
+# TYPE backpressure_seconds gauge
+backpressure_seconds 0.5
+# HELP batches_total batches processed
+# TYPE batches_total counter
+batches_total 3
+# HELP payload_words words per message
+# TYPE payload_words histogram
+payload_words_bucket{le=\"0\"} 1
+payload_words_bucket{le=\"1\"} 2
+payload_words_bucket{le=\"3\"} 2
+payload_words_bucket{le=\"7\"} 4
+payload_words_bucket{le=\"15\"} 5
+payload_words_bucket{le=\"+Inf\"} 5
+payload_words_sum 20
+payload_words_count 5
+";
+        assert_eq!(text, expect);
+    }
+
+    #[test]
+    fn json_format_is_pinned() {
+        let json = fixture().snapshot().json();
+        let expect = concat!(
+            "{\"metrics\":{",
+            "\"backpressure_seconds\":{\"type\":\"gauge\",\"value\":0.5},",
+            "\"batches_total\":{\"type\":\"counter\",\"value\":3},",
+            "\"payload_words\":{\"type\":\"histogram\",\"count\":5,\"sum\":20,\"buckets\":[",
+            "{\"le\":0,\"count\":1},{\"le\":1,\"count\":2},{\"le\":3,\"count\":2},",
+            "{\"le\":7,\"count\":4},{\"le\":15,\"count\":5}]}",
+            "}}"
+        );
+        assert_eq!(json, expect);
+    }
+
+    #[test]
+    fn json_escapes_help_metacharacters() {
+        assert_eq!(super::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

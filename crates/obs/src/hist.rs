@@ -1,0 +1,148 @@
+//! Log2-bucket histograms: fixed 65 buckets covering all of `u64`, so
+//! observation is one `fetch_add` with no configuration, no allocation and
+//! no possibility of a value falling outside the range.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: bucket 0 holds the value 0, bucket `i ∈ 1..=64`
+/// holds `[2^(i-1), 2^i - 1]` (bucket 64 saturates at `u64::MAX`).
+pub const BUCKETS: usize = 65;
+
+/// The bucket a value lands in. Total over `u64` — every value lands in
+/// exactly one bucket (pinned by the `hist_props` proptests).
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of bucket `i` — the Prometheus `le` label.
+/// Strictly increasing in `i` (monotone), with bucket 64 covering the top
+/// of the `u64` range (exhaustive).
+#[inline]
+pub fn bucket_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        1..=63 => (1u64 << i) - 1,
+        _ => u64::MAX,
+    }
+}
+
+/// A lock-free log2 histogram of `u64` observations. `observe` is two
+/// relaxed `fetch_add`s; readers take a per-bucket snapshot that is
+/// monotone but not a single atomic cut across buckets (each bucket count
+/// is exact; a racing writer may land between two bucket loads — fine for
+/// monitoring, which is the contract).
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Histogram {
+    /// A free-standing histogram (registries hand out `Arc`s of these;
+    /// direct construction serves tests and embedders).
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. Wrapping on `sum` overflow (2^64 total —
+    /// unreachable in practice, and counts stay exact regardless).
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Per-bucket counts plus the running sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Count per bucket, indexed as [`bucket_index`].
+    pub counts: [u64; BUCKETS],
+    /// Sum of all observed values (wrapping).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Cumulative `(upper_bound, count ≤ bound)` pairs up to and including
+    /// the last non-empty bucket — the Prometheus `_bucket{le=...}` series
+    /// minus the implicit `+Inf` (which equals [`Self::count`]). Empty for
+    /// a histogram with no observations.
+    pub fn cumulative(&self) -> Vec<(u64, u64)> {
+        let last = match self.counts.iter().rposition(|&c| c > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut acc = 0u64;
+        (0..=last)
+            .map(|i| {
+                acc += self.counts[i];
+                (bucket_bound(i), acc)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn observe_and_cumulative() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 7, 8] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 6);
+        assert_eq!(s.sum, 21);
+        assert_eq!(
+            s.cumulative(),
+            vec![(0, 1), (1, 2), (3, 4), (7, 5), (15, 6)]
+        );
+    }
+
+    #[test]
+    fn empty_histogram_has_no_buckets() {
+        assert!(Histogram::new().snapshot().cumulative().is_empty());
+    }
+}

@@ -1,0 +1,58 @@
+//! Property tests for the log2 histogram: buckets are monotone,
+//! exhaustive over `u64`, and no observation is lost or double-counted.
+
+use proptest::prelude::*;
+use reservoir_obs::{bucket_bound, bucket_index, Histogram, BUCKETS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Bounds are strictly increasing — the bucket series is monotone.
+    #[test]
+    fn bounds_are_strictly_monotone(i in 0usize..BUCKETS - 1) {
+        prop_assert!(bucket_bound(i) < bucket_bound(i + 1));
+    }
+
+    // Every value lands in exactly one bucket: at or below its bucket's
+    // bound, strictly above the previous bucket's bound — exhaustive
+    // with no overlaps.
+    #[test]
+    fn every_value_lands_in_exactly_one_bucket(v in any::<u64>()) {
+        let i = bucket_index(v);
+        prop_assert!(i < BUCKETS);
+        prop_assert!(v <= bucket_bound(i));
+        if i > 0 {
+            prop_assert!(v > bucket_bound(i - 1));
+        }
+    }
+
+    // Observing a batch loses nothing: per-bucket counts total the batch
+    // size, the sum matches, and the cumulative series ends at the total
+    // count and is itself monotone.
+    #[test]
+    fn no_observation_is_lost(values in prop::collection::vec(any::<u64>(), 0..200)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count(), values.len() as u64);
+        let expect_sum = values.iter().fold(0u64, |a, &v| a.wrapping_add(v));
+        prop_assert_eq!(s.sum, expect_sum);
+        let cum = s.cumulative();
+        for w in cum.windows(2) {
+            prop_assert!(w[0].0 < w[1].0, "bounds monotone");
+            prop_assert!(w[0].1 <= w[1].1, "counts monotone");
+        }
+        if let Some(&(_, last)) = cum.last() {
+            prop_assert_eq!(last, values.len() as u64);
+        } else {
+            prop_assert!(values.is_empty());
+        }
+        // Cross-check each bucket against a naive recount.
+        for (i, &c) in s.counts.iter().enumerate() {
+            let naive = values.iter().filter(|&&v| bucket_index(v) == i).count() as u64;
+            prop_assert_eq!(c, naive);
+        }
+    }
+}

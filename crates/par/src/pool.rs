@@ -38,6 +38,15 @@ use std::ops::Range;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+
+use reservoir_obs::LazyCounter;
+
+/// Registry view of the per-scope `steals` tally (slow path only: a
+/// worker popping its own queue never touches it).
+static POOL_STEALS: LazyCounter = LazyCounter::new(
+    "pool_steals_total",
+    "tasks stolen from another worker's deque (all scopes, process-wide)",
+);
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -159,6 +168,7 @@ impl<'scope> Scope<'scope> {
                 .pop_back()
             {
                 self.steals.fetch_add(1, Ordering::Relaxed);
+                POOL_STEALS.inc();
                 return Some(t);
             }
         }

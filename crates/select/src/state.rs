@@ -5,9 +5,18 @@
 //! on globally-agreed values (all-reduced pivot candidates and counts).
 
 use reservoir_btree::SampleKey;
+use reservoir_obs::LazyCounter;
 use reservoir_rng::Rng64;
 
 use crate::candidates::CandidateSet;
+
+/// Pivot rounds advanced by any selection driver in this process; each
+/// participant counts its own state's rounds, so under the threaded driver
+/// the total is `rounds × p` (the conductor counts once per round).
+static SELECT_ROUNDS: LazyCounter = LazyCounter::new(
+    "select_rounds_total",
+    "distributed-selection pivot rounds advanced (per participating state)",
+);
 
 /// Target rank window, 1-based and inclusive: find a key whose global rank
 /// lies in `lo..=hi`. Exact selection uses `lo == hi == k`.
@@ -195,6 +204,7 @@ impl SelectionState {
     /// caller simply loops).
     pub fn absorb_candidates(&mut self, combined: Vec<Option<SampleKey>>) -> bool {
         self.rounds += 1;
+        SELECT_ROUNDS.inc();
         let mut pivots: Vec<SampleKey> = combined.into_iter().flatten().collect();
         pivots.sort_unstable();
         pivots.dedup();

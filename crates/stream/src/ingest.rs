@@ -39,9 +39,34 @@
 use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::time::{Duration, Instant};
 
+use reservoir_obs::{trace, LazyCounter, LazyGauge, TraceKind, PE_UNRANKED};
 use reservoir_rng::{DefaultRng, SeedSequence, StreamKind};
 
 use crate::gen::{IdStream, WeightGen};
+
+/// Registry views of [`IngestCounters`] (which stay the per-batcher
+/// source of truth — these aggregate across every batcher in the
+/// process, so a dashboard sees the front door without plumbing).
+static INGEST_RECORDS: LazyCounter = LazyCounter::new(
+    "ingest_records_total",
+    "records accepted by ingestion batchers (all batchers, process-wide)",
+);
+static INGEST_BATCHES: LazyCounter = LazyCounter::new(
+    "ingest_batches_total",
+    "mini-batches cut by ingestion batchers (all reasons)",
+);
+static INGEST_SIZE_CUTS: LazyCounter = LazyCounter::new(
+    "ingest_size_cuts_total",
+    "mini-batch cuts triggered by the size bound",
+);
+static INGEST_DEADLINE_FLUSHES: LazyCounter = LazyCounter::new(
+    "ingest_deadline_flushes_total",
+    "mini-batch cuts triggered by the deadline (time-driven boundaries)",
+);
+static INGEST_BLOCKED_SEND: LazyGauge = LazyGauge::new(
+    "ingest_blocked_send_seconds",
+    "seconds producers spent blocked on the bounded batch channel (backpressure)",
+);
 use crate::source::StreamSource;
 use crate::Item;
 
@@ -376,6 +401,7 @@ impl Batcher {
         }
         self.buf.push(item);
         self.counters.records_in += 1;
+        INGEST_RECORDS.inc();
         if self.buf.len() >= self.policy.max_items {
             self.cut(CutReason::Size)?;
         }
@@ -436,6 +462,7 @@ impl Batcher {
     fn cut(&mut self, cut: CutReason) -> Result<(), IngestClosed> {
         debug_assert!(!self.buf.is_empty(), "cut of an empty buffer");
         let items = std::mem::replace(&mut self.buf, Vec::with_capacity(self.policy.max_items));
+        let len = items.len() as u64;
         self.opened_at = None;
         let batch = MiniBatch {
             items,
@@ -446,7 +473,7 @@ impl Batcher {
         // backpressure stalls the producer.
         let batch = match self.tx.try_send(batch) {
             Ok(()) => {
-                self.record_cut(cut);
+                self.record_cut(cut, len);
                 return Ok(());
             }
             Err(TrySendError::Disconnected(_)) => return Err(IngestClosed),
@@ -454,22 +481,32 @@ impl Batcher {
         };
         let blocked = Instant::now();
         let sent = self.tx.send(batch);
-        self.counters.blocked_send_s += blocked.elapsed().as_secs_f64();
+        let stalled = blocked.elapsed().as_secs_f64();
+        self.counters.blocked_send_s += stalled;
+        INGEST_BLOCKED_SEND.add(stalled);
         match sent {
             Ok(()) => {
-                self.record_cut(cut);
+                self.record_cut(cut, len);
                 Ok(())
             }
             Err(_) => Err(IngestClosed),
         }
     }
 
-    fn record_cut(&mut self, cut: CutReason) {
+    fn record_cut(&mut self, cut: CutReason, len: u64) {
         self.seq += 1;
         self.counters.batches_cut += 1;
+        INGEST_BATCHES.inc();
         match cut {
-            CutReason::Size => self.counters.size_cuts += 1,
-            CutReason::Deadline => self.counters.deadline_flushes += 1,
+            CutReason::Size => {
+                self.counters.size_cuts += 1;
+                INGEST_SIZE_CUTS.inc();
+            }
+            CutReason::Deadline => {
+                self.counters.deadline_flushes += 1;
+                INGEST_DEADLINE_FLUSHES.inc();
+                trace::emit(PE_UNRANKED, TraceKind::DeadlineFlush, len, 0);
+            }
             CutReason::Flush => {}
         }
     }

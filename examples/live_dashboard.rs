@@ -17,8 +17,17 @@
 //! heavy tail of the weight distribution) from each epoch it observes
 //! and prints the estimate's trajectory as the stream unfolds.
 //!
+//! With `RESERVOIR_OBS=1` the dashboard threads also poll the process
+//! metrics registry (same no-coordination discipline: an
+//! [`obs::MetricsReader`](reservoir::obs::MetricsReader) refreshes its
+//! directory only when the registry version moves), and the run dumps
+//! `target/obs/metrics.prom`, `target/obs/metrics.json` and the flight
+//! recorder's `target/obs/flight_recorder.jsonl` on exit — the artifacts
+//! the CI obs job uploads.
+//!
 //! ```text
 //! cargo run --release --example live_dashboard
+//! RESERVOIR_OBS=1 cargo run --release --example live_dashboard
 //! ```
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -74,9 +83,15 @@ fn main() {
                     let stop = &stop;
                     scope.spawn(move || {
                         let mut seen: Vec<Observation> = Vec::new();
+                        // Metrics ride the same polling loop as the
+                        // sample: version-disciplined, never blocking
+                        // the pipeline. (An empty render when
+                        // RESERVOIR_OBS is off.)
+                        let mut metrics = reservoir::obs::global().reader();
                         loop {
                             let e = r.read();
                             assert!(e.verify(), "torn epoch on the dashboard");
+                            let _ = metrics.snapshot();
                             if seen.last().map_or(e.epoch > 0, |o| o.epoch < e.epoch) {
                                 seen.push(Observation {
                                     epoch: e.epoch,
@@ -155,4 +170,21 @@ fn main() {
          checksum-consistent;"
     );
     println!("no read ever paused ingestion, and the final epoch equals the collected output");
+
+    if reservoir::obs::enabled() {
+        let dir = std::path::Path::new("target/obs");
+        std::fs::create_dir_all(dir).expect("create target/obs");
+        let mut reader = reservoir::obs::global().reader();
+        std::fs::write(dir.join("metrics.prom"), reader.prometheus()).expect("write metrics.prom");
+        std::fs::write(dir.join("metrics.json"), reader.json()).expect("write metrics.json");
+        std::fs::write(
+            dir.join("flight_recorder.jsonl"),
+            reservoir::obs::recorder().to_jsonl(),
+        )
+        .expect("write flight_recorder.jsonl");
+        let events = reservoir::obs::recorder().dump().len();
+        println!(
+            "\nobservability armed: metrics + {events}-event flight recorder dumped to target/obs/"
+        );
+    }
 }

@@ -207,9 +207,52 @@
 //! });
 //! assert_eq!(epochs, vec![3, 3]);
 //! ```
+//!
+//! ## Observability: metrics registry + flight recorder
+//!
+//! Set `RESERVOIR_OBS=1` (or call [`obs::set_enabled`]) and every layer
+//! reports into one [`obs::Registry`] — collective launches and payload
+//! words (`comm_*`, and `sim_*` for the α–β model's predictions), scan
+//! chunks/steals, seqlock and OLC contention, ingestion backpressure,
+//! epoch publications — plus a bounded per-PE flight recorder of
+//! structured events ([`obs::TraceKind`]) for post-mortems. Disabled (the
+//! default) is observationally free: a fixed seed draws the
+//! byte-identical sample either way, and no collective is added. A
+//! dashboard thread polls an [`obs::MetricsReader`] mid-ingestion —
+//! seqlock-style version discipline, no pauses — and renders Prometheus
+//! text or JSON:
+//!
+//! ```
+//! use reservoir::comm::run_threads;
+//! use reservoir::dist::threaded::DistributedSampler;
+//! use reservoir::dist::DistConfig;
+//! use reservoir::stream::{StreamSpec, WeightGen};
+//!
+//! reservoir::obs::set_enabled(true);
+//! let spec = StreamSpec { pes: 2, batch_size: 400, weights: WeightGen::paper_uniform(), seed: 21 };
+//! let dash = std::thread::spawn(|| {
+//!     // Any thread may poll at any time; the reader refreshes its
+//!     // directory only when the registry version moves.
+//!     let mut reader = reservoir::obs::global().reader();
+//!     reader.prometheus()
+//! });
+//! run_threads(2, |comm| {
+//!     use reservoir::comm::Communicator;
+//!     let mut sampler = DistributedSampler::new(&comm, DistConfig::weighted(20, 21));
+//!     let mut source = spec.source_for(comm.rank());
+//!     for _ in 0..3 {
+//!         sampler.process_batch(&source.next_batch());
+//!     }
+//! });
+//! dash.join().unwrap(); // polled concurrently, no coordination needed
+//! let snap = reservoir::obs::global().snapshot();
+//! assert_eq!(snap.counter("engine_batches_total"), 6); // 3 batches × 2 PEs
+//! assert!(!reservoir::obs::recorder().dump().is_empty());
+//! ```
 
 pub use reservoir_core::{
-    dist, metrics, sample, seq, PhaseTimes, PipelineReport, SampleHandle, SampleItem,
+    dist, metrics, sample, seq, PhaseFractions, PhaseTimes, PipelineReport, SampleHandle,
+    SampleItem,
 };
 
 /// Augmented B+ tree (rank/select/split/join) — the local reservoirs.
@@ -240,4 +283,9 @@ pub mod select {
 /// Mini-batch stream model and workload generators.
 pub mod stream {
     pub use reservoir_stream::*;
+}
+
+/// Unified observability: metrics registry, exporters, flight recorder.
+pub mod obs {
+    pub use reservoir_obs::*;
 }
