@@ -1,0 +1,214 @@
+//! Fleet memory + sparse-batch economics of the pooled shard fleet: one
+//! [`ShardedSampler`] under the concurrent merge draws every shard tree's
+//! nodes from a single shared [`NodePool`], so constructing an S-shard
+//! fleet costs O(pages) heap allocations instead of S private arenas —
+//! measured here as construction wall time and resident pool bytes
+//! straight from [`PoolStats`]. The same sweep drives supersteps at
+//! increasing sparse fractions (the share of shards whose bucket is empty
+//! fleet-wide) to show the sparse-batch fast path: skipped shards run no
+//! insert scan and no selection planning, and per-superstep wall time
+//! tracks the *active* shard count, not S.
+//!
+//! Emits a human-readable table on stdout and a machine-readable
+//! `BENCH_fleet_mem.json` (override the path with `RESERVOIR_BENCH_OUT`)
+//! — CI uploads it as a non-gating artifact alongside the other fig_*
+//! bins. Honours `RESERVOIR_BENCH_QUICK=1` for a reduced sweep.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use reservoir_btree::PAGE_NODES;
+use reservoir_comm::run_threads;
+use reservoir_core::dist::{DistConfig, MergeMode, ShardedSampler};
+use reservoir_stream::Item;
+
+/// PEs in the threaded cluster.
+const P: usize = 2;
+/// Per-shard sample size (small: the fleet regime is many tiny
+/// reservoirs, where per-shard fixed costs dominate).
+const K: usize = 8;
+
+struct Sweep {
+    shards: usize,
+    sparse_pct: u32,
+    active: usize,
+    /// Records each PE feeds the fleet per superstep (raised to cover
+    /// every active shard at the biggest fleet sizes).
+    per_pe: u64,
+    /// Fleet construction wall seconds (rank 0).
+    construct_s: f64,
+    /// Pages resident in the shared pool right after construction.
+    pages_at_build: u64,
+    /// Bytes resident in the shared pool right after construction.
+    bytes_at_build: u64,
+    /// Bump-pointer allocations paid by construction (one root leaf per
+    /// shard — the O(pages) claim is `pages_at_build`, not this).
+    fresh_at_build: u64,
+    /// Live pool slots after the measured supersteps.
+    live_slots: u64,
+    /// Resident pool bytes after the measured supersteps.
+    bytes_after: u64,
+    /// Mean wall seconds per superstep.
+    batch_s: f64,
+    /// Mean shards skipped by the sparse fast path per superstep.
+    skipped_per_batch: f64,
+}
+
+fn main() {
+    // Arm observability so the emitted JSON carries the run's full
+    // metrics snapshot (pool gauges included) next to the measured sweep.
+    reservoir_obs::set_enabled(true);
+    let quick = std::env::var_os("RESERVOIR_BENCH_QUICK").is_some();
+    let per_pe: u64 = if quick { 2_000 } else { 8_000 };
+    let batches: u64 = if quick { 3 } else { 6 };
+    let shard_grid: &[usize] = &[1, 64, 4096];
+    let sparse_grid: &[u32] = &[0, 50, 95];
+
+    let mut sweep = Vec::new();
+    for &shards in shard_grid {
+        for &sparse_pct in sparse_grid {
+            // Active shards receive records; the rest are empty
+            // fleet-wide every superstep and should be skipped.
+            let active = ((shards as u64 * (100 - sparse_pct) as u64).div_ceil(100)) as usize;
+            let active = active.max(1);
+            // Every active shard must see at least one record per
+            // superstep, or the sparse fast path would fire inside the
+            // nominally-dense rows and muddy the sparse column.
+            let per_pe = per_pe.max(active as u64);
+            let result = run_threads(P, move |comm| {
+                use reservoir_comm::Communicator;
+                let cfg = DistConfig::weighted(K, 0xF1EE7)
+                    .with_merge(MergeMode::Concurrent)
+                    .with_threads(1);
+                let start = Instant::now();
+                let mut fleet = ShardedSampler::new(&comm, cfg, shards);
+                let construct_s = start.elapsed().as_secs_f64();
+                let pool = fleet
+                    .node_pool()
+                    .expect("concurrent fleet shares a node pool")
+                    .clone();
+                let build = pool.stats();
+
+                let mut buckets: Vec<Vec<Item>> = vec![Vec::new(); shards];
+                let mut skipped = 0u64;
+                let start = Instant::now();
+                for b in 0..batches {
+                    for bucket in &mut buckets {
+                        bucket.clear();
+                    }
+                    // Round-robin the batch over the active prefix only;
+                    // ids stay distinct across PEs and batches.
+                    for i in 0..per_pe {
+                        let seq = b * per_pe + i;
+                        let id = ((comm.rank() as u64) << 40) | seq;
+                        buckets[(seq % active as u64) as usize]
+                            .push(Item::new(id, 0.5 + (seq % 97) as f64));
+                    }
+                    let rep = fleet.process_batch(&buckets);
+                    skipped += rep.shards_skipped as u64;
+                }
+                let steps_s = start.elapsed().as_secs_f64();
+                let after = pool.stats();
+                (
+                    construct_s,
+                    build,
+                    steps_s,
+                    skipped,
+                    pool.live_slots(),
+                    after.bytes,
+                )
+            });
+            let (construct_s, build, steps_s, skipped, live_slots, bytes_after) = result[0];
+            sweep.push(Sweep {
+                shards,
+                sparse_pct,
+                active,
+                per_pe,
+                construct_s,
+                pages_at_build: build.pages,
+                bytes_at_build: build.bytes,
+                fresh_at_build: build.fresh,
+                live_slots,
+                bytes_after,
+                batch_s: steps_s / batches as f64,
+                skipped_per_batch: skipped as f64 / batches as f64,
+            });
+        }
+    }
+
+    // --- stdout table ---------------------------------------------------
+    println!(
+        "### fig_fleet_mem — {P} PEs, k = {K} per shard, concurrent merge, \
+         >= {per_pe} records/PE/batch, {batches} batches, {PAGE_NODES} nodes/page"
+    );
+    println!(
+        "\n| shards | sparse | active | rec/PE | construct s | pages | pool KiB | \
+         s/batch | skipped/batch | live slots |"
+    );
+    println!("|---|---|---|---|---|---|---|---|---|---|");
+    for s in &sweep {
+        println!(
+            "| {} | {}% | {} | {} | {:.3e} | {} | {:.0} | {:.3e} | {:.1} | {} |",
+            s.shards,
+            s.sparse_pct,
+            s.active,
+            s.per_pe,
+            s.construct_s,
+            s.pages_at_build,
+            s.bytes_at_build as f64 / 1024.0,
+            s.batch_s,
+            s.skipped_per_batch,
+            s.live_slots,
+        );
+    }
+
+    // --- machine-readable trajectory ------------------------------------
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"fleet_mem\",");
+    let _ = writeln!(json, "  \"driver\": \"threaded\",");
+    let _ = writeln!(json, "  \"pes\": {P},");
+    let _ = writeln!(json, "  \"sample_k\": {K},");
+    let _ = writeln!(json, "  \"merge_mode\": \"concurrent\",");
+    let _ = writeln!(json, "  \"records_per_pe_per_batch_floor\": {per_pe},");
+    let _ = writeln!(json, "  \"batches\": {batches},");
+    let _ = writeln!(json, "  \"page_nodes\": {PAGE_NODES},");
+    let _ = writeln!(json, "  \"quick\": {quick},");
+    let _ = writeln!(json, "  \"sweep\": [");
+    for (i, s) in sweep.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"shards\": {}, \"sparse_pct\": {}, \"active_shards\": {}, \
+             \"records_per_pe_per_batch\": {}, \
+             \"construct_s\": {:.6e}, \"pool_pages_at_build\": {}, \
+             \"pool_bytes_at_build\": {}, \"pool_fresh_allocs_at_build\": {}, \
+             \"pool_live_slots_after\": {}, \"pool_bytes_after\": {}, \
+             \"batch_s\": {:.6e}, \"shards_skipped_per_batch\": {:.2}}}{}",
+            s.shards,
+            s.sparse_pct,
+            s.active,
+            s.per_pe,
+            s.construct_s,
+            s.pages_at_build,
+            s.bytes_at_build,
+            s.fresh_at_build,
+            s.live_slots,
+            s.bytes_after,
+            s.batch_s,
+            s.skipped_per_batch,
+            if i + 1 < sweep.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"obs\": {}",
+        reservoir_obs::global().reader().json()
+    );
+    let _ = writeln!(json, "}}");
+
+    let out =
+        std::env::var("RESERVOIR_BENCH_OUT").unwrap_or_else(|_| "BENCH_fleet_mem.json".into());
+    std::fs::write(&out, &json).expect("write BENCH_fleet_mem.json");
+    eprintln!("wrote {out}");
+}

@@ -20,8 +20,11 @@
 //! `modeled_speedup`, `steals_per_batch`, `worker_imbalance`) so the
 //! trajectory stays comparable, and adds `spawns_per_batch`, the
 //! `persistent` flag, and per-entry `merge_mode` + `retries_per_batch`
-//! (seqlock conflicts; always 0 under the epilogue). Honours
-//! `RESERVOIR_BENCH_QUICK=1` for a reduced batch size.
+//! (seqlock conflicts; always 0 under the epilogue). Concurrent-merge
+//! points are additionally swept with contention-aware insertion
+//! (`leaf_affinity` column: key-ordered micro-batched inserts, the
+//! default) on and off — watch `retries_per_batch` drop with it on.
+//! Honours `RESERVOIR_BENCH_QUICK=1` for a reduced batch size.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -47,6 +50,7 @@ struct Sweep {
     threads: usize,
     persistent: bool,
     merge: MergeMode,
+    leaf_affinity: bool,
     items_per_s: f64,
     speedup_vs_seq: f64,
     steals: u64,
@@ -109,57 +113,67 @@ fn main() {
                 continue; // one worker has no helpers to keep alive
             }
             for merge in [MergeMode::Epilogue, MergeMode::Concurrent] {
-                // One PE over the engine: every measured batch runs the
-                // full insert_scan → count → select_prune step.
-                let items_ref = &items;
-                let result = reservoir_comm::run_threads(1, move |comm| {
-                    let cfg = DistConfig::weighted(K, 1)
-                        .with_threads(threads)
-                        .with_persistent_pool(persistent)
-                        .with_merge(merge);
-                    let mut engine = ReservoirProtocol::new(CommBackend::new(&comm, &cfg), cfg);
-                    // Warm up: establishes the threshold and the crew.
-                    let _ = engine.step(items_ref);
-                    let mut steals = 0u64;
-                    let mut spawns = 0u64;
-                    let mut retries = 0u64;
-                    let mut max_busy = 0.0f64;
-                    let mut sum_busy = 0.0f64;
-                    let per = time_reps(
-                        || {
-                            let report = engine.step(items_ref);
-                            steals += report.scan.steals;
-                            spawns += report.scan.spawns;
-                            retries += report.scan.retries;
-                            if let Some(par) = engine.backend().last_par_scan() {
-                                max_busy += par.max_worker_scan_s();
-                                sum_busy += par.worker_scan_s.iter().sum::<f64>();
-                            }
+                // Leaf affinity only exists on the concurrent path; the
+                // epilogue sweeps one (ignored-default) point.
+                let affinities: &[bool] = match merge {
+                    MergeMode::Concurrent => &[true, false],
+                    MergeMode::Epilogue => &[true],
+                };
+                for &leaf_affinity in affinities {
+                    // One PE over the engine: every measured batch runs the
+                    // full insert_scan → count → select_prune step.
+                    let items_ref = &items;
+                    let result = reservoir_comm::run_threads(1, move |comm| {
+                        let cfg = DistConfig::weighted(K, 1)
+                            .with_threads(threads)
+                            .with_persistent_pool(persistent)
+                            .with_merge(merge)
+                            .with_leaf_affinity(leaf_affinity);
+                        let mut engine = ReservoirProtocol::new(CommBackend::new(&comm, &cfg), cfg);
+                        // Warm up: establishes the threshold and the crew.
+                        let _ = engine.step(items_ref);
+                        let mut steals = 0u64;
+                        let mut spawns = 0u64;
+                        let mut retries = 0u64;
+                        let mut max_busy = 0.0f64;
+                        let mut sum_busy = 0.0f64;
+                        let per = time_reps(
+                            || {
+                                let report = engine.step(items_ref);
+                                steals += report.scan.steals;
+                                spawns += report.scan.spawns;
+                                retries += report.scan.retries;
+                                if let Some(par) = engine.backend().last_par_scan() {
+                                    max_busy += par.max_worker_scan_s();
+                                    sum_busy += par.worker_scan_s.iter().sum::<f64>();
+                                }
+                            },
+                            reps,
+                        );
+                        (per, steals, spawns, retries, max_busy, sum_busy)
+                    });
+                    let (per, steals, spawns, retries, max_busy, sum_busy) = result[0];
+                    let items_per_s = b as f64 / per;
+                    sweep.push(Sweep {
+                        threads,
+                        persistent,
+                        merge,
+                        leaf_affinity,
+                        items_per_s,
+                        speedup_vs_seq: items_per_s / baseline,
+                        steals: steals / reps as u64,
+                        spawns: spawns / reps as u64,
+                        retries: retries / reps as u64,
+                        // max/mean worker busy time: 1.0 = perfectly balanced.
+                        // One worker (the sequential path, which reports no
+                        // per-worker breakdown) is trivially balanced.
+                        worker_imbalance: if threads == 1 || sum_busy <= 0.0 {
+                            1.0
+                        } else {
+                            max_busy / (sum_busy / threads as f64)
                         },
-                        reps,
-                    );
-                    (per, steals, spawns, retries, max_busy, sum_busy)
-                });
-                let (per, steals, spawns, retries, max_busy, sum_busy) = result[0];
-                let items_per_s = b as f64 / per;
-                sweep.push(Sweep {
-                    threads,
-                    persistent,
-                    merge,
-                    items_per_s,
-                    speedup_vs_seq: items_per_s / baseline,
-                    steals: steals / reps as u64,
-                    spawns: spawns / reps as u64,
-                    retries: retries / reps as u64,
-                    // max/mean worker busy time: 1.0 = perfectly balanced.
-                    // One worker (the sequential path, which reports no
-                    // per-worker breakdown) is trivially balanced.
-                    worker_imbalance: if threads == 1 || sum_busy <= 0.0 {
-                        1.0
-                    } else {
-                        max_busy / (sum_busy / threads as f64)
-                    },
-                });
+                    });
+                }
             }
         }
     }
@@ -172,15 +186,16 @@ fn main() {
         baseline, costs.par_serial_frac
     );
     println!(
-        "\n| threads | pool | merge | items/s | speedup vs seq | modeled | steals/batch | spawns/batch | retries/batch | imbalance |"
+        "\n| threads | pool | merge | affinity | items/s | speedup vs seq | modeled | steals/batch | spawns/batch | retries/batch | imbalance |"
     );
-    println!("|---|---|---|---|---|---|---|---|---|---|");
+    println!("|---|---|---|---|---|---|---|---|---|---|---|");
     for s in &sweep {
         println!(
-            "| {} | {} | {} | {:.3e} | {:.2}x | {:.2}x | {} | {} | {} | {:.2} |",
+            "| {} | {} | {} | {} | {:.3e} | {:.2}x | {:.2}x | {} | {} | {} | {:.2} |",
             s.threads,
             if s.persistent { "crew" } else { "scope" },
             merge_name(s.merge),
+            if s.leaf_affinity { "on" } else { "off" },
             s.items_per_s,
             s.speedup_vs_seq,
             costs.scan_speedup(s.threads as u64),
@@ -214,6 +229,7 @@ fn main() {
         let _ = writeln!(
             json,
             "    {{\"threads\": {}, \"persistent\": {}, \"merge_mode\": \"{}\", \
+             \"leaf_affinity\": {}, \
              \"items_per_s\": {:.6e}, \
              \"speedup_vs_seq\": {:.4}, \"modeled_speedup\": {:.4}, \
              \"steals_per_batch\": {}, \"spawns_per_batch\": {}, \
@@ -222,6 +238,7 @@ fn main() {
             s.threads,
             s.persistent,
             merge_name(s.merge),
+            s.leaf_affinity,
             s.items_per_s,
             s.speedup_vs_seq,
             costs.scan_speedup(s.threads as u64),

@@ -83,4 +83,24 @@ fn stats_conc_threads1_throughput_within_noise_of_epilogue() {
         "single-threaded concurrent merge fell to {ratio:.2}x of the epilogue \
          scan — a structural regression, not noise"
     );
+
+    // Leaf-affinity (key-ordered micro-batched inserts) exists to cut
+    // contention at high thread counts; at t=1 there is no contention to
+    // cut, so its buffer-and-sort detour must not sink the concurrent
+    // floor either — same generous structural bound as above.
+    let mut plain = ConcurrentReservoir::new(K, 1, SEED).with_leaf_affinity(false);
+    plain.process_weighted(&items, Some(1e-6));
+    let plain_s = best_of(&mut || {
+        plain.process_weighted(&items, Some(1e-6));
+    });
+    let affinity_ratio = plain_s / conc_s; // > 1 means affinity is faster
+    println!(
+        "threads=1 leaf affinity: off {plain_s:.4}s, on {conc_s:.4}s, \
+         on/off throughput ratio {affinity_ratio:.2}"
+    );
+    assert!(
+        affinity_ratio > 0.5,
+        "leaf-affinity insertion fell to {affinity_ratio:.2}x of arrival-order \
+         inserts at t=1 — the micro-batch path regressed the concurrent floor"
+    );
 }

@@ -29,12 +29,16 @@
 //! [`OlcTree`], a fixed-degree B+ tree over seqlock-based optimistic lock
 //! coupling ([`seqlock`], [`sched`]), lets many scan workers insert into
 //! one shared reservoir with no merge epilogue. See the [`olc`] module
-//! docs for the protocol.
+//! docs for the protocol. Its node storage is a page-granular
+//! [`NodePool`] ([`pool`]) that any number of trees can share — the
+//! allocator lever that makes a multi-tenant shard fleet cost O(pages)
+//! heap allocations instead of one arena per reservoir.
 
 mod iter;
 mod key;
 mod node;
 pub mod olc;
+pub mod pool;
 pub mod sched;
 pub mod seqlock;
 mod tree;
@@ -42,6 +46,7 @@ mod tree;
 pub use iter::{keys_of, Iter};
 pub use key::SampleKey;
 pub use olc::{OlcStats, OlcTree, OLC_DEGREE};
+pub use pool::{NodePool, PoolStats, PAGE_NODES};
 pub use seqlock::{SeqLock, WriteGuard};
 pub use tree::BPlusTree;
 

@@ -30,11 +30,19 @@
 //!
 //! Node payloads are **word atomics** (`AtomicU64` arrays), so a racing
 //! optimistic reader can observe an inconsistent *set* of words but never
-//! tears a word or touches freed memory: nodes live in an append-only
-//! [`Arena`] whose chunks never move, and child pointers are indices that
-//! are only dereferenced after the version validation proved them
-//! current. The single `unsafe` block is the arena's chunk-pointer
-//! dereference.
+//! tears a word or touches freed memory: nodes live in a page-granular
+//! [`NodePool`] whose pages never move or unmap before the pool drops,
+//! and child pointers are slot indices that are only dereferenced after
+//! the version validation proved them current. Slots recycled by a
+//! rebuild get their seqlock version bumped on release, so a reader that
+//! pinned a pre-free version can never validate against the slot's next
+//! tenant (see the pool module docs). The single `unsafe` block is the
+//! pool's page-pointer dereference.
+//!
+//! Trees borrow slots from an `Arc<NodePool>`: [`OlcTree::new`] keeps a
+//! private pool (the single-tenant path is untouched), while
+//! [`OlcTree::with_pool`] lets a fleet of trees share one pool so S
+//! reservoirs cost O(pages) heap allocations instead of O(S · nodes).
 //!
 //! ## Division of labour with [`BPlusTree`](crate::BPlusTree)
 //!
@@ -53,12 +61,13 @@
 //! sizes are fresh.
 
 use std::cmp::Ordering as CmpOrder;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
 
 use reservoir_obs::{trace, LazyCounter, TraceKind, PE_UNRANKED};
 
 use crate::key::SampleKey;
+use crate::pool::NodePool;
 use crate::sched::{self, SchedEvent};
 use crate::seqlock::SeqLock;
 
@@ -83,10 +92,6 @@ pub const OLC_DEGREE: usize = 16;
 
 /// Rebuilds pack nodes to 3/4 so the next few inserts do not split.
 const REBUILD_FILL: usize = (OLC_DEGREE * 3) / 4;
-
-/// First arena chunk holds 64 nodes; every next chunk doubles.
-const CHUNK_BASE: usize = 64;
-const MAX_CHUNKS: usize = 26;
 
 /// Deepest descent path an insert can record: u32 node indices at a
 /// branching factor of at least 2 bound the height well below this.
@@ -118,11 +123,12 @@ fn unpack(meta: u64) -> (usize, bool) {
 ///
 /// * leaf: `len` entries; `key_*[i]` is the i-th key, `val[i]` the f64
 ///   bits of its value.
-/// * inner: `len` children in `val[0..len]` (arena indices) and `len − 1`
+/// * inner: `len` children in `val[0..len]` (pool slot indices) and `len − 1`
 ///   separators in `key_*[0..len−1]`, where separator `i` is the max key
 ///   of child `i`'s subtree.
-struct NodeCell {
-    lock: SeqLock,
+pub(crate) struct NodeCell {
+    /// The pool bumps this on slot release to invalidate stale readers.
+    pub(crate) lock: SeqLock,
     meta: AtomicU64,
     /// Subtree size; only valid after [`OlcTree::refresh_sizes`].
     size: AtomicU64,
@@ -132,11 +138,13 @@ struct NodeCell {
     dirty: AtomicBool,
     key_bits: [AtomicU64; OLC_DEGREE],
     key_id: [AtomicU64; OLC_DEGREE],
-    val: [AtomicU64; OLC_DEGREE],
+    /// Leaf values / inner children; `val[0]` doubles as the free-list
+    /// link while the slot is parked in the pool.
+    pub(crate) val: [AtomicU64; OLC_DEGREE],
 }
 
 impl NodeCell {
-    fn new() -> Self {
+    pub(crate) fn new() -> Self {
         NodeCell {
             lock: SeqLock::new(),
             meta: AtomicU64::new(0),
@@ -146,6 +154,16 @@ impl NodeCell {
             key_id: std::array::from_fn(|_| AtomicU64::new(0)),
             val: std::array::from_fn(|_| AtomicU64::new(0)),
         }
+    }
+
+    /// Re-initialize the tree-visible header of a recycled slot. The
+    /// payload words stay as the previous tenant (or the free-list link)
+    /// left them — a node with `len = 0` exposes none of them, and the
+    /// allocating tree overwrites `meta` with its own leaf flag anyway.
+    pub(crate) fn reset(&self) {
+        self.meta.store(0, Ordering::Relaxed);
+        self.size.store(0, Ordering::Relaxed);
+        self.dirty.store(false, Ordering::Relaxed);
     }
 
     /// Read key `i` (relaxed; may be garbage until the node version
@@ -216,83 +234,6 @@ impl NodeCell {
     }
 }
 
-/// Append-only chunked node storage: chunk `c` holds `64 << c` cells and
-/// once installed never moves or frees until the arena drops, so a node
-/// reference obtained from any published index stays valid for the
-/// arena's lifetime — torn reads can yield stale *values*, never dangling
-/// *memory*.
-struct Arena {
-    chunks: [AtomicPtr<NodeCell>; MAX_CHUNKS],
-    next: AtomicU32,
-    grow: Mutex<()>,
-}
-
-/// Chunk and offset of node index `i`.
-#[inline]
-fn locate(i: u32) -> (usize, usize) {
-    let q = i / CHUNK_BASE as u32 + 1;
-    let c = (31 - q.leading_zeros()) as usize;
-    let start = CHUNK_BASE as u32 * ((1u32 << c) - 1);
-    (c, (i - start) as usize)
-}
-
-impl Arena {
-    fn new() -> Self {
-        Arena {
-            chunks: std::array::from_fn(|_| AtomicPtr::new(std::ptr::null_mut())),
-            next: AtomicU32::new(0),
-            grow: Mutex::new(()),
-        }
-    }
-
-    /// Allocate a fresh node cell, installing its chunk if needed.
-    fn alloc(&self, is_leaf: bool) -> u32 {
-        let i = self.next.fetch_add(1, Ordering::Relaxed);
-        let (c, _) = locate(i);
-        assert!(c < MAX_CHUNKS, "olc arena exhausted");
-        if self.chunks[c].load(Ordering::Acquire).is_null() {
-            let _g = self.grow.lock().unwrap_or_else(|e| e.into_inner());
-            if self.chunks[c].load(Ordering::Acquire).is_null() {
-                let cap = CHUNK_BASE << c;
-                let boxed: Box<[NodeCell]> = (0..cap).map(|_| NodeCell::new()).collect();
-                self.chunks[c].store(Box::into_raw(boxed) as *mut NodeCell, Ordering::Release);
-            }
-        }
-        let cell = self.node(i);
-        cell.meta.store(pack(0, is_leaf), Ordering::Relaxed);
-        i
-    }
-
-    /// The cell at a published index.
-    #[inline]
-    fn node(&self, i: u32) -> &NodeCell {
-        let (c, off) = locate(i);
-        let p = self.chunks[c].load(Ordering::Acquire);
-        debug_assert!(!p.is_null(), "unallocated olc node index {i}");
-        // SAFETY: `p` was installed (with Release) as a `Box<[NodeCell]>`
-        // of length `CHUNK_BASE << c` that is never moved or freed before
-        // the arena drops, and `off < CHUNK_BASE << c` by `locate`. The
-        // Acquire load pairs with the installing Release store (and with
-        // the version-validation fences that published `i`), so the cell
-        // is fully initialized.
-        unsafe { &*p.add(off) }
-    }
-}
-
-impl Drop for Arena {
-    fn drop(&mut self) {
-        for (c, slot) in self.chunks.iter().enumerate() {
-            let p = slot.load(Ordering::Acquire);
-            if !p.is_null() {
-                let len = CHUNK_BASE << c;
-                // SAFETY: `p` came from `Box::into_raw` of a boxed slice
-                // of exactly `len` cells; the arena owns it exclusively.
-                drop(unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(p, len)) });
-            }
-        }
-    }
-}
-
 /// Why a `try_insert` attempt gave up.
 enum Abort {
     /// A genuine version conflict / lost race: counted as a retry.
@@ -307,7 +248,7 @@ enum Abort {
 enum Parent {
     /// Above the root: the tree's root latch at the given version.
     Root(u64),
-    /// An inner node (arena index) at the given version.
+    /// An inner node (pool slot index) at the given version.
     Node(u32, u64),
 }
 
@@ -315,8 +256,11 @@ enum Parent {
 /// lock-free-ish optimistic readers, seqlocked writers. See the module
 /// docs for the protocol and the quiescence rule on the read surface.
 pub struct OlcTree {
-    arena: Arena,
-    /// Arena index of the root node, guarded by `root_lock` exactly like
+    pool: Arc<NodePool>,
+    /// Slots this tree has allocated and not yet released (its node
+    /// count) — per-tree, where the shared pool's counters are not.
+    nodes: AtomicU64,
+    /// Pool slot of the root node, guarded by `root_lock` exactly like
     /// a child pointer is guarded by its parent's lock.
     root: AtomicU32,
     root_lock: SeqLock,
@@ -335,19 +279,67 @@ impl Default for OlcTree {
 }
 
 impl OlcTree {
-    /// An empty tree (one empty root leaf).
+    /// An empty tree (one empty root leaf) over a private node pool.
     pub fn new() -> Self {
-        let arena = Arena::new();
-        let root = arena.alloc(true);
-        OlcTree {
-            arena,
-            root: AtomicU32::new(root),
+        Self::with_pool(Arc::new(NodePool::new()))
+    }
+
+    /// An empty tree borrowing its node slots from `pool`. Any number of
+    /// trees can share one pool — allocation is lock-free across
+    /// tenants, and a tree's rebuilds/drop return its slots for the
+    /// other tenants to reuse.
+    pub fn with_pool(pool: Arc<NodePool>) -> Self {
+        let tree = OlcTree {
+            pool,
+            nodes: AtomicU64::new(0),
+            root: AtomicU32::new(0),
             root_lock: SeqLock::new(),
             count: AtomicU64::new(0),
             retries: AtomicU64::new(0),
             splits: AtomicU64::new(0),
             dirty: AtomicBool::new(false),
+        };
+        let root = tree.alloc(true);
+        tree.root.store(root, Ordering::Relaxed);
+        tree
+    }
+
+    /// The pool this tree allocates from.
+    pub fn pool(&self) -> &Arc<NodePool> {
+        &self.pool
+    }
+
+    /// Allocate one slot from the pool and stamp it as this tree's
+    /// empty leaf/inner node.
+    fn alloc(&self, is_leaf: bool) -> u32 {
+        let i = self.pool.alloc();
+        self.pool
+            .cell(i)
+            .meta
+            .store(pack(0, is_leaf), Ordering::Relaxed);
+        self.nodes.fetch_add(1, Ordering::Relaxed);
+        i
+    }
+
+    /// The cell at a published slot index.
+    #[inline]
+    fn node(&self, i: u32) -> &NodeCell {
+        self.pool.cell(i)
+    }
+
+    /// Release the subtree under `idx` back to the pool (post-order:
+    /// children are read before the free-list link overwrites `val[0]`).
+    /// Exclusive-phase only, per the pool's release contract.
+    fn release_subtree(&self, idx: u32) {
+        let node = self.node(idx);
+        let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
+        if !is_leaf {
+            for i in 0..len {
+                self.release_subtree(node.child(i));
+            }
         }
+        self.pool.release(idx);
+        self.nodes.fetch_sub(1, Ordering::Relaxed);
     }
 
     /// Number of entries.
@@ -368,11 +360,12 @@ impl OlcTree {
         }
     }
 
-    /// Nodes currently allocated in the arena. Baseline for reasoning
-    /// about [`Self::refresh_sizes`] cost: touched ≤ node_count, and ≪
-    /// node_count after a small batch of inserts.
+    /// Nodes this tree currently holds (pool slots allocated and not
+    /// released). Baseline for reasoning about [`Self::refresh_sizes`]
+    /// cost: touched ≤ node_count, and ≪ node_count after a small batch
+    /// of inserts.
     pub fn node_count(&self) -> u64 {
-        self.arena.next.load(Ordering::Relaxed) as u64
+        self.nodes.load(Ordering::Relaxed)
     }
 
     /// Insert an entry, overwriting the value of an equal key. Returns
@@ -421,7 +414,7 @@ impl OlcTree {
         let mut path = [0u32; MAX_PATH];
         let mut depth = 0usize;
         loop {
-            let node = self.arena.node(node_idx);
+            let node = self.node(node_idx);
             let node_ver = node.lock.read_begin().map_err(|()| Abort::Conflict)?;
             // Lock coupling: the child's version is pinned; the parent
             // must still have pointed here in the meantime.
@@ -438,7 +431,7 @@ impl OlcTree {
                 // insert ends up overwriting: dirty the chain down to it
                 // (split_into marked the new sibling).
                 for &n in &path[..depth] {
-                    self.arena.node(n).dirty.store(true, Ordering::Relaxed);
+                    self.node(n).dirty.store(true, Ordering::Relaxed);
                 }
                 return Err(Abort::Progress);
             }
@@ -456,7 +449,7 @@ impl OlcTree {
                     // the split marked both halves, keeping every stale
                     // node reachable through a dirty ancestor chain.
                     for &n in &path[..depth] {
-                        self.arena.node(n).dirty.store(true, Ordering::Relaxed);
+                        self.node(n).dirty.store(true, Ordering::Relaxed);
                     }
                 }
                 return Ok(new);
@@ -477,7 +470,7 @@ impl OlcTree {
     fn parent_valid(&self, parent: Parent) -> bool {
         match parent {
             Parent::Root(v) => self.root_lock.validate(v),
-            Parent::Node(idx, v) => self.arena.node(idx).lock.validate(v),
+            Parent::Node(idx, v) => self.node(idx).lock.validate(v),
         }
     }
 
@@ -488,14 +481,14 @@ impl OlcTree {
         match parent {
             Parent::Root(root_ver) => {
                 let root_guard = self.root_lock.try_lock(root_ver).ok_or(Abort::Conflict)?;
-                let node = self.arena.node(n_idx);
+                let node = self.node(n_idx);
                 let node_guard = node.lock.try_lock(n_ver).ok_or(Abort::Conflict)?;
                 // Grow the tree: a new root adopts the old root as its
                 // only child, then the child splits into it. The new
                 // root is unpublished until the store below, so it needs
                 // no lock of its own yet.
-                let new_root = self.arena.alloc(false);
-                let root_node = self.arena.node(new_root);
+                let new_root = self.alloc(false);
+                let root_node = self.node(new_root);
                 root_node.val[0].store(n_idx as u64, Ordering::Relaxed);
                 root_node.meta.store(pack(1, false), Ordering::Relaxed);
                 self.split_into(new_root, 0, n_idx);
@@ -504,7 +497,7 @@ impl OlcTree {
                 drop(root_guard); // bumps the root version: descents restart
             }
             Parent::Node(p_idx, p_ver) => {
-                let pnode = self.arena.node(p_idx);
+                let pnode = self.node(p_idx);
                 let p_guard = pnode.lock.try_lock(p_ver).ok_or(Abort::Conflict)?;
                 let (plen, _) = unpack(pnode.meta.load(Ordering::Relaxed));
                 if plen >= OLC_DEGREE {
@@ -512,7 +505,7 @@ impl OlcTree {
                     // restarted descent will split the parent first.
                     return Err(Abort::Conflict);
                 }
-                let node = self.arena.node(n_idx);
+                let node = self.node(n_idx);
                 let n_guard = node.lock.try_lock(n_ver).ok_or(Abort::Conflict)?;
                 let slot = pnode.find_child(n_idx, plen).ok_or(Abort::Conflict)?;
                 self.split_into(p_idx, slot, n_idx);
@@ -529,13 +522,13 @@ impl OlcTree {
     /// Split the full node `n_idx` (child `slot` of the locked, non-full
     /// inner node `p_idx`) into itself plus a fresh right sibling.
     fn split_into(&self, p_idx: u32, slot: usize, n_idx: u32) {
-        let parent = self.arena.node(p_idx);
-        let node = self.arena.node(n_idx);
+        let parent = self.node(p_idx);
+        let node = self.node(n_idx);
         let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
         debug_assert_eq!(len, OLC_DEGREE, "only full nodes split");
         let keep = OLC_DEGREE / 2;
-        let right_idx = self.arena.alloc(is_leaf);
-        let right = self.arena.node(right_idx);
+        let right_idx = self.alloc(is_leaf);
+        let right = self.node(right_idx);
         for i in keep..len {
             right.key_bits[i - keep]
                 .store(node.key_bits[i].load(Ordering::Relaxed), Ordering::Relaxed);
@@ -580,7 +573,7 @@ impl OlcTree {
     }
 
     fn walk(&self, idx: u32, f: &mut impl FnMut(&SampleKey, f64)) {
-        let node = self.arena.node(idx);
+        let node = self.node(idx);
         let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
         if is_leaf {
             for i in 0..len {
@@ -607,7 +600,7 @@ impl OlcTree {
     pub fn max(&self) -> Option<(SampleKey, f64)> {
         let mut idx = self.root.load(Ordering::Relaxed);
         loop {
-            let node = self.arena.node(idx);
+            let node = self.node(idx);
             let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
             if is_leaf {
                 return len.checked_sub(1).map(|i| {
@@ -625,7 +618,7 @@ impl OlcTree {
     pub fn get(&self, key: &SampleKey) -> Option<f64> {
         let mut idx = self.root.load(Ordering::Relaxed);
         loop {
-            let node = self.arena.node(idx);
+            let node = self.node(idx);
             let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
             if is_leaf {
                 return (0..len)
@@ -655,7 +648,7 @@ impl OlcTree {
     }
 
     fn refresh(&self, idx: u32, touched: &mut u64) -> u64 {
-        let node = self.arena.node(idx);
+        let node = self.node(idx);
         *touched += 1;
         let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
         let size = if is_leaf {
@@ -664,7 +657,7 @@ impl OlcTree {
             (0..len)
                 .map(|i| {
                     let c = node.child(i);
-                    let cell = self.arena.node(c);
+                    let cell = self.node(c);
                     if cell.dirty.load(Ordering::Relaxed) {
                         self.refresh(c, touched)
                     } else {
@@ -701,7 +694,7 @@ impl OlcTree {
         let mut acc = 0u64;
         let mut idx = self.root.load(Ordering::Relaxed);
         loop {
-            let node = self.arena.node(idx);
+            let node = self.node(idx);
             let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
             if is_leaf {
                 acc += (0..len).filter(|&i| include(&node.key_at(i), key)).count() as u64;
@@ -711,7 +704,7 @@ impl OlcTree {
             // fully counted from their cached sizes.
             let slot = node.route(key, len);
             for i in 0..slot {
-                acc += self.arena.node(node.child(i)).size.load(Ordering::Relaxed);
+                acc += self.node(node.child(i)).size.load(Ordering::Relaxed);
             }
             idx = node.child(slot);
         }
@@ -726,7 +719,7 @@ impl OlcTree {
         let mut r = rank as u64;
         let mut idx = self.root.load(Ordering::Relaxed);
         loop {
-            let node = self.arena.node(idx);
+            let node = self.node(idx);
             let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
             if is_leaf {
                 let i = r as usize;
@@ -738,7 +731,7 @@ impl OlcTree {
             }
             let mut next = node.child(len - 1);
             for i in 0..len {
-                let s = self.arena.node(node.child(i)).size.load(Ordering::Relaxed);
+                let s = self.node(node.child(i)).size.load(Ordering::Relaxed);
                 if r < s {
                     next = node.child(i);
                     break;
@@ -752,7 +745,7 @@ impl OlcTree {
     // --- exclusive structural operations ---------------------------------
 
     /// Drop every entry with a key strictly above `t`. Rebuilds the tree
-    /// (compacting the arena), so sizes come out fresh.
+    /// (recycling its slots through the pool), so sizes come out fresh.
     pub fn prune_above(&mut self, t: &SampleKey) {
         let mut kept = Vec::with_capacity(self.len());
         self.for_each(|k, w| {
@@ -779,23 +772,24 @@ impl OlcTree {
     }
 
     /// Replace the whole tree with `entries` (must be key-sorted), packed
-    /// to [`REBUILD_FILL`] per node, in a fresh arena.
+    /// to [`REBUILD_FILL`] per node. The old nodes are released to the
+    /// pool *first*, so the replacement tree largely reuses the
+    /// cache-warm slots it just vacated (the free list is LIFO).
     fn rebuild(&mut self, entries: Vec<(SampleKey, f64)>) {
         debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
-        let arena = Arena::new();
+        self.release_subtree(self.root.load(Ordering::Relaxed));
         self.count.store(entries.len() as u64, Ordering::Relaxed);
         self.dirty.store(false, Ordering::Relaxed);
         if entries.is_empty() {
-            let root = arena.alloc(true);
-            self.arena = arena;
+            let root = self.alloc(true);
             self.root.store(root, Ordering::Relaxed);
             return;
         }
         // Leaves: (index, subtree max, subtree size) per built node.
         let mut level: Vec<(u32, SampleKey, u64)> = Vec::new();
         for chunk in balanced_chunks(entries.len()) {
-            let idx = arena.alloc(true);
-            let node = arena.node(idx);
+            let idx = self.alloc(true);
+            let node = self.node(idx);
             let slice = &entries[chunk.clone()];
             for (i, (k, w)) in slice.iter().enumerate() {
                 node.set_key(i, k);
@@ -812,8 +806,8 @@ impl OlcTree {
         while level.len() > 1 {
             let mut up = Vec::new();
             for chunk in balanced_chunks(level.len()) {
-                let idx = arena.alloc(false);
-                let node = arena.node(idx);
+                let idx = self.alloc(false);
+                let node = self.node(idx);
                 let group = &level[chunk.clone()];
                 let mut size = 0u64;
                 for (i, (child, max, s)) in group.iter().enumerate() {
@@ -830,7 +824,6 @@ impl OlcTree {
             level = up;
         }
         self.root.store(level[0].0, Ordering::Relaxed);
-        self.arena = arena;
     }
 
     /// Structural validation for tests: key order, separator correctness,
@@ -857,7 +850,7 @@ impl OlcTree {
         is_root: bool,
         check_sizes: bool,
     ) -> Result<(u64, usize, Option<SampleKey>, Option<SampleKey>), String> {
-        let node = self.arena.node(idx);
+        let node = self.node(idx);
         let (len, is_leaf) = unpack(node.meta.load(Ordering::Relaxed));
         if len > OLC_DEGREE {
             return Err(format!("node {idx}: overfull ({len})"));
@@ -918,6 +911,17 @@ impl OlcTree {
             return Err(format!("inner {idx}: stale size"));
         }
         Ok((count, depth.unwrap_or(0) + 1, min, max))
+    }
+}
+
+impl Drop for OlcTree {
+    fn drop(&mut self) {
+        // Returning slots one by one only matters while other tenants
+        // can still reuse them; the last Arc holder lets the pool's own
+        // drop free whole pages instead.
+        if Arc::strong_count(&self.pool) > 1 {
+            self.release_subtree(self.root.load(Ordering::Relaxed));
+        }
     }
 }
 
@@ -1071,12 +1075,56 @@ mod tests {
     }
 
     #[test]
-    fn arena_locate_is_consistent() {
-        let mut seen = std::collections::HashSet::new();
-        for i in 0..10_000u32 {
-            let (c, off) = locate(i);
-            assert!(off < CHUNK_BASE << c);
-            assert!(seen.insert((c, off)), "index {i} collided");
+    fn shared_pool_trees_are_independent_and_recycle_on_drop() {
+        let pool = Arc::new(crate::pool::NodePool::new());
+        let mut a = OlcTree::with_pool(Arc::clone(&pool));
+        let b = OlcTree::with_pool(Arc::clone(&pool));
+        for i in 0..300u64 {
+            a.insert(key(i as f64, i), 1.0);
+            b.insert(key((i + 1000) as f64, i + 1000), 2.0);
         }
+        a.check_consistency().unwrap();
+        b.check_consistency().unwrap();
+        assert_eq!(a.len(), 300);
+        assert_eq!(b.len(), 300);
+        assert_eq!(a.get(&key(1000.0, 1000)), None, "tenants must not leak");
+        assert_eq!(
+            pool.live_slots(),
+            a.node_count() + b.node_count(),
+            "pool live slots must account exactly for both tenants"
+        );
+
+        // A rebuild recycles: no new pages, slots flow through the list.
+        let pages_before = pool.stats().pages;
+        a.truncate_to(50);
+        a.check_consistency().unwrap();
+        assert_eq!(pool.stats().pages, pages_before, "rebuild must not grow");
+        assert!(pool.stats().recycles > 0);
+        assert!(pool.stats().reused > 0, "rebuild must reuse freed slots");
+
+        // Dropping a tenant returns every one of its slots.
+        let b_nodes = b.node_count();
+        assert!(b_nodes > 0);
+        let live_before = pool.live_slots();
+        drop(b);
+        assert_eq!(pool.live_slots(), live_before - b_nodes);
+
+        // The surviving tenant is unaffected.
+        assert_eq!(a.len(), 50);
+        a.check_consistency().unwrap();
+    }
+
+    #[test]
+    fn node_count_tracks_allocations_across_rebuilds() {
+        let mut tree = OlcTree::new();
+        assert_eq!(tree.node_count(), 1, "empty tree is one root leaf");
+        for i in 0..500u64 {
+            tree.insert(key(i as f64, i), 1.0);
+        }
+        let grown = tree.node_count();
+        assert!(grown > 1);
+        tree.clear();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.pool().live_slots(), 1);
     }
 }

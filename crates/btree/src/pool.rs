@@ -1,0 +1,355 @@
+//! Pooled node storage for the concurrent tree: a sharable,
+//! page-granular allocator of [`NodeCell`] slots.
+//!
+//! A [`NodePool`] hands out node slots from fixed-size **pages** of
+//! [`PAGE_NODES`] cells. The page directory is one flat array of atomic
+//! page pointers owned by the pool, so a slot index maps to its cell with
+//! one division — uniform, unlike the old per-tree doubling-chunk arena —
+//! and the *pool* (not the tree) is the unit that pays heap allocations:
+//! a fleet of S trees sharing one pool performs O(pages) allocations, not
+//! O(S · nodes). Trees hold an `Arc<NodePool>`; the single-tenant path
+//! keeps a private pool per tree, the sharded fleet shares one pool per
+//! PE across all S shard trees.
+//!
+//! ## Allocation: bump + lock-free free list
+//!
+//! Fresh slots come from an atomic bump counter (`fetch_add`), installing
+//! the backing page under a grow mutex on first touch — the same
+//! double-checked pattern the old arena used per chunk. Slots returned by
+//! [`NodePool::release`] (tree rebuilds and tree drops) go on a Treiber
+//! free list threaded through the freed cells' `val[0]` words, with an
+//! ABA tag packed next to the head index; [`NodePool::alloc`] prefers the
+//! free list, so a rebuild's replacement nodes reuse the cache-warm slots
+//! the old tree just vacated.
+//!
+//! ## Why recycling cannot resurrect a version-validated node
+//!
+//! Pages never move and are never unmapped before the pool drops, so an
+//! optimistic reader racing a recycle dereferences valid memory — the old
+//! arena's guarantee, unchanged. Staleness is caught by the seqlock:
+//! `release` bumps the freed cell's version (a lock/unlock cycle), so a
+//! reader that pinned the cell's version before the free fails its
+//! validation after it, exactly as if a writer had touched the node.
+//! Release sites additionally run only in exclusively-owned phases
+//! (`&mut` tree rebuilds, tree drop), where the tree's quiescence rule
+//! already promises no concurrent readers of *that tree*; the version
+//! bump extends safety to the pool's other tenants, which can reuse the
+//! slot immediately.
+
+use std::sync::atomic::{AtomicPtr, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use reservoir_obs::LazyGauge;
+
+use crate::olc::NodeCell;
+
+/// Resident pool bytes across live pools (page payloads only; the
+/// directory is excluded). Updated on page install and pool drop — both
+/// slow paths.
+static POOL_BYTES: LazyGauge = LazyGauge::new(
+    "pool_bytes",
+    "resident node-pool page bytes across live pools",
+);
+/// Pages installed across live pools; decremented when a pool drops.
+static POOL_PAGES: LazyGauge = LazyGauge::new(
+    "pool_pages_allocated",
+    "node-pool pages currently installed across live pools",
+);
+/// Slots returned to pool free lists (monotonic).
+static POOL_RECYCLES: LazyGauge = LazyGauge::new(
+    "pool_recycles",
+    "node slots returned to pool free lists by tree rebuilds and drops",
+);
+
+/// Node slots per page. One page backs the roots of [`PAGE_NODES`] empty
+/// trees — the granularity the O(pages) fleet-construction claim is
+/// stated in.
+pub const PAGE_NODES: usize = 64;
+
+/// Directory capacity: `PAGE_SLOTS * PAGE_NODES` slots per pool. The
+/// directory itself is one lazily-faulted allocation, so an almost-empty
+/// private pool costs one page of cells plus untouched virtual space.
+const PAGE_SLOTS: usize = 1 << 16;
+
+/// Free-list head: `(aba_tag << 32) | (slot + 1)`, `0` = empty list.
+const FREE_EMPTY: u64 = 0;
+
+/// Allocation and recycling counters of one [`NodePool`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Pages installed (each is exactly one heap allocation).
+    pub pages: u64,
+    /// Bytes resident in installed pages.
+    pub bytes: u64,
+    /// Slots returned to the free list by rebuilds/drops (monotonic).
+    pub recycles: u64,
+    /// Allocations served by the bump pointer (a never-used slot).
+    pub fresh: u64,
+    /// Allocations served from the free list (a recycled slot).
+    pub reused: u64,
+}
+
+/// A sharable, page-granular [`NodeCell`] allocator. See the module docs
+/// for the layout and the recycling-safety argument. All methods take
+/// `&self` and are safe under concurrent allocation from many trees'
+/// scan workers; `release` additionally requires the released subtree to
+/// be exclusively owned (its tree's quiescence rule).
+pub struct NodePool {
+    pages: Box<[AtomicPtr<NodeCell>]>,
+    /// Next never-used slot (bump arm).
+    next: AtomicU32,
+    /// Treiber free-list head (recycle arm), ABA-tagged.
+    free: AtomicU64,
+    grow: Mutex<()>,
+    pages_installed: AtomicU64,
+    recycles: AtomicU64,
+    fresh: AtomicU64,
+    reused: AtomicU64,
+}
+
+impl Default for NodePool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NodePool {
+    /// An empty pool: no pages installed until the first allocation.
+    pub fn new() -> Self {
+        NodePool {
+            pages: (0..PAGE_SLOTS)
+                .map(|_| AtomicPtr::new(std::ptr::null_mut()))
+                .collect(),
+            next: AtomicU32::new(0),
+            free: AtomicU64::new(FREE_EMPTY),
+            grow: Mutex::new(()),
+            pages_installed: AtomicU64::new(0),
+            recycles: AtomicU64::new(0),
+            fresh: AtomicU64::new(0),
+            reused: AtomicU64::new(0),
+        }
+    }
+
+    /// Allocation counters since creation.
+    pub fn stats(&self) -> PoolStats {
+        let pages = self.pages_installed.load(Ordering::Relaxed);
+        PoolStats {
+            pages,
+            bytes: pages * Self::page_bytes(),
+            recycles: self.recycles.load(Ordering::Relaxed),
+            fresh: self.fresh.load(Ordering::Relaxed),
+            reused: self.reused.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bytes of one installed page's cell payload.
+    pub fn page_bytes() -> u64 {
+        (PAGE_NODES * std::mem::size_of::<NodeCell>()) as u64
+    }
+
+    /// Slots handed out and not yet released (live across all tenants).
+    /// Exact between operations; momentarily off by in-flight calls.
+    pub fn live_slots(&self) -> u64 {
+        let s = self.stats();
+        (s.fresh + s.reused).saturating_sub(s.recycles)
+    }
+
+    /// Hand out one slot: recycled if available, else fresh from the
+    /// bump pointer (installing the backing page if this is its first
+    /// slot). The returned cell's `meta`/`size`/`dirty` are reset and its
+    /// seqlock is unlocked; `key_*`/`val` words are unspecified (a leaf
+    /// with `len = 0` exposes none of them).
+    pub fn alloc(&self) -> u32 {
+        if let Some(i) = self.pop_free() {
+            let cell = self.cell(i);
+            cell.reset();
+            self.reused.fetch_add(1, Ordering::Relaxed);
+            return i;
+        }
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        let page = i as usize / PAGE_NODES;
+        assert!(page < PAGE_SLOTS, "node pool exhausted");
+        if self.pages[page].load(Ordering::Acquire).is_null() {
+            let _g = self.grow.lock().unwrap_or_else(|e| e.into_inner());
+            if self.pages[page].load(Ordering::Acquire).is_null() {
+                let boxed: Box<[NodeCell]> = (0..PAGE_NODES).map(|_| NodeCell::new()).collect();
+                self.pages[page].store(Box::into_raw(boxed) as *mut NodeCell, Ordering::Release);
+                self.pages_installed.fetch_add(1, Ordering::Relaxed);
+                POOL_PAGES.add(1.0);
+                POOL_BYTES.add(Self::page_bytes() as f64);
+            }
+        }
+        self.fresh.fetch_add(1, Ordering::Relaxed);
+        i
+    }
+
+    /// The cell at a handed-out slot.
+    #[inline]
+    pub(crate) fn cell(&self, i: u32) -> &NodeCell {
+        let (page, off) = (i as usize / PAGE_NODES, i as usize % PAGE_NODES);
+        let p = self.pages[page].load(Ordering::Acquire);
+        debug_assert!(!p.is_null(), "unallocated pool slot {i}");
+        // SAFETY: `p` was installed (with Release) as a `Box<[NodeCell]>`
+        // of length `PAGE_NODES` that never moves or frees before the
+        // pool drops, and `off < PAGE_NODES` by construction. The Acquire
+        // load pairs with the installing Release store (and with the
+        // version-validation fences that published `i`), so the cell is
+        // fully initialized.
+        unsafe { &*p.add(off) }
+    }
+
+    /// Return a slot to the free list. The caller must exclusively own
+    /// the releasing tree (no concurrent writers of the released
+    /// subtree); racing optimistic readers are invalidated by the
+    /// version bump. The slot is immediately reusable by any tenant.
+    pub fn release(&self, i: u32) {
+        let cell = self.cell(i);
+        // Invalidate stale optimistic readers: any version pinned before
+        // this free fails validation after it. A poisoned lock word (a
+        // writer died mid-spin; cannot happen under the quiescence rule)
+        // leaks the slot rather than risking an alias.
+        let Ok(v) = cell.lock.read_begin() else {
+            return;
+        };
+        let Some(guard) = cell.lock.try_lock(v) else {
+            return;
+        };
+        drop(guard);
+        self.recycles.fetch_add(1, Ordering::Relaxed);
+        POOL_RECYCLES.add(1.0);
+        let mut head = self.free.load(Ordering::Acquire);
+        loop {
+            let top = head as u32;
+            cell.val[0].store(top as u64, Ordering::Relaxed);
+            let tag = (head >> 32).wrapping_add(1);
+            let next = (tag << 32) | (i + 1) as u64;
+            match self
+                .free
+                .compare_exchange_weak(head, next, Ordering::Release, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Snapshot slot `i`'s seqlock version (`None` while a writer holds
+    /// it). Diagnostic surface for the recycling-safety tests; `i` must
+    /// have been handed out at some point.
+    pub fn slot_version(&self, i: u32) -> Option<u64> {
+        self.cell(i).lock.read_begin().ok()
+    }
+
+    /// Whether an optimistic read of slot `i` pinned at version `v`
+    /// would still validate. Diagnostic counterpart of
+    /// [`Self::slot_version`].
+    pub fn slot_validates(&self, i: u32, v: u64) -> bool {
+        self.cell(i).lock.validate(v)
+    }
+
+    /// Pop one recycled slot, if any.
+    fn pop_free(&self) -> Option<u32> {
+        let mut head = self.free.load(Ordering::Acquire);
+        loop {
+            let top = head as u32;
+            if top == 0 {
+                return None;
+            }
+            let i = top - 1;
+            // May read a stale link if another thread pops `i` first; the
+            // tagged CAS below then fails and we retry with a fresh head.
+            // Cells are never unmapped, so the read is always safe.
+            let next_free = self.cell(i).val[0].load(Ordering::Relaxed) as u32;
+            let tag = (head >> 32).wrapping_add(1);
+            let next = (tag << 32) | next_free as u64;
+            match self
+                .free
+                .compare_exchange_weak(head, next, Ordering::AcqRel, Ordering::Acquire)
+            {
+                Ok(_) => return Some(i),
+                Err(h) => head = h,
+            }
+        }
+    }
+}
+
+impl Drop for NodePool {
+    fn drop(&mut self) {
+        let mut dropped = 0u64;
+        for slot in self.pages.iter() {
+            let p = slot.load(Ordering::Acquire);
+            if !p.is_null() {
+                // SAFETY: `p` came from `Box::into_raw` of a boxed slice
+                // of exactly `PAGE_NODES` cells; the pool owns it
+                // exclusively now that no tree holds the Arc.
+                drop(unsafe { Box::from_raw(std::ptr::slice_from_raw_parts_mut(p, PAGE_NODES)) });
+                dropped += 1;
+            }
+        }
+        if dropped > 0 {
+            POOL_PAGES.add(-(dropped as f64));
+            POOL_BYTES.add(-((dropped * Self::page_bytes()) as f64));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_to_page_mapping_is_injective() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u32 {
+            let (page, off) = (i as usize / PAGE_NODES, i as usize % PAGE_NODES);
+            assert!(off < PAGE_NODES);
+            assert!(seen.insert((page, off)), "slot {i} collided");
+        }
+    }
+
+    #[test]
+    fn pages_install_lazily_and_count_heap_allocations() {
+        let pool = NodePool::new();
+        assert_eq!(pool.stats().pages, 0);
+        let first = pool.alloc();
+        assert_eq!(first, 0);
+        assert_eq!(pool.stats().pages, 1);
+        for _ in 1..PAGE_NODES {
+            pool.alloc();
+        }
+        assert_eq!(pool.stats().pages, 1, "one page serves PAGE_NODES slots");
+        pool.alloc();
+        let s = pool.stats();
+        assert_eq!(s.pages, 2);
+        assert_eq!(s.bytes, 2 * NodePool::page_bytes());
+        assert_eq!(s.fresh, PAGE_NODES as u64 + 1);
+        assert_eq!(s.reused, 0);
+    }
+
+    #[test]
+    fn released_slots_are_reused_before_the_bump_pointer_moves() {
+        let pool = NodePool::new();
+        let a = pool.alloc();
+        let b = pool.alloc();
+        pool.release(a);
+        pool.release(b);
+        // LIFO: most recently released first.
+        assert_eq!(pool.alloc(), b);
+        assert_eq!(pool.alloc(), a);
+        let s = pool.stats();
+        assert_eq!((s.fresh, s.reused, s.recycles), (2, 2, 2));
+        assert_eq!(s.pages, 1, "recycling never installs a page");
+    }
+
+    #[test]
+    fn release_bumps_the_cell_version() {
+        let pool = NodePool::new();
+        let i = pool.alloc();
+        let v = pool.cell(i).lock.read_begin().unwrap();
+        pool.release(i);
+        assert!(
+            !pool.cell(i).lock.validate(v),
+            "a reader that pinned the version before the free must fail"
+        );
+    }
+}

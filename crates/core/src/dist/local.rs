@@ -169,6 +169,14 @@ impl LocalReservoir {
             processed: items.len() as u64,
             ..ScanStats::default()
         };
+        if items.is_empty() {
+            // Draw-free on empty batches: the exponential jump sequence is
+            // drawn fresh each batch, so skipping the initial draw changes
+            // no insertion law — and it makes an empty batch consume zero
+            // randomness on every scan path (the sharded sparse-batch fast
+            // path leans on this to skip fleet-empty shards entirely).
+            return stats;
+        }
         let mut skip = rng.exponential(t);
         stats.jumps += 1;
         let mut i = 0;
@@ -388,6 +396,12 @@ impl PeReservoir {
     /// `persistent` keeps one worker crew alive across batches instead of
     /// spawning helpers per scan (`reservoir_par::Pool::persistent`);
     /// `merge` selects buffered-epilogue vs shared-tree candidate merging.
+    /// `node_pool` (optional) shares a page-granular allocator with other
+    /// reservoirs' concurrent trees — the shard-fleet storage lever.
+    /// `None` keeps each tree's private pool. `leaf_affinity` selects
+    /// key-ordered micro-batched inserts on the concurrent path. The
+    /// Seq/Par arms use the `Box`-node sequential tree and ignore both.
+    #[allow(clippy::too_many_arguments)] // one knob per parameter; config-shaped callers use for_config_pooled
     pub fn new(
         cap: usize,
         degree: usize,
@@ -395,9 +409,17 @@ impl PeReservoir {
         par_seed: u64,
         persistent: bool,
         merge: crate::dist::MergeMode,
+        leaf_affinity: bool,
+        node_pool: Option<std::sync::Arc<reservoir_btree::NodePool>>,
     ) -> Self {
         if merge == crate::dist::MergeMode::Concurrent {
-            let mut conc = reservoir_par::ConcurrentReservoir::new(cap, threads, par_seed);
+            let mut conc = match node_pool {
+                Some(pool) => {
+                    reservoir_par::ConcurrentReservoir::new_in_pool(cap, threads, par_seed, pool)
+                }
+                None => reservoir_par::ConcurrentReservoir::new(cap, threads, par_seed),
+            }
+            .with_leaf_affinity(leaf_affinity);
             if persistent {
                 conc = conc.with_pool(reservoir_par::Pool::persistent(threads));
             }
@@ -417,6 +439,17 @@ impl PeReservoir {
     /// Build from a [`DistConfig`]'s scan knobs (`threads_per_pe`,
     /// `persistent_pool`, `merge`) with capacity `cap`.
     pub fn for_config(cfg: &crate::dist::DistConfig, cap: usize, par_seed: u64) -> Self {
+        Self::for_config_pooled(cfg, cap, par_seed, None)
+    }
+
+    /// [`Self::for_config`] with an optional shared node pool (see
+    /// [`Self::new`]).
+    pub fn for_config_pooled(
+        cfg: &crate::dist::DistConfig,
+        cap: usize,
+        par_seed: u64,
+        node_pool: Option<std::sync::Arc<reservoir_btree::NodePool>>,
+    ) -> Self {
         Self::new(
             cap,
             reservoir_btree::DEFAULT_DEGREE,
@@ -424,6 +457,8 @@ impl PeReservoir {
             par_seed,
             cfg.persistent_pool,
             cfg.merge,
+            cfg.leaf_affinity,
+            node_pool,
         )
     }
 
@@ -534,6 +569,21 @@ impl PeReservoir {
                 };
                 Self::par_outcome(par)
             }
+        }
+    }
+
+    /// Account for a mini-batch this reservoir never saw — the sharded
+    /// sparse-batch fast path, which skips the scan (and the engine step)
+    /// for shards whose bucket is empty fleet-wide. Equivalent to
+    /// `process` on an empty slice: the sequential scan draws nothing on
+    /// an empty batch, and the parallel paths only advance their batch
+    /// counter (which roots the per-chunk RNG streams), so the sampling
+    /// trajectory stays byte-identical to processing the empty bucket.
+    pub fn skip_batch(&mut self) {
+        match self {
+            PeReservoir::Seq(_) => {}
+            PeReservoir::Par(r) => r.note_empty_batch(),
+            PeReservoir::Conc(r) => r.note_empty_batch(),
         }
     }
 

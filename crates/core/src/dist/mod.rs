@@ -235,6 +235,13 @@ pub struct DistConfig {
     /// back to [`ContinuousMode::Disabled`]. The fixed-seed final sample
     /// is identical in both modes.
     pub continuous: ContinuousMode,
+    /// Contention-aware insertion on the concurrent merge path
+    /// ([`MergeMode::Concurrent`] only): scan workers micro-batch their
+    /// candidates and insert them in key order, so consecutive inserts
+    /// descend to the same leaf and optimistic restarts drop. Defaults
+    /// to `true`; the candidate *set* is unchanged (only its insertion
+    /// order), so the fixed-seed sample is identical either way.
+    pub leaf_affinity: bool,
 }
 
 impl DistConfig {
@@ -252,6 +259,7 @@ impl DistConfig {
             persistent_pool: false,
             merge,
             continuous,
+            leaf_affinity: true,
         }
     }
 
@@ -296,6 +304,14 @@ impl DistConfig {
     /// [`ContinuousMode`] (overrides the `RESERVOIR_CONTINUOUS` default).
     pub fn with_continuous(mut self, continuous: ContinuousMode) -> Self {
         self.continuous = continuous;
+        self
+    }
+
+    /// Toggle contention-aware (key-ordered, micro-batched) insertion on
+    /// the concurrent merge path. On by default; off reverts to
+    /// arrival-order inserts. The sample is identical either way.
+    pub fn with_leaf_affinity(mut self, on: bool) -> Self {
+        self.leaf_affinity = on;
         self
     }
 

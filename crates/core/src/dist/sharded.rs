@@ -45,9 +45,10 @@
 //! (`tests/sharded.rs` pins this, and the χ² suites pin the law).
 
 use std::sync::mpsc::Receiver;
+use std::sync::Arc;
 use std::time::Instant;
 
-use reservoir_btree::SampleKey;
+use reservoir_btree::{NodePool, SampleKey};
 use reservoir_comm::{Collectives, Communicator};
 use reservoir_rng::{DefaultRng, StreamKind};
 use reservoir_select::{
@@ -78,10 +79,16 @@ static SHARDED_COLLECTIVE_LAUNCHES: LazyCounter = LazyCounter::new(
     "sharded_collective_launches_total",
     "collective launches amortized across shard fleets by batched supersteps",
 );
+static SHARDED_SPARSE_SKIPS: LazyCounter = LazyCounter::new(
+    "shards_skipped_sparse_total",
+    "shard engine steps skipped because the shard's bucket was empty fleet-wide",
+);
 use crate::dist::output::SampleHandle;
 use crate::dist::snapshot::SnapshotReader;
 use crate::dist::threaded::stream_seq;
-use crate::dist::{BatchReport, ContinuousMode, DistConfig, SamplingMode, PAR_SCAN_STREAM};
+use crate::dist::{
+    BatchReport, ContinuousMode, DistConfig, MergeMode, SamplingMode, PAR_SCAN_STREAM,
+};
 use crate::metrics::PhaseTimes;
 use crate::sample::SampleItem;
 
@@ -146,13 +153,14 @@ pub struct ShardEndpoint<'a, C: Communicator> {
 }
 
 impl<'a, C: Communicator> ShardEndpoint<'a, C> {
-    fn new(comm: &'a C, cfg: &DistConfig) -> Self {
+    fn new(comm: &'a C, cfg: &DistConfig, node_pool: Option<Arc<NodePool>>) -> Self {
         let seq = stream_seq(cfg);
         ShardEndpoint {
-            local: PeReservoir::for_config(
+            local: PeReservoir::for_config_pooled(
                 cfg,
                 cfg.local_cap(),
                 seq.seed_for(comm.rank(), StreamKind::Custom(PAR_SCAN_STREAM)),
+                node_pool,
             ),
             key_rng: seq.rng_for(comm.rank(), StreamKind::Keys),
             select_rng: seq.rng_for(comm.rank(), StreamKind::Selection),
@@ -320,6 +328,12 @@ pub struct ShardedBatchReport {
     pub per_shard: Vec<BatchReport>,
     /// Shards that ran a selection this superstep.
     pub shards_selected: usize,
+    /// Shards the sparse-batch fast path skipped this superstep: their
+    /// bucket was empty on **every** PE and their union did not trigger
+    /// a selection, so no scan ran, no plan entries were made, and their
+    /// engine did not step (their synthesized [`BatchReport`] carries
+    /// only the known union size).
+    pub shards_skipped: usize,
     /// Joint selection rounds the whole fleet paid (the **max** over
     /// the active shards' round counts — the amortization witness; a
     /// per-shard schedule would have paid their **sum**).
@@ -368,6 +382,14 @@ pub struct ShardedPipelineReport {
 pub struct ShardedSampler<'a, C: Communicator> {
     comm: &'a C,
     engines: Vec<ReservoirProtocol<ShardEndpoint<'a, C>>>,
+    /// One page-granular node pool shared by every shard's concurrent
+    /// tree on this PE (`MergeMode::Concurrent` only): fleet
+    /// construction costs O(pages) heap allocations instead of one
+    /// arena per shard, and pruned shards recycle slots to growing ones.
+    node_pool: Option<Arc<NodePool>>,
+    /// Skip scan/plan/step for shards whose bucket is empty fleet-wide
+    /// (on by default; [`Self::with_sparse_skip`]).
+    sparse_skip: bool,
 }
 
 impl<'a, C: Communicator> ShardedSampler<'a, C> {
@@ -379,16 +401,45 @@ impl<'a, C: Communicator> ShardedSampler<'a, C> {
             cfg.size_window.is_none() || cfg.continuous == ContinuousMode::Disabled,
             "sharded sampling supports a size window or continuous snapshots, not both"
         );
+        // Under the concurrent merge every shard's tree borrows node
+        // slots from one shared pool; the epilogue-merge arms use the
+        // Box-node sequential tree, which has no pool to share.
+        let node_pool = (cfg.merge == MergeMode::Concurrent).then(|| Arc::new(NodePool::new()));
         let engines = (0..shards)
             .map(|s| {
                 let shard_cfg = DistConfig {
                     seed: shard_seed(cfg.seed, s),
                     ..cfg
                 };
-                ReservoirProtocol::new(ShardEndpoint::new(comm, &shard_cfg), shard_cfg)
+                ReservoirProtocol::new(
+                    ShardEndpoint::new(comm, &shard_cfg, node_pool.clone()),
+                    shard_cfg,
+                )
             })
             .collect();
-        ShardedSampler { comm, engines }
+        ShardedSampler {
+            comm,
+            engines,
+            node_pool,
+            sparse_skip: true,
+        }
+    }
+
+    /// Toggle the sparse-batch fast path (default **on**). Collective:
+    /// every PE must pass the same value, since the skip decision gates
+    /// which shards join the planned collectives. Turning it off makes
+    /// every superstep step every engine, exactly the pre-skip schedule;
+    /// the per-shard samples are byte-identical either way.
+    pub fn with_sparse_skip(mut self, on: bool) -> Self {
+        self.sparse_skip = on;
+        self
+    }
+
+    /// The node pool every shard's concurrent tree draws from on this PE
+    /// (`None` under the epilogue merge modes, whose sequential trees
+    /// own their nodes directly).
+    pub fn node_pool(&self) -> Option<&Arc<NodePool>> {
+        self.node_pool.as_ref()
     }
 
     /// Number of shards in the fleet.
@@ -424,25 +475,63 @@ impl<'a, C: Communicator> ShardedSampler<'a, C> {
         let s_count = self.engines.len();
         assert_eq!(buckets.len(), s_count, "one bucket per shard");
 
-        // Phase 1 — real per-shard scans, local.
+        // Phase 1 — real per-shard scans, local. Under the sparse fast
+        // path a shard with an empty *local* bucket defers its scan: the
+        // batched count below reveals whether the bucket was empty
+        // fleet-wide (skip the shard entirely) or only here (run the
+        // empty scan then, to keep the engine schedule aligned with the
+        // standalone sampler). An empty scan never changes the local
+        // length, so the deferred shards' count words are still correct.
         for (s, bucket) in buckets.iter().enumerate() {
+            if self.sparse_skip && bucket.is_empty() {
+                continue;
+            }
             let threshold = self.engines[s].threshold_key();
             let mode = self.engines[s].config().mode;
             self.engines[s].backend_mut().scan(mode, bucket, threshold);
         }
 
-        // Phase 2 — ONE vectorized count across all shards.
+        // Phase 2 — ONE vectorized count across all shards. With the
+        // sparse fast path the same launch also carries the per-shard
+        // bucket lengths (2S words instead of S, still one collective),
+        // so every PE agrees on which shards saw no records anywhere.
         let t0 = Instant::now();
-        let lens: Vec<u64> = self
+        let mut words: Vec<u64> = self
             .engines
             .iter()
             .map(|e| e.backend().local.len())
             .collect();
-        let unions = self.comm.sum_u64_vec(lens);
+        if self.sparse_skip {
+            words.extend(buckets.iter().map(|b| b.len() as u64));
+        }
+        let sums = self.comm.sum_u64_vec(words);
+        let unions = &sums[..s_count];
         let count_share = t0.elapsed().as_secs_f64() / s_count as f64;
         let mut collective_calls = 1u32;
-        for (s, &u) in unions.iter().enumerate() {
-            self.engines[s].backend_mut().plan.pre_union = Some((u, count_share));
+
+        // A shard skips when its bucket is empty on every PE *and* its
+        // (unchanged) union does not trigger a selection — deterministic
+        // from collective data, so the fleet agrees without extra wire.
+        let skipped: Vec<bool> = (0..s_count)
+            .map(|s| {
+                self.sparse_skip && sums[s_count + s] == 0 && !self.engines[s].select_now(unions[s])
+            })
+            .collect();
+        for s in 0..s_count {
+            if skipped[s] {
+                continue;
+            }
+            if self.sparse_skip && buckets[s].is_empty() {
+                // Deferred in phase 1 but not skipped (nonempty
+                // elsewhere, or a pending selection): run the empty scan
+                // now so the engine's insert step finds its plan.
+                let threshold = self.engines[s].threshold_key();
+                let mode = self.engines[s].config().mode;
+                self.engines[s]
+                    .backend_mut()
+                    .scan(mode, &buckets[s], threshold);
+            }
+            self.engines[s].backend_mut().plan.pre_union = Some((unions[s], count_share));
         }
 
         // Phase 3 — ONE joint selection for every shard over its limit.
@@ -497,6 +586,16 @@ impl<'a, C: Communicator> ShardedSampler<'a, C> {
             let mut keeps = Vec::with_capacity(s_count);
             let mut posts = Vec::with_capacity(s_count);
             for (s, engine) in self.engines.iter().enumerate() {
+                if skipped[s] {
+                    // A skipped shard keeps its previous epoch (its
+                    // sample is unchanged this superstep — readers see a
+                    // stale epoch number, same members); it neither
+                    // publishes nor places, so it rides the collective
+                    // with zero words.
+                    keeps.push(0);
+                    posts.push(0);
+                    continue;
+                }
                 let be = engine.backend();
                 match be.plan.batch_select {
                     Some((res, _)) => {
@@ -517,6 +616,9 @@ impl<'a, C: Communicator> ShardedSampler<'a, C> {
             let output_share = t0.elapsed().as_secs_f64() / s_count as f64;
             collective_calls += 1;
             for s in 0..s_count {
+                if skipped[s] {
+                    continue;
+                }
                 let be = self.engines[s].backend_mut();
                 be.plan.fin_union = Some((posts[s], output_share));
                 be.plan.placement = Some((
@@ -530,17 +632,36 @@ impl<'a, C: Communicator> ShardedSampler<'a, C> {
             }
         }
 
-        // Phase 5 — every engine steps; endpoints serve the plan. The
-        // only remaining work is local (replayed insert, prune,
-        // publication extract).
-        let per_shard: Vec<BatchReport> = self.engines.iter_mut().map(|e| e.step(&[])).collect();
+        // Phase 5 — every *active* engine steps; endpoints serve the
+        // plan. The only remaining work is local (replayed insert,
+        // prune, publication extract). A skipped shard's engine does not
+        // step at all — its reservoir just accounts for the empty batch
+        // (a batch-counter bump on the parallel paths, nothing on the
+        // sequential one), which is exactly the state change processing
+        // the empty bucket would have caused.
+        let mut shards_skipped = 0usize;
+        let per_shard: Vec<BatchReport> = (0..s_count)
+            .map(|s| {
+                if skipped[s] {
+                    shards_skipped += 1;
+                    self.engines[s].backend_mut().local.skip_batch();
+                    return BatchReport {
+                        sample_size: unions[s],
+                        ..BatchReport::default()
+                    };
+                }
+                self.engines[s].step(&[])
+            })
+            .collect();
         SHARDED_BATCHES.inc();
         SHARDED_JOINT_ROUNDS.add(joint_rounds as u64);
         SHARDED_SOLO_ROUNDS.add(solo_rounds);
         SHARDED_COLLECTIVE_LAUNCHES.add(collective_calls as u64);
+        SHARDED_SPARSE_SKIPS.add(shards_skipped as u64);
         ShardedBatchReport {
             per_shard,
             shards_selected: active.len(),
+            shards_skipped,
             joint_select_rounds: joint_rounds,
             solo_select_rounds: solo_rounds,
             collective_calls,

@@ -261,6 +261,7 @@ impl SimConfig {
             // a real-backend concern and does not alter modeled costs.
             merge: super::MergeMode::Epilogue,
             continuous: self.continuous,
+            leaf_affinity: true,
         }
     }
 

@@ -33,9 +33,10 @@
 //! subtree-size refresh the selection queries need.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
-use reservoir_btree::{OlcStats, OlcTree, SampleKey};
+use reservoir_btree::{NodePool, OlcStats, OlcTree, SampleKey};
 use reservoir_rng::{SeedSequence, StreamKind};
 use reservoir_stream::Item;
 
@@ -45,19 +46,59 @@ use crate::reservoir::{
     BATCH_STREAM, CHUNK_STREAM, DEFAULT_CHUNK_ITEMS,
 };
 
-/// A [`ScanSink`] that inserts each survivor straight into the shared
-/// concurrent tree, counting locally and flushing the counters into the
-/// scan's shared totals when the chunk ends.
+/// Pending inserts a worker batches up before descending (leaf-affinity
+/// mode): sorting this many candidates groups same-leaf keys into
+/// consecutive descents, so hot leaves are hit in runs instead of being
+/// re-raced from scratch by every survivor.
+const MICRO_BATCH: usize = 128;
+
+/// A [`ScanSink`] that routes each survivor into the shared concurrent
+/// tree, counting locally and flushing the counters into the scan's
+/// shared totals when the chunk ends. With `affinity` set (the default),
+/// survivors are micro-batched and key-sorted before descending; the
+/// insertion *order* into the tree changes, the inserted *set* —
+/// and therefore the fixed-seed sample — does not.
 struct DirectSink<'a> {
     tree: &'a OlcTree,
+    affinity: bool,
+    pending: Vec<(SampleKey, f64)>,
     inserted: u64,
     jumps: u64,
 }
 
+impl DirectSink<'_> {
+    fn new(tree: &OlcTree, affinity: bool) -> DirectSink<'_> {
+        DirectSink {
+            tree,
+            affinity,
+            pending: Vec::new(),
+            inserted: 0,
+            jumps: 0,
+        }
+    }
+
+    /// Key-sort and insert the pending micro-batch. Consecutive inserts
+    /// then walk the same root-to-leaf path while it is cache-hot, and
+    /// same-leaf conflicts serialize in key order instead of thrashing.
+    fn flush(&mut self) {
+        self.pending.sort_unstable_by_key(|a| a.0);
+        for (key, weight) in self.pending.drain(..) {
+            self.tree.insert(key, weight);
+        }
+    }
+}
+
 impl ScanSink for DirectSink<'_> {
     fn emit(&mut self, key: SampleKey, weight: f64) {
-        self.tree.insert(key, weight);
         self.inserted += 1;
+        if self.affinity {
+            self.pending.push((key, weight));
+            if self.pending.len() >= MICRO_BATCH {
+                self.flush();
+            }
+        } else {
+            self.tree.insert(key, weight);
+        }
     }
 
     fn jump(&mut self) {
@@ -79,6 +120,7 @@ pub struct ConcurrentReservoir {
     chunk_items: usize,
     seeds: SeedSequence,
     batch_no: u64,
+    leaf_affinity: bool,
 }
 
 impl ConcurrentReservoir {
@@ -86,14 +128,23 @@ impl ConcurrentReservoir {
     /// `threads` workers, RNG streams rooted at `seed` (derive it per PE
     /// so PEs stay independent).
     pub fn new(cap: usize, threads: usize, seed: u64) -> Self {
+        Self::new_in_pool(cap, threads, seed, Arc::new(NodePool::new()))
+    }
+
+    /// [`Self::new`] drawing node storage from `pool` from the start —
+    /// the fleet constructor's path: no transient private pool is built
+    /// and discarded, so constructing S reservoirs on one shared pool
+    /// costs O(pages) heap allocations, not O(S).
+    pub fn new_in_pool(cap: usize, threads: usize, seed: u64, pool: Arc<NodePool>) -> Self {
         assert!(cap >= 1, "reservoir capacity must be at least 1");
         ConcurrentReservoir {
             cap,
-            tree: OlcTree::new(),
+            tree: OlcTree::with_pool(pool),
             pool: Pool::new(threads),
             chunk_items: DEFAULT_CHUNK_ITEMS,
             seeds: SeedSequence::new(seed),
             batch_no: 0,
+            leaf_affinity: true,
         }
     }
 
@@ -101,6 +152,30 @@ impl ConcurrentReservoir {
     pub fn with_chunk_items(mut self, chunk_items: usize) -> Self {
         assert!(chunk_items >= 1, "chunks must hold at least one item");
         self.chunk_items = chunk_items;
+        self
+    }
+
+    /// Borrow node storage from a shared [`NodePool`] instead of a
+    /// private one — the multi-tenant lever: a fleet of reservoirs on
+    /// one pool costs O(pages) heap allocations, and every rebuild
+    /// recycles slots for the other tenants. Must be called before the
+    /// first batch (the tree is re-rooted in the new pool).
+    pub fn with_node_pool(mut self, pool: Arc<NodePool>) -> Self {
+        assert!(
+            self.tree.is_empty(),
+            "the node pool must be chosen before the first batch"
+        );
+        self.tree = OlcTree::with_pool(pool);
+        self
+    }
+
+    /// Toggle contention-aware insertion (default on): workers
+    /// micro-batch pending survivors and insert them in key order, so
+    /// same-leaf keys descend consecutively instead of interleaving with
+    /// every other worker's traffic. The inserted set — and the sample —
+    /// is identical either way.
+    pub fn with_leaf_affinity(mut self, on: bool) -> Self {
+        self.leaf_affinity = on;
         self
     }
 
@@ -158,6 +233,15 @@ impl ConcurrentReservoir {
         self.tree.clear();
     }
 
+    /// Account for a mini-batch this reservoir never saw (the sharded
+    /// sparse-batch fast path): advances the per-batch RNG stream index
+    /// exactly as processing an empty `items` slice would, so a skipped
+    /// shard's future samples stay byte-identical to a scanned-empty
+    /// one's. O(1) — no scan scope, no RNG draws.
+    pub fn note_empty_batch(&mut self) {
+        self.batch_no += 1;
+    }
+
     /// Scan a weighted mini-batch; regimes as
     /// [`crate::ParLocalReservoir::process_weighted`].
     pub fn process_weighted(&mut self, items: &[Item], threshold: Option<f64>) -> ParScanStats {
@@ -207,6 +291,7 @@ impl ConcurrentReservoir {
         let growing = threshold.is_none();
         let cap = self.cap;
         let tree = &self.tree;
+        let affinity = self.leaf_affinity;
 
         let (_, report) = self.pool.scope(|s| {
             for (c, range) in chunk_ranges(items.len(), self.chunk_items).enumerate() {
@@ -225,21 +310,23 @@ impl ConcurrentReservoir {
                         grow_chunk(chunk, cap, shared, uniform, &mut rng, &mut out);
                         jumps.fetch_add(out.jumps, Ordering::Relaxed);
                         inserted.fetch_add(out.candidates.len() as u64, Ordering::Relaxed);
-                        for (key, weight) in out.candidates {
+                        let mut candidates = out.candidates;
+                        if affinity {
+                            // Same set, leaf-affine order (see DirectSink).
+                            candidates.sort_unstable_by_key(|a| a.0);
+                        }
+                        for (key, weight) in candidates {
                             tree.insert(key, weight);
                         }
                     } else {
                         let t = f64::from_bits(shared.load(Ordering::Relaxed));
-                        let mut sink = DirectSink {
-                            tree,
-                            inserted: 0,
-                            jumps: 0,
-                        };
+                        let mut sink = DirectSink::new(tree, affinity);
                         if uniform {
                             scan_chunk_uniform(chunk, t, &mut rng, &mut sink);
                         } else {
                             scan_chunk_weighted(chunk, t, &mut rng, &mut sink);
                         }
+                        sink.flush();
                         jumps.fetch_add(sink.jumps, Ordering::Relaxed);
                         inserted.fetch_add(sink.inserted, Ordering::Relaxed);
                     }
@@ -373,6 +460,67 @@ mod tests {
         assert_eq!(s1.inserted + s2.inserted + s3.inserted, 0);
         assert!(r.is_empty());
         assert_eq!(s1.chunks, 0);
+    }
+
+    #[test]
+    fn leaf_affinity_off_and_shared_pool_never_change_the_sample() {
+        let run = |affinity: bool, shared_pool: bool| {
+            let mut r = ConcurrentReservoir::new(50, 4, 99)
+                .with_chunk_items(256)
+                .with_leaf_affinity(affinity);
+            if shared_pool {
+                r = r.with_node_pool(Arc::new(NodePool::new()));
+            }
+            r.process_weighted(&batch(3_000, |i| 1.0 + (i % 7) as f64), None);
+            let t = r.tree().max().unwrap().0.key;
+            r.process_weighted(&batch(5_000, |i| 1.0 + (i % 5) as f64), Some(t));
+            r.tree().check_consistency().unwrap();
+            ids(&r)
+        };
+        let reference = run(true, false);
+        assert_eq!(run(false, false), reference, "affinity changed the sample");
+        assert_eq!(run(true, true), reference, "pooling changed the sample");
+        assert_eq!(run(false, true), reference);
+    }
+
+    #[test]
+    fn two_reservoirs_share_one_pool() {
+        let pool = Arc::new(NodePool::new());
+        let mut a = ConcurrentReservoir::new(20, 2, 1).with_node_pool(Arc::clone(&pool));
+        let mut b = ConcurrentReservoir::new(20, 2, 2).with_node_pool(Arc::clone(&pool));
+        a.process_weighted(&batch(2_000, |_| 1.0), None);
+        b.process_weighted(&batch(2_000, |_| 2.0), None);
+        assert_eq!(a.len(), 20);
+        assert_eq!(b.len(), 20);
+        a.tree().check_consistency().unwrap();
+        b.tree().check_consistency().unwrap();
+        assert_eq!(
+            pool.live_slots(),
+            a.tree().node_count() + b.tree().node_count()
+        );
+    }
+
+    #[test]
+    fn note_empty_batch_matches_processing_an_empty_slice() {
+        let feed = |r: &mut ConcurrentReservoir, skip: bool| {
+            r.process_weighted(&batch(2_000, |i| 1.0 + (i % 7) as f64), None);
+            if skip {
+                r.note_empty_batch();
+            } else {
+                r.process_weighted(&[], None);
+            }
+            r.process_weighted(&batch(2_000, |i| 1.0 + (i % 5) as f64), None);
+        };
+        let mut scanned = ConcurrentReservoir::new(30, 4, 7).with_chunk_items(256);
+        feed(&mut scanned, false);
+        let mut skipped = ConcurrentReservoir::new(30, 4, 7).with_chunk_items(256);
+        feed(&mut skipped, true);
+        assert_eq!(
+            ids(&scanned),
+            ids(&skipped),
+            "a noted empty batch must leave the RNG streams exactly where \
+             a scanned empty batch would"
+        );
     }
 
     #[test]

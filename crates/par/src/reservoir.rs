@@ -215,6 +215,15 @@ impl ParLocalReservoir {
         self.tree.clear();
     }
 
+    /// Account for a mini-batch this reservoir never saw (the sharded
+    /// sparse-batch fast path): advances the per-batch RNG stream index
+    /// exactly as processing an empty `items` slice would, so a skipped
+    /// shard's future samples stay byte-identical to a scanned-empty
+    /// one's. O(1) — no scan scope, no RNG draws.
+    pub fn note_empty_batch(&mut self) {
+        self.batch_no += 1;
+    }
+
     /// Scan a weighted mini-batch: with `threshold = Some(t)` insert every
     /// item whose key falls below `t` (chunked exponential jumps,
     /// conditional keys); with `None` keep the local `cap` smallest keys.

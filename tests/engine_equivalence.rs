@@ -379,6 +379,132 @@ fn unified_drain_finalizes_window_mode_output() {
     assert!(results.iter().all(|t| *t == lo));
 }
 
+/// Pooled node storage and the sparse-batch fast path are invisible to
+/// the sampling law: at both CI scan widths × both merge schedules, a
+/// shard fleet — whose concurrent trees share ONE node pool, with the
+/// sparse skip on or off — reproduces byte for byte the samples of
+/// standalone per-shard samplers, each with its own private storage.
+/// Shard 3 never receives a record, so the skip-on fleet genuinely
+/// skips it every superstep while the standalone reference processes
+/// its empty batches; identical output pins the skip as law-free.
+#[test]
+fn pooled_fleet_and_sparse_skip_match_private_samplers_on_the_grid() {
+    use reservoir::dist::{shard_seed, ShardedSampler};
+    const SHARDS: usize = 4;
+    fn route(batch: Vec<Item>) -> Vec<Vec<Item>> {
+        let mut buckets = vec![Vec::new(); SHARDS];
+        for item in batch {
+            let s = (item.id % SHARDS as u64) as usize;
+            if s < SHARDS - 1 {
+                // Shard 3 stays empty fleet-wide: the sparse-skip arm.
+                buckets[s].push(item);
+            }
+        }
+        buckets
+    }
+    let p = 2;
+    for &threads in &[1usize, 4] {
+        for &merge in &[MergeMode::Epilogue, MergeMode::Concurrent] {
+            let private = run_threads(p, |comm| {
+                (0..SHARDS)
+                    .map(|s| {
+                        let cfg = DistConfig::weighted(25, shard_seed(808, s))
+                            .with_threads(threads)
+                            .with_merge(merge);
+                        let mut solo = DistributedSampler::new(&comm, cfg);
+                        for b in 0..4u64 {
+                            let buckets = route(unit_batch(comm.rank(), b, 120));
+                            solo.process_batch(&buckets[s]);
+                        }
+                        let handle = solo.collect_output();
+                        (
+                            fingerprint(handle.local_items().iter().map(|m| (m.id, m.key))),
+                            solo.threshold().map(f64::to_bits),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            });
+            for &skip in &[true, false] {
+                let fleet = run_threads(p, |comm| {
+                    let cfg = DistConfig::weighted(25, 808)
+                        .with_threads(threads)
+                        .with_merge(merge);
+                    let mut fleet = ShardedSampler::new(&comm, cfg, SHARDS).with_sparse_skip(skip);
+                    let mut skipped = 0usize;
+                    for b in 0..4u64 {
+                        skipped += fleet
+                            .process_batch(&route(unit_batch(comm.rank(), b, 120)))
+                            .shards_skipped;
+                    }
+                    assert_eq!(
+                        skipped,
+                        if skip { 4 } else { 0 },
+                        "the always-empty shard must skip exactly when enabled"
+                    );
+                    if merge == MergeMode::Concurrent {
+                        assert!(
+                            fleet.node_pool().is_some(),
+                            "concurrent fleets must share one node pool"
+                        );
+                    }
+                    let thresholds: Vec<_> = (0..SHARDS).map(|s| fleet.threshold(s)).collect();
+                    fleet
+                        .collect_output()
+                        .iter()
+                        .zip(thresholds)
+                        .map(|(h, t)| {
+                            (
+                                fingerprint(h.local_items().iter().map(|m| (m.id, m.key))),
+                                t.map(f64::to_bits),
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                });
+                assert_eq!(
+                    fleet, private,
+                    "threads={threads} merge={merge:?} sparse_skip={skip}: \
+                     pooled fleet diverged from private standalone samplers"
+                );
+            }
+        }
+    }
+}
+
+/// The contention-aware insertion toggle reorders concurrent inserts
+/// (key-sorted micro-batches) but never changes the inserted set — the
+/// fixed-seed sample is byte-identical with it on or off, at both CI
+/// scan widths × both merge schedules (the epilogue arm ignores it).
+#[test]
+fn leaf_affinity_toggle_never_changes_the_sample() {
+    let p = 3;
+    let run = |threads: usize, merge: MergeMode, affinity: bool| {
+        let cfg = DistConfig::weighted(40, 2024)
+            .with_threads(threads)
+            .with_merge(merge)
+            .with_leaf_affinity(affinity);
+        run_threads(p, |comm| {
+            let mut s = DistributedSampler::new(&comm, cfg);
+            for b in 0..4u64 {
+                s.process_batch(&unit_batch(comm.rank(), b, 150));
+            }
+            let handle = s.collect_output();
+            (
+                fingerprint(handle.local_items().iter().map(|m| (m.id, m.key))),
+                s.threshold().map(f64::to_bits),
+            )
+        })
+    };
+    for &threads in &[1usize, 4] {
+        for &merge in &[MergeMode::Epilogue, MergeMode::Concurrent] {
+            assert_eq!(
+                run(threads, merge, true),
+                run(threads, merge, false),
+                "threads={threads} merge={merge:?}: leaf affinity changed the sample"
+            );
+        }
+    }
+}
+
 /// Observability must be observationally free: arming the metrics
 /// registry + flight recorder changes neither a single sample byte nor
 /// the wire traffic — a fixed seed draws the identical sample with the

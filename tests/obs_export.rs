@@ -27,7 +27,12 @@ use reservoir::dist::{ContinuousMode, DistConfig, MergeMode};
 use reservoir::stream::Item;
 
 /// Metrics whose fixed-seed values are exactly reproducible. Everything
-/// else (timings, contention) is dropped before rendering.
+/// else (timings, contention) is dropped before rendering. The pooled
+/// node-storage metrics (`pool_bytes`, `pool_pages_allocated`,
+/// `pool_recycles`) and `shards_skipped_sparse_total` stay off this list
+/// deliberately: they depend on merge mode, thread count, and pool
+/// sharing (one fleet-wide pool vs one per sampler), so their fixed-seed
+/// values are mode-dependent, not run-reproducible.
 const DETERMINISTIC: &[&str] = &[
     "comm_bcast_total",
     "comm_collective_words",

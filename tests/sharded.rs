@@ -14,9 +14,10 @@
 mod common;
 
 use common::{chi_square_upper, skewed_weight, two_sample_chi_square};
+use reservoir::btree::PAGE_NODES;
 use reservoir::comm::run_threads;
 use reservoir::dist::threaded::DistributedSampler;
-use reservoir::dist::{shard_seed, ContinuousMode, DistConfig, ShardedSampler};
+use reservoir::dist::{shard_seed, ContinuousMode, DistConfig, MergeMode, ShardedSampler};
 use reservoir::rng::test_base_seed;
 use reservoir::stream::ingest::{spawn_source, BatchPolicy, SyntheticRecords};
 use reservoir::stream::{route_by_id, Item, ShardRouter, StreamSpec, WeightGen};
@@ -379,6 +380,68 @@ fn sharded_pipeline_end_to_end() {
             "shard {s}: PE slices must partition the sample"
         );
     }
+}
+
+/// The fleet-scale storage guarantee: a 4096-shard concurrent-merge
+/// fleet draws every tree node from ONE shared pool, so construction
+/// costs O(pages) heap allocations (64 pages back 4096 root leaves) —
+/// not one arena per shard — and a 95%-sparse superstep plans and steps
+/// only the active shards.
+#[test]
+fn shared_pool_fleet_is_page_granular_and_sparse_supersteps_plan_active_shards_only() {
+    let seed = test_base_seed() ^ 0x4096;
+    run_threads(1, |comm| {
+        use reservoir::comm::Communicator;
+        let _ = comm.rank();
+        let shards = 4096usize;
+        let cfg = DistConfig::weighted(8, seed)
+            .with_merge(MergeMode::Concurrent)
+            .with_threads(1);
+        let mut fleet = ShardedSampler::new(&comm, cfg, shards);
+        let pool = fleet
+            .node_pool()
+            .expect("concurrent fleets share one node pool")
+            .clone();
+        let stats = pool.stats();
+        assert_eq!(
+            stats.fresh, shards as u64,
+            "construction allocates exactly one root leaf per shard"
+        );
+        assert_eq!(
+            stats.pages,
+            (shards as u64).div_ceil(PAGE_NODES as u64),
+            "4096 roots must be backed by page-granular allocations, not per-shard arenas"
+        );
+        assert_eq!(pool.live_slots(), shards as u64);
+
+        // A 95%-sparse superstep: records land in 5% of the shards.
+        let active = shards / 20;
+        let mut buckets = vec![Vec::new(); shards];
+        for i in 0..4_000u64 {
+            buckets[i as usize % active].push(Item::new(i, 1.0 + (i % 7) as f64));
+        }
+        let report = fleet.process_batch(&buckets);
+        assert_eq!(
+            report.shards_skipped,
+            shards - active,
+            "every fleet-empty shard must be skipped"
+        );
+        for (s, rep) in report.per_shard.iter().enumerate() {
+            if s < active {
+                assert!(rep.scan.processed > 0, "active shard {s} must scan");
+            } else {
+                assert_eq!(rep.scan.processed, 0, "skipped shard {s} must not scan");
+                assert_eq!(rep.select_rounds, 0, "skipped shard {s} must not select");
+            }
+        }
+        // The active shards' trees grew from the same shared pool; the
+        // sparse fleet still holds page-granular storage only.
+        assert!(
+            pool.stats().pages * PAGE_NODES as u64 >= pool.live_slots(),
+            "every live node must be page-backed"
+        );
+        true
+    });
 }
 
 /// Routing sanity at the integration level: every record lands in
